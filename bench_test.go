@@ -1,0 +1,394 @@
+// Benchmark harness: one benchmark family per paper table and figure.
+//
+// Two kinds of benchmarks coexist here:
+//
+//   - Real-runtime benchmarks (BenchmarkFig*) run the Table I kernels on
+//     the actual runtimes and report wall time. On this host they verify
+//     orderings at low worker counts; absolute 256-thread behaviour comes
+//     from the simulator.
+//   - Simulator benchmarks (BenchmarkSim*) regenerate the figure series
+//     at 256 virtual threads and report the speedups as custom metrics
+//     (s256_<scheme>), so `go test -bench` output contains the paper's
+//     headline numbers directly.
+//
+// cmd/nowa-sim prints the full per-figure tables; these benches are the
+// machine-readable regeneration hooks.
+package nowa_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"nowa"
+	"nowa/internal/apps"
+	"nowa/internal/cactus"
+	"nowa/internal/core"
+	"nowa/internal/deque"
+	"nowa/internal/sched"
+	"nowa/internal/sim"
+)
+
+var realVariants = []nowa.Variant{
+	nowa.VariantNowa, nowa.VariantNowaTHE, nowa.VariantFibril,
+	nowa.VariantCilkPlus, nowa.VariantTBB, nowa.VariantLibGOMP,
+	nowa.VariantLibOMPUntied, nowa.VariantLibOMPTied,
+}
+
+func benchWorkers() int {
+	n := runtime.NumCPU()
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// benchReal runs one Table I kernel on one variant.
+func benchReal(b *testing.B, name string, v nowa.Variant) {
+	bm, err := apps.ByName(name, apps.Test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := nowa.New(v, benchWorkers())
+	defer nowa.Close(rt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bm.Prepare()
+		b.StartTimer()
+		rt.Run(bm.Run)
+	}
+	b.StopTimer()
+	if err := bm.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig1_NQueens is Figure 1's workload on the real runtimes.
+func BenchmarkFig1_NQueens(b *testing.B) {
+	for _, v := range []nowa.Variant{nowa.VariantNowa, nowa.VariantFibril, nowa.VariantCilkPlus, nowa.VariantTBB} {
+		v := v
+		b.Run(v.String(), func(b *testing.B) { benchReal(b, "nqueens", v) })
+	}
+}
+
+// BenchmarkFig7 runs the full Table I suite on the Figure 7 runtimes.
+func BenchmarkFig7(b *testing.B) {
+	for _, name := range apps.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for _, v := range []nowa.Variant{nowa.VariantNowa, nowa.VariantFibril, nowa.VariantCilkPlus, nowa.VariantTBB} {
+				v := v
+				b.Run(v.String(), func(b *testing.B) { benchReal(b, name, v) })
+			}
+		})
+	}
+}
+
+// BenchmarkFig8_Madvise compares the real Nowa runtime with and without
+// the practical cactus-stack solution (§V-B): page release on stack
+// recirculation and page faulting on reuse.
+func BenchmarkFig8_Madvise(b *testing.B) {
+	for _, madvise := range []bool{false, true} {
+		madvise := madvise
+		label := "off"
+		if madvise {
+			label = "on"
+		}
+		b.Run("madvise-"+label, func(b *testing.B) {
+			for _, name := range []string{"fib", "nqueens", "integrate"} {
+				name := name
+				b.Run(name, func(b *testing.B) {
+					bm, err := apps.ByName(name, apps.Test)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rt := sched.MustNew(sched.Config{
+						Name:    "nowa",
+						Workers: benchWorkers(),
+						Stacks:  cactus.Config{Madvise: madvise, StackBytes: 64 << 10},
+					})
+					defer rt.Close()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						bm.Prepare()
+						b.StartTimer()
+						rt.Run(bm.Run)
+					}
+					b.StopTimer()
+					if err := bm.Verify(); err != nil {
+						b.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_Queue is the §V-C queue ablation on the real runtimes:
+// the same wait-free protocol over the CL and THE queues, plus Fibril.
+func BenchmarkFig9_Queue(b *testing.B) {
+	for _, name := range []string{"fib", "nqueens"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for _, v := range []nowa.Variant{nowa.VariantNowa, nowa.VariantNowaTHE, nowa.VariantFibril} {
+				v := v
+				b.Run(v.String(), func(b *testing.B) { benchReal(b, name, v) })
+			}
+		})
+	}
+}
+
+// BenchmarkFig10_OpenMP compares against the OpenMP-like runtimes.
+func BenchmarkFig10_OpenMP(b *testing.B) {
+	for _, name := range []string{"fib", "matmul", "quicksort"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for _, v := range []nowa.Variant{nowa.VariantNowa, nowa.VariantTBB, nowa.VariantLibGOMP, nowa.VariantLibOMPUntied, nowa.VariantLibOMPTied} {
+				v := v
+				b.Run(v.String(), func(b *testing.B) { benchReal(b, name, v) })
+			}
+		})
+	}
+}
+
+// BenchmarkTable2_RSS reports the peak resident stack-pool bytes with and
+// without madvise as custom metrics (peak_rss_bytes).
+func BenchmarkTable2_RSS(b *testing.B) {
+	for _, madvise := range []bool{false, true} {
+		madvise := madvise
+		label := "madvise-off"
+		if madvise {
+			label = "madvise-on"
+		}
+		b.Run(label, func(b *testing.B) {
+			bm, err := apps.ByName("integrate", apps.Test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				rt := sched.MustNew(sched.Config{
+					Workers: benchWorkers(),
+					Stacks:  cactus.Config{Madvise: madvise, StackBytes: 64 << 10},
+				})
+				bm.Prepare()
+				rt.Run(bm.Run)
+				if p := rt.StackStats().PeakRSSBytes; p > peak {
+					peak = p
+				}
+				rt.Close()
+			}
+			b.ReportMetric(float64(peak), "peak_rss_bytes")
+		})
+	}
+}
+
+// simFigure runs one benchmark DAG under the figure's schemes at 256
+// virtual threads and reports each speedup as a metric.
+func simFigure(b *testing.B, workload string, schemes []sim.Scheme) {
+	dag, err := sim.Workload(workload, sim.SimFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, sch := range schemes {
+			r := sim.Run(dag, sch, 256, sim.DefaultCosts(), uint64(i)+1)
+			results[sch.Name] = r.Speedup
+		}
+	}
+	for name, sp := range results {
+		b.ReportMetric(sp, "s256_"+name)
+	}
+}
+
+// BenchmarkSimFig1 regenerates Figure 1's headline point.
+func BenchmarkSimFig1(b *testing.B) { simFigure(b, "nqueens", sim.Fig7Schemes()) }
+
+// BenchmarkSimFig7 regenerates Figure 7 at 256 threads for all twelve
+// benchmarks.
+func BenchmarkSimFig7(b *testing.B) {
+	for _, name := range sim.WorkloadNames() {
+		name := name
+		b.Run(name, func(b *testing.B) { simFigure(b, name, sim.Fig7Schemes()) })
+	}
+}
+
+// BenchmarkSimFig8 regenerates the madvise comparison at 256 threads.
+func BenchmarkSimFig8(b *testing.B) {
+	for _, name := range []string{"cholesky", "lu", "fib", "nqueens"} {
+		name := name
+		b.Run(name, func(b *testing.B) { simFigure(b, name, sim.Fig8Schemes()) })
+	}
+}
+
+// BenchmarkSimFig9 regenerates the queue ablation at 256 threads.
+func BenchmarkSimFig9(b *testing.B) {
+	for _, name := range []string{"cholesky", "fib", "nqueens", "matmul"} {
+		name := name
+		b.Run(name, func(b *testing.B) { simFigure(b, name, sim.Fig9Schemes()) })
+	}
+}
+
+// BenchmarkSimFig10 regenerates the OpenMP comparison at 256 threads.
+func BenchmarkSimFig10(b *testing.B) {
+	for _, name := range sim.WorkloadNames() {
+		name := name
+		b.Run(name, func(b *testing.B) { simFigure(b, name, sim.Fig10Schemes()) })
+	}
+}
+
+// BenchmarkSimTable3 regenerates Table III: virtual execution times (ms)
+// at 256 threads, reported as time_ms_<scheme> metrics.
+func BenchmarkSimTable3(b *testing.B) {
+	schemes := []sim.Scheme{sim.Nowa(), sim.LibOMPUntied(), sim.LibOMPTied()}
+	for _, name := range sim.WorkloadNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			dag, err := sim.Workload(name, sim.SimFull)
+			if err != nil {
+				b.Fatal(err)
+			}
+			times := map[string]float64{}
+			for i := 0; i < b.N; i++ {
+				for _, sch := range schemes {
+					r := sim.Run(dag, sch, 256, sim.DefaultCosts(), uint64(i)+1)
+					times[sch.Name] = float64(r.Makespan) / 1e6
+				}
+			}
+			for n, t := range times {
+				b.ReportMetric(t, "time_ms_"+n)
+			}
+		})
+	}
+}
+
+// --- Micro-ablations -----------------------------------------------------
+
+// BenchmarkDeque measures the raw deque operations per algorithm: the
+// owner's push/pop round-trip (the per-spawn fast path).
+func BenchmarkDeque(b *testing.B) {
+	for _, alg := range []deque.Algorithm{deque.CL, deque.THE, deque.ABP, deque.Locked} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			d := deque.New[int](alg, 1<<16)
+			x := 42
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.PushBottom(&x)
+				d.PopBottom()
+			}
+		})
+	}
+}
+
+// BenchmarkDequeSteal measures popTop throughput under concurrent thieves.
+func BenchmarkDequeSteal(b *testing.B) {
+	for _, alg := range []deque.Algorithm{deque.CL, deque.THE, deque.Locked} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			d := deque.New[int](alg, 1<<20)
+			x := 42
+			for i := 0; i < 1<<19; i++ {
+				d.PushBottom(&x)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, ok := d.PopTop(); !ok {
+						// Refill is owner-only; just spin on empty.
+						continue
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkJoinCounter measures one fork/join round on the two protocols:
+// the paper's core operation cost.
+func BenchmarkJoinCounter(b *testing.B) {
+	b.Run("wait-free", func(b *testing.B) {
+		j := core.NewWaitFreeJoin()
+		for i := 0; i < b.N; i++ {
+			j.OnSteal()
+			j.SyncBegin()
+			j.OnChildJoin()
+			j.Rearm()
+		}
+	})
+	b.Run("locked", func(b *testing.B) {
+		j := core.NewLockedJoin()
+		for i := 0; i < b.N; i++ {
+			j.OnSteal()
+			j.SyncBegin()
+			j.OnChildJoin()
+			j.Rearm()
+		}
+	})
+}
+
+// BenchmarkSpawnOverhead measures the end-to-end cost of one spawn/sync
+// round trip per runtime variant (the vessel-model substrate cost).
+func BenchmarkSpawnOverhead(b *testing.B) {
+	for _, v := range realVariants {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			rt := nowa.New(v, 1)
+			defer nowa.Close(rt)
+			b.ResetTimer()
+			rt.Run(func(c nowa.Ctx) {
+				for i := 0; i < b.N; i++ {
+					s := c.Scope()
+					s.Spawn(func(nowa.Ctx) {})
+					s.Sync()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelFor measures the combinator layer.
+func BenchmarkParallelFor(b *testing.B) {
+	rt := nowa.New(nowa.VariantNowa, benchWorkers())
+	defer nowa.Close(rt)
+	xs := make([]float64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Run(func(c nowa.Ctx) {
+			nowa.For(c, 0, len(xs), 0, func(_ nowa.Ctx, j int) { xs[j] += 1 })
+		})
+	}
+}
+
+var sinkFib int
+
+// BenchmarkFibScaling reports fib wall time per worker count for the
+// flagship runtime (the real-host scaling curve).
+func BenchmarkFibScaling(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			rt := nowa.New(nowa.VariantNowa, w)
+			defer nowa.Close(rt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Run(func(c nowa.Ctx) { sinkFib = benchFib(c, 20) })
+			}
+		})
+	}
+}
+
+func benchFib(c nowa.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a int
+	s := c.Scope()
+	s.Spawn(func(c nowa.Ctx) { a = benchFib(c, n-1) })
+	bb := benchFib(c, n-2)
+	s.Sync()
+	return a + bb
+}

@@ -1,0 +1,154 @@
+// Command nowa-bench measures the real (host) runtimes: it runs the
+// Table I benchmarks on the selected runtime variants following the
+// paper's methodology (§V) — R+1 runs with the first as warm-up, speedups
+// against the arithmetic mean of the serial-elision runs, geometric-mean
+// speedups with standard deviations.
+//
+// On hosts with few cores the speedups are naturally small; the
+// 256-thread figures come from nowa-sim instead. This harness validates
+// that the relative ordering holds on real hardware and measures absolute
+// per-spawn overheads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nowa"
+	"nowa/internal/apps"
+	"nowa/internal/stats"
+)
+
+func main() {
+	benchFlag := flag.String("bench", "", "comma-separated benchmark names (default: all)")
+	variantsFlag := flag.String("variants", "nowa,nowa-the,fibril,cilkplus,tbb,libgomp,libomp-untied,libomp-tied", "comma-separated runtime variants")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts (default: 1,2,4,NumCPU)")
+	runs := flag.Int("runs", 5, "measured runs per configuration (one extra warm-up run)")
+	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or large")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	benches := apps.Names()
+	if *benchFlag != "" {
+		benches = strings.Split(*benchFlag, ",")
+	}
+	variants, err := parseVariants(*variantsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	workers := defaultWorkers()
+	if *workersFlag != "" {
+		workers = nil
+		for _, s := range strings.Split(*workersFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -workers value %q", s))
+			}
+			workers = append(workers, n)
+		}
+	}
+
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d | runs=%d(+1 warm-up) scale=%s\n\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *runs, scale)
+
+	for _, name := range benches {
+		b, err := apps.ByName(strings.TrimSpace(name), scale)
+		if err != nil {
+			fatal(err)
+		}
+		serial := measure(b, nowa.Serial(), *runs)
+		ts := stats.Mean(stats.DurationsToSeconds(serial))
+		fmt.Printf("%s (Ts = %.4f ± %.4f s)\n", b.Name(),
+			ts, stats.StdDev(stats.DurationsToSeconds(serial)))
+		fmt.Printf("  %-14s", "variant")
+		for _, w := range workers {
+			fmt.Printf("  %12s", fmt.Sprintf("S(%d)", w))
+		}
+		fmt.Println()
+		for _, v := range variants {
+			fmt.Printf("  %-14s", v.String())
+			for _, w := range workers {
+				rt := nowa.New(v, w)
+				times := measure(b, rt, *runs)
+				nowa.Close(rt)
+				sp, err := stats.Speedups(stats.DurationsToSeconds(serial), stats.DurationsToSeconds(times))
+				if err != nil {
+					fatal(err)
+				}
+				sum := stats.Summarize(sp)
+				fmt.Printf("  %6.2f±%-5.2f", sum.GeoMean, sum.StdDev)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+// measure runs b on rt runs+1 times (discarding the warm-up), verifying
+// every run.
+func measure(b apps.Benchmark, rt nowa.Runtime, runs int) []time.Duration {
+	out := make([]time.Duration, 0, runs)
+	for i := 0; i <= runs; i++ {
+		b.Prepare()
+		start := time.Now()
+		rt.Run(b.Run)
+		d := time.Since(start)
+		if err := b.Verify(); err != nil {
+			fatal(fmt.Errorf("%s on %s: %w", b.Name(), rt.Name(), err))
+		}
+		if i > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func parseScale(s string) (apps.Scale, error) {
+	switch s {
+	case "test":
+		return apps.Test, nil
+	case "bench":
+		return apps.Bench, nil
+	case "large":
+		return apps.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func parseVariants(s string) ([]nowa.Variant, error) {
+	byName := map[string]nowa.Variant{}
+	for _, v := range nowa.Variants() {
+		byName[v.String()] = v
+	}
+	var out []nowa.Variant
+	for _, part := range strings.Split(s, ",") {
+		v, ok := byName[strings.TrimSpace(part)]
+		if !ok {
+			return nil, fmt.Errorf("unknown variant %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func defaultWorkers() []int {
+	ws := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	if n > 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nowa-bench:", err)
+	os.Exit(1)
+}

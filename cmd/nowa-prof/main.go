@@ -1,0 +1,59 @@
+// Command nowa-prof measures the §III-A DAG metrics (work, span,
+// parallelism) of the Table I benchmarks on the real kernels, Cilkview-
+// style, and prints Brent speedup bounds — the scalability ceiling each
+// benchmark has regardless of runtime system. Compare the parallelism
+// column with Figure 7: quicksort's and heat's plateaus are properties of
+// the computations, not of the schedulers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nowa/internal/apps"
+	"nowa/internal/dagprof"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or large")
+	benchFlag := flag.String("bench", "", "comma-separated benchmark names (default: all)")
+	flag.Parse()
+
+	var scale apps.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = apps.Test
+	case "bench":
+		scale = apps.Bench
+	case "large":
+		scale = apps.Large
+	default:
+		fmt.Fprintf(os.Stderr, "nowa-prof: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	names := apps.Names()
+	if *benchFlag != "" {
+		names = strings.Split(*benchFlag, ",")
+	}
+
+	fmt.Printf("%-10s  %10s  %10s  %8s  %8s  %8s  %12s\n",
+		"benchmark", "work T1", "span Tinf", "T1/Tinf", "bound64", "bound256", "spawns")
+	for _, name := range names {
+		b, err := apps.ByName(strings.TrimSpace(name), scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nowa-prof:", err)
+			os.Exit(1)
+		}
+		b.Prepare()
+		p := dagprof.Measure(b.Run)
+		if err := b.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "nowa-prof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s  %10v  %10v  %8.1f  %8.1f  %8.1f  %12d\n",
+			b.Name(), p.Work.Round(10_000), p.Span.Round(10_000),
+			p.Parallelism(), p.SpeedupBound(64), p.SpeedupBound(256), p.Spawns)
+	}
+}

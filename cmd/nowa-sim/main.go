@@ -1,0 +1,252 @@
+// Command nowa-sim regenerates the paper's figures and tables on the
+// discrete-event simulator (the 256-hardware-thread substitute documented
+// in DESIGN.md). Each figure prints as an aligned text table: one row per
+// thread count, one column per runtime system, values are speedups over
+// the serial elision — exactly what the paper plots.
+//
+// Usage:
+//
+//	nowa-sim -fig 7                 # all 12 benchmarks, 4 runtimes
+//	nowa-sim -fig 7 -bench nqueens  # one benchmark (this is Figure 1)
+//	nowa-sim -fig 8                 # madvise on/off vs Cilk Plus
+//	nowa-sim -fig 9                 # CL vs THE queue
+//	nowa-sim -fig 10                # OpenMP comparison (log-scale data)
+//	nowa-sim -table 3               # execution times at 256 threads
+//	nowa-sim -summary               # §V-A geometric-mean speedup ratios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nowa/internal/sim"
+	"nowa/internal/stats"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 1, 7, 8, 9 or 10")
+	table := flag.Int("table", 0, "table to regenerate: 3")
+	bench := flag.String("bench", "", "restrict to one benchmark")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: figure-specific)")
+	seeds := flag.Int("seeds", 3, "number of simulation seeds (mean ± stddev reported)")
+	summary := flag.Bool("summary", false, "print the §V-A geometric-mean speedup ratios at 256 threads")
+	format := flag.String("format", "table", "output format: table or csv")
+	ablate := flag.String("ablate", "", "cost-model sensitivity sweep: lockhold, atomic, stealsetup, stackswitch, memchannels or retry")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fatalf("unknown format %q", *format)
+	}
+	csvMode = *format == "csv"
+
+	if *fig == 0 && *table == 0 && !*summary && *ablate == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	threads := sim.DefaultThreads
+	if *threadsFlag != "" {
+		threads = nil
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatalf("bad -threads value %q", part)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	switch *fig {
+	case 0:
+	case 1:
+		runFigure("Figure 1 (nqueens, 4 runtimes)", []string{"nqueens"}, sim.Fig7Schemes(), threads, *seeds)
+	case 7:
+		runFigure("Figure 7 (speedup, 1-256 threads)", benchList(*bench, sim.WorkloadNames()), sim.Fig7Schemes(), threads, *seeds)
+	case 8:
+		fig8Benches := []string{"cholesky", "lu", "heat", "fib", "matmul", "nqueens", "integrate", "rectmul"}
+		runFigure("Figure 8 (impact of madvise)", benchList(*bench, fig8Benches), sim.Fig8Schemes(), threads, *seeds)
+	case 9:
+		fig9Benches := []string{"cholesky", "fib", "nqueens", "matmul"}
+		runFigure("Figure 9 (CL queue vs THE queue)", benchList(*bench, fig9Benches), sim.Fig9Schemes(), threads, *seeds)
+	case 10:
+		t10 := threads
+		if *threadsFlag == "" {
+			t10 = []int{1, 64, 128, 192, 256}
+		}
+		runFigure("Figure 10 (Nowa vs OpenMP)", benchList(*bench, sim.WorkloadNames()), sim.Fig10Schemes(), t10, *seeds)
+	default:
+		fatalf("unknown figure %d", *fig)
+	}
+
+	if *table == 3 {
+		runTable3(benchList(*bench, sim.WorkloadNames()), *seeds)
+	} else if *table != 0 {
+		fatalf("unknown table %d (Table II is produced by nowa-rss on the real runtime)", *table)
+	}
+
+	if *summary {
+		runSummary(*seeds)
+	}
+
+	if *ablate != "" {
+		runAblation(sim.AblationParam(*ablate), *bench)
+	}
+}
+
+// runAblation prints the cost-model sensitivity sweep: the Nowa/Fibril
+// speedup ratio at 256 threads as one parameter scales 0.25x-4x.
+func runAblation(param sim.AblationParam, bench string) {
+	workload := "fib"
+	if bench != "" {
+		workload = bench
+	}
+	pts, err := sim.Ablate(workload, param, sim.Fibril(), sim.DefaultAblationFactors(), 256, 1)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("== Sensitivity of %s at 256 threads to %s ==\n", workload, param)
+	fmt.Printf("%8s  %10s  %10s  %8s\n", "factor", "nowa", "fibril", "ratio")
+	for _, p := range pts {
+		fmt.Printf("%8.2f  %10.2f  %10.2f  %7.2fx\n", p.Factor, p.NowaSpeedup, p.OtherSpeedup, p.Ratio)
+	}
+}
+
+// csvMode switches figure output to machine-readable CSV rows:
+// figure,benchmark,scheme,threads,speedup,stddev.
+var csvMode bool
+
+func benchList(filter string, all []string) []string {
+	if filter == "" {
+		return all
+	}
+	for _, n := range all {
+		if n == filter {
+			return []string{n}
+		}
+	}
+	fatalf("unknown benchmark %q (have %v)", filter, all)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nowa-sim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// meanSpeedup averages one configuration over the seeds.
+func meanSpeedup(dag *sim.DAG, sch sim.Scheme, p, seeds int) (mean, sd float64) {
+	xs := make([]float64, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		xs = append(xs, sim.Run(dag, sch, p, sim.DefaultCosts(), uint64(s)*977+1).Speedup)
+	}
+	return stats.GeoMean(xs), stats.StdDev(xs)
+}
+
+func runFigure(title string, benches []string, schemes []sim.Scheme, threads []int, seeds int) {
+	if csvMode {
+		fmt.Println("figure,benchmark,scheme,threads,speedup,stddev")
+	} else {
+		fmt.Printf("== %s ==\n", title)
+	}
+	for _, name := range benches {
+		dag, err := sim.Workload(name, sim.SimFull)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !csvMode {
+			fmt.Printf("\n%s (T1 = %.2f ms virtual, parallelism = %.0f, %d tasks)\n",
+				name, float64(dag.T1)/1e6, dag.Parallelism(), dag.Tasks)
+			fmt.Printf("%8s", "threads")
+			for _, sch := range schemes {
+				fmt.Printf("  %16s", sch.Name)
+			}
+			fmt.Println()
+		}
+		for _, p := range threads {
+			if !csvMode {
+				fmt.Printf("%8d", p)
+			}
+			for _, sch := range schemes {
+				m, sd := meanSpeedup(dag, sch, p, seeds)
+				if csvMode {
+					fmt.Printf("%q,%s,%s,%d,%.4f,%.4f\n", title, name, sch.Name, p, m, sd)
+				} else {
+					fmt.Printf("  %10.2f±%-5.2f", m, sd)
+				}
+			}
+			if !csvMode {
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func runTable3(benches []string, seeds int) {
+	fmt.Println("== Table III: virtual execution times at 256 threads (ms) ==")
+	schemes := []sim.Scheme{sim.Nowa(), sim.LibOMPUntied(), sim.LibOMPTied()}
+	fmt.Printf("%-10s", "benchmark")
+	for _, sch := range schemes {
+		fmt.Printf("  %14s", sch.Name)
+	}
+	fmt.Println()
+	for _, name := range benches {
+		dag, err := sim.Workload(name, sim.SimFull)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%-10s", name)
+		for _, sch := range schemes {
+			var tot float64
+			for s := 0; s < seeds; s++ {
+				tot += float64(sim.Run(dag, sch, 256, sim.DefaultCosts(), uint64(s)*977+1).Makespan)
+			}
+			fmt.Printf("  %14.3f", tot/float64(seeds)/1e6)
+		}
+		fmt.Println()
+	}
+}
+
+// runSummary prints the §V-A aggregates: geometric means over benchmarks
+// of the per-benchmark speedup ratio Nowa/X at 256 threads, with and
+// without knapsack (the paper excludes it).
+func runSummary(seeds int) {
+	fmt.Println("== §V-A summary: geometric-mean speedup ratio of Nowa over X at 256 threads ==")
+	others := []sim.Scheme{sim.Fibril(), sim.CilkPlus(), sim.TBB(), sim.LibGOMP(), sim.LibOMPUntied(), sim.LibOMPTied()}
+	type row struct {
+		name          string
+		with, without float64
+		minR, maxR    float64
+	}
+	var rows []row
+	for _, other := range others {
+		var ratios []float64
+		var ratiosNoKnap []float64
+		minR, maxR := 1e18, 0.0
+		for _, name := range sim.WorkloadNames() {
+			dag, err := sim.Workload(name, sim.SimFull)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			sn, _ := meanSpeedup(dag, sim.Nowa(), 256, seeds)
+			so, _ := meanSpeedup(dag, other, 256, seeds)
+			r := sn / so
+			ratios = append(ratios, r)
+			if name != "knapsack" {
+				ratiosNoKnap = append(ratiosNoKnap, r)
+				if r < minR {
+					minR = r
+				}
+				if r > maxR {
+					maxR = r
+				}
+			}
+		}
+		rows = append(rows, row{other.Name, stats.GeoMean(ratios), stats.GeoMean(ratiosNoKnap), minR, maxR})
+	}
+	fmt.Printf("%-14s  %12s  %12s  %8s  %8s\n", "vs", "with knap.", "w/o knap.", "min", "max")
+	for _, r := range rows {
+		fmt.Printf("%-14s  %11.2fx  %11.2fx  %7.2fx  %7.2fx\n", r.name, r.with, r.without, r.minR, r.maxR)
+	}
+}

@@ -1,0 +1,72 @@
+// Command nowa-trace records a scheduler event trace of one benchmark run
+// on the Nowa runtime and writes it in the Chrome trace event format
+// (load the output in chrome://tracing or https://ui.perfetto.dev) — a
+// visual rendering of the paper's Figure 4 strand-to-worker mappings on a
+// real execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nowa/internal/apps"
+	"nowa/internal/sched"
+	"nowa/internal/tracelog"
+)
+
+func main() {
+	benchName := flag.String("bench", "fib", "benchmark to trace")
+	workers := flag.Int("workers", 4, "worker count")
+	out := flag.String("o", "trace.json", "output file")
+	scaleFlag := flag.String("scale", "test", "input scale: test, bench or large")
+	flag.Parse()
+
+	var scale apps.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = apps.Test
+	case "bench":
+		scale = apps.Bench
+	case "large":
+		scale = apps.Large
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	b, err := apps.ByName(*benchName, scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	log := sched.NewEventLog(*workers)
+	rt := sched.MustNew(sched.Config{
+		Name:    "nowa",
+		Workers: *workers,
+		Events:  log,
+	})
+	defer rt.Close()
+
+	b.Prepare()
+	rt.Run(b.Run)
+	if err := b.Verify(); err != nil {
+		fatal(err)
+	}
+	events := log.Drain()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tracelog.WriteChromeTrace(f, events); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("traced %s on %d workers: %d events -> %s\n\n", b.Name(), *workers, len(events), *out)
+	fmt.Print(tracelog.FormatSummary(events))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nowa-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Heatmap: Jacobi heat diffusion with fork/join row-block parallelism
+// (the paper's heat benchmark), rendered as coarse ASCII after simulation.
+// Stencil codes are the bandwidth-bound end of the suite: speedup saturates
+// long before the worker count does, which Figure 7 shows for heat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"nowa"
+)
+
+type grid struct {
+	nx, ny int
+	cells  []float64
+}
+
+func newGrid(nx, ny int) *grid {
+	g := &grid{nx: nx, ny: ny, cells: make([]float64, nx*ny)}
+	// Hot left wall, warm spot in the centre.
+	for y := 0; y < ny; y++ {
+		g.cells[y*nx] = 100
+	}
+	g.cells[(ny/2)*nx+nx/2] = 80
+	return g
+}
+
+// step applies one 5-point Jacobi update to rows [y0, y1).
+func (g *grid) step(next []float64, y0, y1 int) {
+	nx := g.nx
+	for y := y0; y < y1; y++ {
+		row := y * nx
+		if y == 0 || y == g.ny-1 {
+			copy(next[row:row+nx], g.cells[row:row+nx])
+			continue
+		}
+		next[row] = g.cells[row]
+		next[row+nx-1] = g.cells[row+nx-1]
+		for x := 1; x < nx-1; x++ {
+			i := row + x
+			next[i] = g.cells[i] + 0.2*(g.cells[i-1]+g.cells[i+1]+g.cells[i-nx]+g.cells[i+nx]-4*g.cells[i])
+		}
+	}
+}
+
+func main() {
+	nx := flag.Int("nx", 512, "grid width")
+	ny := flag.Int("ny", 256, "grid height")
+	steps := flag.Int("steps", 200, "timesteps")
+	flag.Parse()
+
+	rt := nowa.New(nowa.VariantNowa, runtime.NumCPU())
+	defer nowa.Close(rt)
+
+	g := newGrid(*nx, *ny)
+	next := make([]float64, len(g.cells))
+	start := time.Now()
+	rt.Run(func(c nowa.Ctx) {
+		for t := 0; t < *steps; t++ {
+			// Parallel over row blocks each timestep.
+			nowa.For(c, 0, g.ny, 8, func(_ nowa.Ctx, y int) {
+				g.step(next, y, y+1)
+			})
+			g.cells, next = next, g.cells
+		}
+	})
+	fmt.Printf("heat: %dx%d grid, %d steps in %v\n\n", *nx, *ny, *steps, time.Since(start))
+
+	// Render a coarse thermal map.
+	const shades = " .:-=+*#%@"
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 64; x++ {
+			v := g.cells[(y*g.ny/16)*g.nx+(x*g.nx/64)]
+			idx := int(v / 100 * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			fmt.Print(string(shades[idx]))
+		}
+		fmt.Println()
+	}
+}

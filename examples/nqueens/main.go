@@ -1,0 +1,66 @@
+// N-queens on every runtime variant: the Figure 1 workload, run end to
+// end on the real runtimes with wall-clock timing. Irregular task trees
+// like this one are where work-stealing schedulers earn their keep: the
+// fan-out per node varies from 0 to n and cannot be partitioned statically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"nowa"
+)
+
+func countQueens(c nowa.Ctx, n int, board []int8) int64 {
+	row := len(board)
+	if row == n {
+		return 1
+	}
+	counts := make([]int64, n)
+	s := c.Scope()
+	for col := int8(0); col < int8(n); col++ {
+		if !safe(board, col) {
+			continue
+		}
+		next := make([]int8, row+1)
+		copy(next, board)
+		next[row] = col
+		col := col
+		s.Spawn(func(c nowa.Ctx) { counts[col] = countQueens(c, n, next) })
+	}
+	s.Sync()
+	var total int64
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+func safe(board []int8, col int8) bool {
+	row := len(board)
+	for r, c := range board {
+		d := int8(row - r)
+		if c == col || c == col-d || c == col+d {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	n := flag.Int("n", 11, "board size")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker count")
+	flag.Parse()
+
+	fmt.Printf("counting %d-queens placements on %d workers\n\n", *n, *workers)
+	for _, v := range nowa.Variants() {
+		rt := nowa.New(v, *workers)
+		start := time.Now()
+		var total int64
+		rt.Run(func(c nowa.Ctx) { total = countQueens(c, *n, nil) })
+		fmt.Printf("%-14s %10d solutions in %v\n", rt.Name(), total, time.Since(start))
+		nowa.Close(rt)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: the paper's Listing 1 (fib with spawn/sync) plus the
+// structured combinators, on the wait-free Nowa runtime.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nowa"
+)
+
+// fib mirrors Listing 1: spawn fib(n-1), compute fib(n-2) on this strand,
+// sync, combine.
+func fib(c nowa.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a int
+	s := c.Scope()
+	s.Spawn(func(c nowa.Ctx) { a = fib(c, n-1) })
+	b := fib(c, n-2)
+	s.Sync()
+	return a + b
+}
+
+func main() {
+	rt := nowa.New(nowa.VariantNowa, runtime.NumCPU())
+	defer nowa.Close(rt)
+
+	// 1. Raw spawn/sync.
+	var f int
+	start := time.Now()
+	rt.Run(func(c nowa.Ctx) { f = fib(c, 27) })
+	fmt.Printf("fib(27) = %d   (%v on %d workers)\n", f, time.Since(start), rt.Workers())
+
+	// 2. Parallel for: square a vector in place.
+	xs := make([]float64, 1_000_000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	rt.Run(func(c nowa.Ctx) {
+		nowa.For(c, 0, len(xs), 0, func(_ nowa.Ctx, i int) {
+			xs[i] = xs[i] * xs[i]
+		})
+	})
+	fmt.Printf("xs[1000]^2 = %.0f\n", xs[1000])
+
+	// 3. Parallel reduce: sum of squares.
+	var sum float64
+	rt.Run(func(c nowa.Ctx) {
+		sum = nowa.Reduce(c, 0, len(xs), 4096, 0.0,
+			func(_ nowa.Ctx, i int) float64 { return xs[i] },
+			func(a, b float64) float64 { return a + b })
+	})
+	fmt.Printf("sum of squares = %.6g\n", sum)
+
+	// 4. Parallel invoke: independent phases.
+	var evens, odds int
+	rt.Run(func(c nowa.Ctx) {
+		nowa.Invoke(c,
+			func(c nowa.Ctx) {
+				evens = nowa.Reduce(c, 0, len(xs), 4096, 0,
+					func(_ nowa.Ctx, i int) int {
+						if i%2 == 0 {
+							return 1
+						}
+						return 0
+					}, func(a, b int) int { return a + b })
+			},
+			func(c nowa.Ctx) {
+				odds = nowa.Reduce(c, 0, len(xs), 4096, 0,
+					func(_ nowa.Ctx, i int) int { return i % 2 },
+					func(a, b int) int { return a + b })
+			},
+		)
+	})
+	fmt.Printf("evens=%d odds=%d\n", evens, odds)
+}

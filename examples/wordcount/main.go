@@ -1,0 +1,125 @@
+// Wordcount: a map/reduce text-analytics pipeline on the fork/join
+// runtime — parallel tokenise+count per chunk, then parallel tree-merge of
+// the partial histograms. The divide-and-conquer merge is the kind of
+// irregular reduction the paper's fully-strict model expresses naturally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"nowa"
+)
+
+// corpus synthesises deterministic prose-like text.
+func corpus(words int) string {
+	vocab := []string{
+		"wait", "free", "continuation", "stealing", "runtime", "system",
+		"worker", "thief", "deque", "spawn", "sync", "strand", "cactus",
+		"stack", "counter", "atomic", "lock", "queue", "steal", "fork",
+		"join", "parallel", "the", "a", "of", "and", "to", "in",
+	}
+	var b strings.Builder
+	x := uint64(2463534242)
+	for i := 0; i < words; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b.WriteString(vocab[x%uint64(len(vocab))])
+		if x%13 == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func count(text string) map[string]int {
+	m := make(map[string]int, 64)
+	for _, w := range strings.FieldsFunc(text, func(r rune) bool {
+		return r == ' ' || r == '\n' || r == '.'
+	}) {
+		m[w]++
+	}
+	return m
+}
+
+func mergeMaps(a, b map[string]int) map[string]int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for k, v := range b {
+		a[k] += v
+	}
+	return a
+}
+
+// countRange recursively splits the chunk index range, counting chunks at
+// the leaves and merging histograms on the way up — a parallel reduction
+// over an associative combiner.
+func countRange(c nowa.Ctx, chunks []string, lo, hi int) map[string]int {
+	if hi-lo == 1 {
+		return count(chunks[lo])
+	}
+	mid := (lo + hi) / 2
+	var left map[string]int
+	s := c.Scope()
+	s.Spawn(func(c nowa.Ctx) { left = countRange(c, chunks, lo, mid) })
+	right := countRange(c, chunks, mid, hi)
+	s.Sync()
+	return mergeMaps(left, right)
+}
+
+func main() {
+	words := flag.Int("words", 2_000_000, "corpus size in words")
+	chunksN := flag.Int("chunks", 64, "number of parallel chunks")
+	flag.Parse()
+
+	text := corpus(*words)
+	// Split on line boundaries near equal chunk sizes.
+	chunks := make([]string, 0, *chunksN)
+	per := len(text) / *chunksN
+	for start := 0; start < len(text); {
+		end := start + per
+		if end >= len(text) {
+			end = len(text)
+		} else if nl := strings.IndexByte(text[end:], '\n'); nl >= 0 {
+			end += nl + 1
+		} else {
+			end = len(text)
+		}
+		chunks = append(chunks, text[start:end])
+		start = end
+	}
+
+	rt := nowa.New(nowa.VariantNowa, runtime.NumCPU())
+	defer nowa.Close(rt)
+
+	var hist map[string]int
+	start := time.Now()
+	rt.Run(func(c nowa.Ctx) {
+		hist = countRange(c, chunks, 0, len(chunks))
+	})
+	elapsed := time.Since(start)
+
+	type kv struct {
+		w string
+		n int
+	}
+	var top []kv
+	total := 0
+	for w, n := range hist {
+		top = append(top, kv{w, n})
+		total += n
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	fmt.Printf("counted %d words (%d distinct) in %d chunks in %v\n\n", total, len(hist), len(chunks), elapsed)
+	for i := 0; i < 8 && i < len(top); i++ {
+		fmt.Printf("  %-14s %8d\n", top[i].w, top[i].n)
+	}
+}

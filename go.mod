@@ -1,0 +1,3 @@
+module nowa
+
+go 1.22

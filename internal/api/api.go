@@ -1,0 +1,59 @@
+// Package api defines the minimal fork/join programming interface that all
+// benchmark kernels and examples are written against, mirroring the
+// spawn/sync keywords of Listing 1 in the paper. One kernel source runs
+// unchanged on every runtime — the continuation-stealing scheduler in all
+// its variants, the child-stealing (TBB-like) runtime, the OpenMP-like
+// runtimes, and the serial elision.
+//
+// The shape of a spawning function:
+//
+//	func fib(c api.Ctx, n int) int {
+//		if n < 2 {
+//			return n
+//		}
+//		var a int
+//		s := c.Scope()
+//		s.Spawn(func(c api.Ctx) { a = fib(c, n-1) })
+//		b := fib(c, n-2)
+//		s.Sync()
+//		return a + b
+//	}
+//
+// Fully-strict rules: every Scope must be Synced before the function that
+// created it returns, and values written by spawned children may be read
+// only after Sync. The Ctx passed to a child closure is the child's own
+// context; the parent must keep using its own Ctx, which remains valid
+// across Spawn and Sync even though the underlying worker may change.
+package api
+
+// Ctx is the execution context of the current strand.
+type Ctx interface {
+	// Scope opens a new spawning-function scope. Call it once per
+	// function instance that spawns; Sync it before returning.
+	Scope() Scope
+	// Workers reports the configured worker count, for grain-size
+	// decisions in kernels.
+	Workers() int
+}
+
+// Scope coordinates the spawned children of one function instance.
+type Scope interface {
+	// Spawn marks fn as executable in parallel with the caller's
+	// continuation. The runtime decides whether parallelism actually
+	// unfolds. fn receives the child strand's own Ctx.
+	Spawn(fn func(Ctx))
+	// Sync returns once every child spawned on this scope has finished.
+	// After Sync the scope may be reused for another spawn round.
+	Sync()
+}
+
+// Runtime executes fork/join computations.
+type Runtime interface {
+	// Name identifies the runtime variant for reports.
+	Name() string
+	// Run executes root to completion, including all transitively spawned
+	// strands.
+	Run(root func(Ctx))
+	// Workers reports the worker count.
+	Workers() int
+}

@@ -1,0 +1,58 @@
+package api
+
+import "testing"
+
+func TestSerialRuntimeMetadata(t *testing.T) {
+	s := Serial{}
+	if s.Name() != "serial" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Workers() != 1 {
+		t.Errorf("Workers = %d", s.Workers())
+	}
+}
+
+func TestSerialSpawnRunsInline(t *testing.T) {
+	var order []int
+	Serial{}.Run(func(c Ctx) {
+		s := c.Scope()
+		order = append(order, 1)
+		s.Spawn(func(c Ctx) { order = append(order, 2) })
+		order = append(order, 3)
+		s.Sync()
+		order = append(order, 4)
+	})
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (serial elision must inline spawns)", order, want)
+		}
+	}
+}
+
+func TestSerialNestedScopes(t *testing.T) {
+	var depthSum int
+	var rec func(c Ctx, d int)
+	rec = func(c Ctx, d int) {
+		if d == 0 {
+			depthSum++
+			return
+		}
+		s := c.Scope()
+		s.Spawn(func(c Ctx) { rec(c, d-1) })
+		rec(c, d-1)
+		s.Sync()
+	}
+	Serial{}.Run(func(c Ctx) { rec(c, 5) })
+	if depthSum != 32 {
+		t.Fatalf("leaves = %d, want 32", depthSum)
+	}
+}
+
+func TestSerialCtxWorkers(t *testing.T) {
+	Serial{}.Run(func(c Ctx) {
+		if c.Workers() != 1 {
+			t.Errorf("ctx Workers = %d", c.Workers())
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package api
+
+import "fmt"
+
+// StrandPanic wraps a panic that escaped a strand. Runtimes recover
+// panics inside spawned strands, let the fully-strict computation drain
+// (so every outstanding child still joins and the runtime stays usable),
+// and then re-panic with a StrandPanic from Run on the caller's
+// goroutine. The original stack trace is preserved for diagnosis.
+type StrandPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking strand's stack trace.
+	Stack []byte
+}
+
+// Error makes StrandPanic usable with recover-and-inspect error handling.
+func (p *StrandPanic) Error() string { return p.String() }
+
+// String formats the panic with its originating stack.
+func (p *StrandPanic) String() string {
+	return fmt.Sprintf("panic in spawned strand: %v\n\nstrand stack:\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes a wrapped error value, if the strand panicked with one.
+func (p *StrandPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}

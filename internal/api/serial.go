@@ -1,0 +1,28 @@
+package api
+
+// Serial is the serial elision (§V of the paper): Spawn calls the child
+// inline and Sync is a no-op. It defines the T_s baseline every speedup is
+// computed against, and doubles as the semantics oracle in tests: any
+// runtime must compute exactly what Serial computes.
+type Serial struct{}
+
+// Name implements Runtime.
+func (Serial) Name() string { return "serial" }
+
+// Workers implements Runtime: the serial elision has one worker.
+func (Serial) Workers() int { return 1 }
+
+// Run implements Runtime by calling root inline.
+func (Serial) Run(root func(Ctx)) { root(serialCtx{}) }
+
+type serialCtx struct{}
+
+func (serialCtx) Scope() Scope { return serialScope{} }
+func (serialCtx) Workers() int { return 1 }
+
+type serialScope struct{}
+
+func (serialScope) Spawn(fn func(Ctx)) { fn(serialCtx{}) }
+func (serialScope) Sync()              {}
+
+var _ Runtime = Serial{}

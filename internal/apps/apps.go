@@ -1,0 +1,95 @@
+// Package apps contains the twelve benchmarks of Table I, written against
+// the api fork/join interface so one source runs on every runtime and on
+// the serial elision. Each kernel ships with a Verify method that checks
+// the computed result, making the suite double as the cross-runtime
+// integration test.
+//
+// Inputs are scaled down from the paper's (which target a 256-thread
+// EPYC): Scale selects tiny (unit test), bench (default measurement) and
+// large sizes. The paper's inputs are recorded per benchmark for
+// reference.
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// Benchmark is one Table I kernel.
+type Benchmark interface {
+	// Name is the Table I benchmark name.
+	Name() string
+	// Description matches Table I.
+	Description() string
+	// PaperInput documents the input the paper used.
+	PaperInput() string
+	// Prepare (re)initialises input data; run before every timed Run.
+	Prepare()
+	// Run executes the kernel on the given strand context.
+	Run(c api.Ctx)
+	// Verify checks the most recent Run's output.
+	Verify() error
+}
+
+// Scale selects an input size class.
+type Scale int
+
+const (
+	// Test sizes keep unit tests fast.
+	Test Scale = iota
+	// Bench sizes are the default for timed runs on this host.
+	Bench
+	// Large sizes approach the paper's (long runtimes).
+	Large
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Test:
+		return "test"
+	case Bench:
+		return "bench"
+	case Large:
+		return "large"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// All returns fresh instances of the full suite at the given scale, in
+// Table I order.
+func All(s Scale) []Benchmark {
+	return []Benchmark{
+		NewCholesky(s),
+		NewFFT(s),
+		NewFib(s),
+		NewHeat(s),
+		NewIntegrate(s),
+		NewKnapsack(s),
+		NewLU(s),
+		NewMatmul(s),
+		NewNQueens(s),
+		NewQuicksort(s),
+		NewRectmul(s),
+		NewStrassen(s),
+	}
+}
+
+// ByName returns the named benchmark at the given scale.
+func ByName(name string, s Scale) (Benchmark, error) {
+	for _, b := range All(s) {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown benchmark %q", name)
+}
+
+// Names lists the suite in Table I order.
+func Names() []string {
+	return []string{
+		"cholesky", "fft", "fib", "heat", "integrate", "knapsack",
+		"lu", "matmul", "nqueens", "quicksort", "rectmul", "strassen",
+	}
+}

@@ -1,0 +1,263 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"nowa/internal/api"
+)
+
+// TestAllBenchmarksSerial runs every kernel on the serial elision and
+// verifies its output — the base correctness check for the kernels
+// themselves.
+func TestAllBenchmarksSerial(t *testing.T) {
+	for _, b := range All(Test) {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			b.Prepare()
+			api.Serial{}.Run(b.Run)
+			if err := b.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(names))
+	}
+	all := All(Test)
+	if len(all) != len(names) {
+		t.Fatalf("All returned %d, Names %d", len(all), len(names))
+	}
+	for i, b := range all {
+		if b.Name() != names[i] {
+			t.Errorf("All[%d] = %q, want %q (Table I order)", i, b.Name(), names[i])
+		}
+		if b.Description() == "" || b.PaperInput() == "" {
+			t.Errorf("%s: missing metadata", b.Name())
+		}
+	}
+	if _, err := ByName("fib", Test); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope", Test); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Test.String() != "test" || Bench.String() != "bench" || Large.String() != "large" {
+		t.Error("scale names")
+	}
+	if !strings.HasPrefix(Scale(9).String(), "Scale(") {
+		t.Error("unknown scale stringer")
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	// Bench inputs must be strictly larger than Test inputs (spot checks).
+	ft, fb := NewFib(Test), NewFib(Bench)
+	if fb.N() <= ft.N() {
+		t.Error("fib bench input not larger than test input")
+	}
+	qt, qb := NewQuicksort(Test), NewQuicksort(Bench)
+	if qb.n <= qt.n {
+		t.Error("quicksort bench input not larger")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	// Verify must actually look at the data: corrupt each kernel's output
+	// and expect a failure.
+	t.Run("fib", func(t *testing.T) {
+		b := NewFib(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.result++
+		if b.Verify() == nil {
+			t.Error("fib Verify accepted a wrong result")
+		}
+	})
+	t.Run("quicksort", func(t *testing.T) {
+		b := NewQuicksort(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.data[0], b.data[len(b.data)-1] = b.data[len(b.data)-1], b.data[0]
+		if b.Verify() == nil {
+			t.Error("quicksort Verify accepted unsorted data")
+		}
+	})
+	t.Run("matmul", func(t *testing.T) {
+		b := NewMatmul(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.c.a[5] += 1
+		if b.Verify() == nil {
+			t.Error("matmul Verify accepted a corrupted product")
+		}
+	})
+	t.Run("heat", func(t *testing.T) {
+		b := NewHeat(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.result[10] += 0.5
+		if b.Verify() == nil {
+			t.Error("heat Verify accepted a corrupted grid")
+		}
+	})
+	t.Run("nqueens", func(t *testing.T) {
+		b := NewNQueens(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.result--
+		if b.Verify() == nil {
+			t.Error("nqueens Verify accepted a wrong count")
+		}
+	})
+	t.Run("knapsack", func(t *testing.T) {
+		b := NewKnapsack(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.best.Add(-1)
+		if b.Verify() == nil {
+			t.Error("knapsack Verify accepted a suboptimal value")
+		}
+	})
+	t.Run("lu", func(t *testing.T) {
+		b := NewLU(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.a.a[3] += 1
+		if b.Verify() == nil {
+			t.Error("lu Verify accepted a corrupted factor")
+		}
+	})
+	t.Run("cholesky", func(t *testing.T) {
+		b := NewCholesky(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.a.set(2, 1, b.a.at(2, 1)+1)
+		if b.Verify() == nil {
+			t.Error("cholesky Verify accepted a corrupted factor")
+		}
+	})
+	t.Run("fft", func(t *testing.T) {
+		b := NewFFT(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.data[7] += complex(1, 0)
+		if b.Verify() == nil {
+			t.Error("fft Verify accepted a corrupted spectrum")
+		}
+	})
+	t.Run("integrate", func(t *testing.T) {
+		b := NewIntegrate(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.result *= 1.01
+		if b.Verify() == nil {
+			t.Error("integrate Verify accepted a wrong integral")
+		}
+	})
+	t.Run("strassen", func(t *testing.T) {
+		b := NewStrassen(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.c.a[1] += 1
+		if b.Verify() == nil {
+			t.Error("strassen Verify accepted a corrupted product")
+		}
+	})
+	t.Run("rectmul", func(t *testing.T) {
+		b := NewRectmul(Test)
+		b.Prepare()
+		api.Serial{}.Run(b.Run)
+		b.c.a[2] += 1
+		if b.Verify() == nil {
+			t.Error("rectmul Verify accepted a corrupted product")
+		}
+	})
+}
+
+func TestStrassenMatchesDirect(t *testing.T) {
+	a := randomMatrix(32, 32, 100)
+	b := randomMatrix(32, 32, 101)
+	want := newMatrix(32, 32)
+	matmulSerial(a, b, want)
+	got := newMatrix(32, 32)
+	api.Serial{}.Run(func(c api.Ctx) {
+		strassenPar(c, got.view(), a.view(), b.view(), 8)
+	})
+	if d := maxAbsDiff(got.a, want.a); d > 1e-10 {
+		t.Fatalf("strassen differs from direct multiply by %g", d)
+	}
+}
+
+func TestMulAddParMatchesDirect(t *testing.T) {
+	a := randomMatrix(33, 17, 102) // odd sizes exercise uneven splits
+	b := randomMatrix(17, 29, 103)
+	want := newMatrix(33, 29)
+	matmulSerial(a, b, want)
+	got := newMatrix(33, 29)
+	api.Serial{}.Run(func(c api.Ctx) {
+		mulAddPar(c, got.view(), a.view(), b.view(), 8)
+	})
+	if d := maxAbsDiff(got.a, want.a); d > 1e-10 {
+		t.Fatalf("mulAddPar differs from direct multiply by %g", d)
+	}
+}
+
+func TestKnapsackFlipOrderStillOptimal(t *testing.T) {
+	b := NewKnapsack(Test)
+	b.FlipOrder = true
+	b.Prepare()
+	api.Serial{}.Run(b.Run)
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownQueensTable(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		q := &NQueens{n: n}
+		q.Prepare()
+		api.Serial{}.Run(q.Run)
+		if err := q.Verify(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestKnapsackOrderSensitivity is the §V-A experiment: execution order
+// changes the amount of branch-and-bound work. The serial elision
+// executes include-first; flipping the spawn order executes exclude-first;
+// both must stay optimal while exploring different node counts.
+func TestKnapsackOrderSensitivity(t *testing.T) {
+	normal := NewKnapsack(Test)
+	normal.Prepare()
+	api.Serial{}.Run(normal.Run)
+	if err := normal.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := NewKnapsack(Test)
+	flipped.FlipOrder = true
+	flipped.Prepare()
+	api.Serial{}.Run(flipped.Run)
+	if err := flipped.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	if normal.Visited() == 0 || flipped.Visited() == 0 {
+		t.Fatal("visited counters not recorded")
+	}
+	if normal.Visited() == flipped.Visited() {
+		t.Logf("note: both orders visited %d nodes (possible for this instance)", normal.Visited())
+	} else {
+		t.Logf("include-first visited %d nodes, exclude-first %d — order-sensitive as §V-A describes",
+			normal.Visited(), flipped.Visited())
+	}
+}

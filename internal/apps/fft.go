@@ -1,0 +1,157 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"nowa/internal/api"
+)
+
+// FFT is the recursive radix-2 Cooley–Tukey fast Fourier transform over
+// complex128, spawning the even/odd half-transforms and parallelising the
+// butterfly combine.
+type FFT struct {
+	n       int
+	cutoff  int
+	input   []complex128
+	data    []complex128
+	scratch []complex128
+}
+
+// NewFFT returns the benchmark at the given scale (paper input: 2^26).
+func NewFFT(s Scale) *FFT {
+	switch s {
+	case Test:
+		return &FFT{n: 1 << 8, cutoff: 32}
+	case Large:
+		return &FFT{n: 1 << 20, cutoff: 256}
+	default:
+		return &FFT{n: 1 << 16, cutoff: 128}
+	}
+}
+
+// Name implements Benchmark.
+func (f *FFT) Name() string { return "fft" }
+
+// Description implements Benchmark.
+func (f *FFT) Description() string { return "Fast Fourier transformation" }
+
+// PaperInput implements Benchmark.
+func (f *FFT) PaperInput() string { return "2^26" }
+
+// Prepare implements Benchmark.
+func (f *FFT) Prepare() {
+	rng := splitmix64(8)
+	f.input = make([]complex128, f.n)
+	for i := range f.input {
+		f.input[i] = complex(2*rng.float64n()-1, 2*rng.float64n()-1)
+	}
+	f.data = make([]complex128, f.n)
+	copy(f.data, f.input)
+	f.scratch = make([]complex128, f.n)
+}
+
+// Run implements Benchmark.
+func (f *FFT) Run(c api.Ctx) {
+	fftPar(c, f.data, f.scratch, f.cutoff)
+}
+
+// fftPar transforms a in place using scratch of the same length.
+func fftPar(c api.Ctx, a, scratch []complex128, cutoff int) {
+	n := len(a)
+	if n <= cutoff {
+		fftSerial(a, scratch)
+		return
+	}
+	h := n / 2
+	// Deinterleave even/odd into the scratch halves.
+	ev, od := scratch[:h], scratch[h:]
+	for i := 0; i < h; i++ {
+		ev[i] = a[2*i]
+		od[i] = a[2*i+1]
+	}
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { fftPar(c, ev, a[:h], cutoff) })
+	fftPar(c, od, a[h:], cutoff)
+	s.Sync()
+	// Parallel butterfly combine back into a.
+	combinePar(c, a, ev, od, 0, h, cutoff)
+}
+
+// combinePar writes the butterflies for indices [k0, k1).
+func combinePar(c api.Ctx, a, ev, od []complex128, k0, k1, cutoff int) {
+	if k1-k0 > cutoff {
+		mid := (k0 + k1) / 2
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { combinePar(c, a, ev, od, k0, mid, cutoff) })
+		combinePar(c, a, ev, od, mid, k1, cutoff)
+		s.Sync()
+		return
+	}
+	h := len(ev)
+	n := 2 * h
+	for k := k0; k < k1; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		t := w * od[k]
+		a[k] = ev[k] + t
+		a[k+h] = ev[k] - t
+	}
+}
+
+// fftSerial is the sequential recursion for small sizes.
+func fftSerial(a, scratch []complex128) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	h := n / 2
+	ev, od := scratch[:h], scratch[h:]
+	for i := 0; i < h; i++ {
+		ev[i] = a[2*i]
+		od[i] = a[2*i+1]
+	}
+	fftSerial(ev, a[:h])
+	fftSerial(od, a[h:])
+	for k := 0; k < h; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		t := w * od[k]
+		a[k] = ev[k] + t
+		a[k+h] = ev[k] - t
+	}
+}
+
+// Verify implements Benchmark: invert the transform and compare with the
+// input; for small n also compare against the naive DFT.
+func (f *FFT) Verify() error {
+	inv := make([]complex128, f.n)
+	for i, v := range f.data {
+		inv[i] = cmplx.Conj(v)
+	}
+	scratch := make([]complex128, f.n)
+	fftSerial(inv, scratch)
+	scale := complex(float64(f.n), 0)
+	var maxErr float64
+	for i := range inv {
+		got := cmplx.Conj(inv[i]) / scale
+		if d := cmplx.Abs(got - f.input[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-9*float64(f.n) {
+		return fmt.Errorf("fft: round-trip error %g", maxErr)
+	}
+	if f.n <= 512 {
+		for _, k := range []int{0, 1, f.n / 3, f.n - 1} {
+			var want complex128
+			for j, x := range f.input {
+				ang := -2 * math.Pi * float64(k) * float64(j) / float64(f.n)
+				want += x * cmplx.Exp(complex(0, ang))
+			}
+			if d := cmplx.Abs(f.data[k] - want); d > 1e-6 {
+				return fmt.Errorf("fft: bin %d off by %g from naive DFT", k, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// Fib is the recursive Fibonacci benchmark: essentially zero work per
+// task and no shared data, so it measures the runtime system itself
+// (§V-A: "a useful tool for measuring the performance of the runtime
+// system"). No sequential cutoff, as in the original.
+type Fib struct {
+	n      int
+	result uint64
+}
+
+// NewFib returns the benchmark at the given scale (paper input: 42).
+func NewFib(s Scale) *Fib {
+	switch s {
+	case Test:
+		return &Fib{n: 18}
+	case Large:
+		return &Fib{n: 30}
+	default:
+		return &Fib{n: 25}
+	}
+}
+
+// Name implements Benchmark.
+func (f *Fib) Name() string { return "fib" }
+
+// Description implements Benchmark.
+func (f *Fib) Description() string { return "Recursive Fibonacci" }
+
+// PaperInput implements Benchmark.
+func (f *Fib) PaperInput() string { return "42" }
+
+// N reports the configured input.
+func (f *Fib) N() int { return f.n }
+
+// Prepare implements Benchmark.
+func (f *Fib) Prepare() { f.result = 0 }
+
+// Run implements Benchmark.
+func (f *Fib) Run(c api.Ctx) { f.result = fibPar(c, f.n) }
+
+func fibPar(c api.Ctx, n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	var a uint64
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { a = fibPar(c, n-1) })
+	b := fibPar(c, n-2)
+	s.Sync()
+	return a + b
+}
+
+// Verify implements Benchmark.
+func (f *Fib) Verify() error {
+	want := fibIter(f.n)
+	if f.result != want {
+		return fmt.Errorf("fib(%d) = %d, want %d", f.n, f.result, want)
+	}
+	return nil
+}
+
+func fibIter(n int) uint64 {
+	a, b := uint64(0), uint64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}

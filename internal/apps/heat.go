@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// Heat is the Jacobi heat diffusion benchmark: a 5-point stencil iterated
+// over a 2-D grid, with the row range split recursively into parallel
+// strips each timestep (the original's divide-and-conquer over rows).
+type Heat struct {
+	nx, ny, steps int
+	rowCutoff     int
+	cur, next     []float64
+	result        []float64
+}
+
+// NewHeat returns the benchmark at the given scale (paper input:
+// 4096×1024).
+func NewHeat(s Scale) *Heat {
+	switch s {
+	case Test:
+		return &Heat{nx: 64, ny: 32, steps: 8, rowCutoff: 4}
+	case Large:
+		return &Heat{nx: 2048, ny: 512, steps: 50, rowCutoff: 8}
+	default:
+		return &Heat{nx: 512, ny: 128, steps: 20, rowCutoff: 8}
+	}
+}
+
+// Name implements Benchmark.
+func (h *Heat) Name() string { return "heat" }
+
+// Description implements Benchmark.
+func (h *Heat) Description() string { return "Jacobi heat diffusion" }
+
+// PaperInput implements Benchmark.
+func (h *Heat) PaperInput() string { return "4096x1024" }
+
+// initGrid writes the deterministic initial condition: hot left edge,
+// cold elsewhere, a few interior sources.
+func (h *Heat) initGrid(g []float64) {
+	for i := range g {
+		g[i] = 0
+	}
+	for y := 0; y < h.ny; y++ {
+		g[y*h.nx] = 100
+	}
+	rng := splitmix64(3)
+	for k := 0; k < 16; k++ {
+		x := int(rng.next()) % h.nx
+		if x < 0 {
+			x = -x
+		}
+		y := int(rng.next()) % h.ny
+		if y < 0 {
+			y = -y
+		}
+		g[y*h.nx+x] = 50
+	}
+}
+
+// Prepare implements Benchmark.
+func (h *Heat) Prepare() {
+	h.cur = make([]float64, h.nx*h.ny)
+	h.next = make([]float64, h.nx*h.ny)
+	h.initGrid(h.cur)
+}
+
+// Run implements Benchmark.
+func (h *Heat) Run(c api.Ctx) {
+	cur, next := h.cur, h.next
+	for t := 0; t < h.steps; t++ {
+		h.stepPar(c, cur, next, 0, h.ny)
+		cur, next = next, cur
+	}
+	h.result = cur
+}
+
+// stepPar applies one Jacobi step to rows [y0, y1), splitting in parallel.
+func (h *Heat) stepPar(c api.Ctx, cur, next []float64, y0, y1 int) {
+	if y1-y0 > h.rowCutoff {
+		mid := (y0 + y1) / 2
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { h.stepPar(c, cur, next, y0, mid) })
+		h.stepPar(c, cur, next, mid, y1)
+		s.Sync()
+		return
+	}
+	h.stepRows(cur, next, y0, y1)
+}
+
+func (h *Heat) stepRows(cur, next []float64, y0, y1 int) {
+	nx := h.nx
+	for y := y0; y < y1; y++ {
+		row := y * nx
+		if y == 0 || y == h.ny-1 {
+			copy(next[row:row+nx], cur[row:row+nx])
+			continue
+		}
+		next[row] = cur[row]
+		next[row+nx-1] = cur[row+nx-1]
+		for x := 1; x < nx-1; x++ {
+			i := row + x
+			next[i] = cur[i] + 0.1*(cur[i-1]+cur[i+1]+cur[i-nx]+cur[i+nx]-4*cur[i])
+		}
+	}
+}
+
+// Verify implements Benchmark: recompute serially; the parallel schedule
+// must produce bit-identical results (each cell's arithmetic is fixed).
+func (h *Heat) Verify() error {
+	cur := make([]float64, h.nx*h.ny)
+	next := make([]float64, h.nx*h.ny)
+	h.initGrid(cur)
+	for t := 0; t < h.steps; t++ {
+		h.stepRows(cur, next, 0, h.ny)
+		cur, next = next, cur
+	}
+	for i := range cur {
+		if cur[i] != h.result[i] {
+			return fmt.Errorf("heat: cell %d = %g, want %g", i, h.result[i], cur[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"nowa/internal/api"
+)
+
+// Integrate is the quadrature adaptive integration benchmark: recursively
+// bisect [x1, x2] until the trapezoid estimate stabilises, spawning the
+// left half. Like fib, tasks are tiny and there is no shared data.
+type Integrate struct {
+	xmax   float64
+	eps    float64
+	result float64
+}
+
+// NewIntegrate returns the benchmark at the given scale (paper input:
+// 10^4 with ε = 10^-9).
+func NewIntegrate(s Scale) *Integrate {
+	switch s {
+	case Test:
+		return &Integrate{xmax: 20, eps: 1e-4}
+	case Large:
+		return &Integrate{xmax: 200, eps: 1e-6}
+	default:
+		return &Integrate{xmax: 100, eps: 1e-6}
+	}
+}
+
+// Name implements Benchmark.
+func (g *Integrate) Name() string { return "integrate" }
+
+// Description implements Benchmark.
+func (g *Integrate) Description() string { return "Quadrature adaptive integration" }
+
+// PaperInput implements Benchmark.
+func (g *Integrate) PaperInput() string { return "10^4 (eps = 10^-9)" }
+
+// Prepare implements Benchmark.
+func (g *Integrate) Prepare() { g.result = 0 }
+
+// integrand is the polynomial the original benchmark integrates:
+// f(x) = (x² + 1)·x.
+func integrand(x float64) float64 { return (x*x + 1) * x }
+
+// Run implements Benchmark.
+func (g *Integrate) Run(c api.Ctx) {
+	f1 := integrand(0)
+	f2 := integrand(g.xmax)
+	g.result = integratePar(c, 0, g.xmax, f1, f2, (f1+f2)*g.xmax/2, g.eps)
+}
+
+func integratePar(c api.Ctx, x1, x2, f1, f2, area, eps float64) float64 {
+	xm := (x1 + x2) / 2
+	fm := integrand(xm)
+	left := (f1 + fm) * (xm - x1) / 2
+	right := (fm + f2) * (x2 - xm) / 2
+	if math.Abs(left+right-area) <= eps {
+		return left + right
+	}
+	// Relax ε as in the original so the recursion terminates.
+	eps /= 2
+	var a float64
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { a = integratePar(c, x1, xm, f1, fm, left, eps) })
+	b := integratePar(c, xm, x2, fm, f2, right, eps)
+	s.Sync()
+	return a + b
+}
+
+// Verify implements Benchmark: compare with the analytic integral
+// ∫₀^x (t²+1)t dt = x⁴/4 + x²/2.
+func (g *Integrate) Verify() error {
+	want := math.Pow(g.xmax, 4)/4 + g.xmax*g.xmax/2
+	rel := math.Abs(g.result-want) / want
+	if rel > 1e-5 {
+		return fmt.Errorf("integrate(%g) = %g, want %g (rel err %g)", g.xmax, g.result, want, rel)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"nowa/internal/api"
+)
+
+// TestLUFullReconstruction multiplies the packed factors back together
+// and compares every entry with the original matrix.
+func TestLUFullReconstruction(t *testing.T) {
+	const n = 24
+	orig := diagDominant(n, 77)
+	a := newMatrix(n, n)
+	copy(a.a, orig.a)
+	api.Serial{}.Run(func(c api.Ctx) { luPar(c, a.view(), 8) })
+
+	// L (unit lower) times U (upper incl. diagonal).
+	prod := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				l := a.at(i, k)
+				if k == i {
+					l = 1
+				}
+				if k > i {
+					l = 0
+				}
+				u := a.at(k, j)
+				if k > j {
+					u = 0
+				}
+				s += l * u
+			}
+			prod.set(i, j, s)
+		}
+	}
+	var maxErr, scale float64
+	for i := range prod.a {
+		if d := math.Abs(prod.a[i] - orig.a[i]); d > maxErr {
+			maxErr = d
+		}
+		if v := math.Abs(orig.a[i]); v > scale {
+			scale = v
+		}
+	}
+	if maxErr/scale > 1e-12 {
+		t.Fatalf("LU reconstruction error %g (scale %g)", maxErr, scale)
+	}
+}
+
+// TestCholeskyFullReconstruction computes L·Lᵀ entry by entry.
+func TestCholeskyFullReconstruction(t *testing.T) {
+	const n = 24
+	orig := spdMatrix(n, 55)
+	a := newMatrix(n, n)
+	copy(a.a, orig.a)
+	api.Serial{}.Run(func(c api.Ctx) { cholPar(c, a.view(), 8) })
+
+	var maxErr, scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += a.at(i, k) * a.at(j, k)
+			}
+			if d := math.Abs(s - orig.at(i, j)); d > maxErr {
+				maxErr = d
+			}
+			if v := math.Abs(orig.at(i, j)); v > scale {
+				scale = v
+			}
+		}
+	}
+	if maxErr/scale > 1e-10 {
+		t.Fatalf("Cholesky reconstruction error %g (scale %g)", maxErr, scale)
+	}
+}
+
+// TestFFTImpulse: the transform of a unit impulse is all ones.
+func TestFFTImpulse(t *testing.T) {
+	const n = 64
+	a := make([]complex128, n)
+	a[0] = 1
+	scratch := make([]complex128, n)
+	fftSerial(a, scratch)
+	for k, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+// TestFFTLinearity: FFT(αx + y) == α·FFT(x) + FFT(y).
+func TestFFTLinearity(t *testing.T) {
+	const n = 128
+	f := func(seed1, seed2 uint16, alphaRaw uint8) bool {
+		alpha := complex(float64(alphaRaw)/16-8, 0)
+		mk := func(seed uint16) []complex128 {
+			rng := splitmix64(uint64(seed) + 1)
+			out := make([]complex128, n)
+			for i := range out {
+				out[i] = complex(2*rng.float64n()-1, 2*rng.float64n()-1)
+			}
+			return out
+		}
+		x, y := mk(seed1), mk(seed2)
+		combo := make([]complex128, n)
+		for i := range combo {
+			combo[i] = alpha*x[i] + y[i]
+		}
+		scratch := make([]complex128, n)
+		fftSerial(x, scratch)
+		fftSerial(y, scratch)
+		fftSerial(combo, scratch)
+		for i := range combo {
+			if cmplx.Abs(combo[i]-(alpha*x[i]+y[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFFTParallelMatchesSerial compares the parallel and serial recursions
+// exactly (same arithmetic order).
+func TestFFTParallelMatchesSerial(t *testing.T) {
+	b := NewFFT(Test)
+	b.Prepare()
+	api.Serial{}.Run(b.Run)
+	serialOut := append([]complex128(nil), b.data...)
+
+	b2 := NewFFT(Test)
+	b2.Prepare()
+	api.Serial{}.Run(func(c api.Ctx) { fftPar(c, b2.data, b2.scratch, 16) })
+	for i := range serialOut {
+		if cmplx.Abs(serialOut[i]-b2.data[i]) > 1e-9 {
+			t.Fatalf("bin %d differs: %v vs %v", i, serialOut[i], b2.data[i])
+		}
+	}
+}
+
+// TestHeatConstantFieldInvariant: a uniform temperature field is a fixed
+// point of the stencil.
+func TestHeatConstantFieldInvariant(t *testing.T) {
+	h := &Heat{nx: 32, ny: 16, steps: 1, rowCutoff: 4}
+	h.cur = make([]float64, h.nx*h.ny)
+	h.next = make([]float64, h.nx*h.ny)
+	for i := range h.cur {
+		h.cur[i] = 42
+	}
+	h.stepRows(h.cur, h.next, 0, h.ny)
+	for i, v := range h.next {
+		if v != 42 {
+			t.Fatalf("cell %d = %g after one step of a constant field", i, v)
+		}
+	}
+}
+
+// TestPartitionProperty: after partition, everything left of the pivot is
+// < pivot and everything right is >= pivot.
+func TestPartitionProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		data := make([]int64, len(raw))
+		for i, v := range raw {
+			data[i] = int64(v)
+		}
+		p := partition(data)
+		if p < 0 || p >= len(data) {
+			return false
+		}
+		piv := data[p]
+		for i := 0; i < p; i++ {
+			if data[i] >= piv {
+				return false
+			}
+		}
+		for i := p; i < len(data); i++ {
+			if data[i] < piv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntegrateTighterEpsMoreAccurate: tightening ε must not worsen the
+// result.
+func TestIntegrateTighterEpsMoreAccurate(t *testing.T) {
+	analytic := math.Pow(20, 4)/4 + 20.0*20/2
+	errAt := func(eps float64) float64 {
+		g := &Integrate{xmax: 20, eps: eps}
+		g.Prepare()
+		api.Serial{}.Run(g.Run)
+		return math.Abs(g.result - analytic)
+	}
+	loose := errAt(1e-2)
+	tight := errAt(1e-6)
+	if tight > loose+1e-12 {
+		t.Errorf("tighter eps worse: %g vs %g", tight, loose)
+	}
+}
+
+// TestViewIndexing pins the submatrix window arithmetic.
+func TestViewIndexing(t *testing.T) {
+	m := newMatrix(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			m.set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.view().sub(1, 2, 2, 3) // rows 1-2, cols 2-4
+	if v.rows != 2 || v.cols != 3 {
+		t.Fatalf("dims %dx%d", v.rows, v.cols)
+	}
+	if v.at(0, 0) != 12 || v.at(1, 2) != 24 {
+		t.Fatalf("window values %g %g", v.at(0, 0), v.at(1, 2))
+	}
+	v.add(0, 1, 5)
+	if m.at(1, 3) != 18 {
+		t.Fatalf("add did not write through: %g", m.at(1, 3))
+	}
+	q00, q01, q10, q11 := m.view().quad()
+	if q00.at(0, 0) != 0 || q01.at(0, 0) != 3 || q10.at(0, 0) != 20 || q11.at(1, 2) != 35 {
+		t.Fatal("quad windows wrong")
+	}
+}
+
+// TestTriangularSolves verifies the LU helper solves against direct
+// substitution.
+func TestTriangularSolves(t *testing.T) {
+	const n = 12
+	l := diagDominant(n, 5)
+	// Make l unit-lower (zero the upper part, ones implied on diagonal).
+	b := randomMatrix(n, 4, 6)
+	want := newMatrix(n, 4)
+	copy(want.a, b.a)
+	// Direct forward substitution with unit lower L.
+	for j := 0; j < 4; j++ {
+		for i := 0; i < n; i++ {
+			s := want.at(i, j)
+			for k := 0; k < i; k++ {
+				s -= l.at(i, k) * want.at(k, j)
+			}
+			want.set(i, j, s)
+		}
+	}
+	got := newMatrix(n, 4)
+	copy(got.a, b.a)
+	api.Serial{}.Run(func(c api.Ctx) { lowerSolvePar(c, l.view(), got.view(), 2) })
+	if d := maxAbsDiff(got.a, want.a); d > 1e-10 {
+		t.Fatalf("lowerSolvePar differs by %g", d)
+	}
+}

@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"nowa/internal/api"
+)
+
+// Knapsack solves 0/1 knapsack by branch and bound, spawning a task per
+// branch. The amount of work depends heavily on task execution order
+// (§V-A): the bound prunes branches using the best solution found so far,
+// so schedulers that reach good solutions early do less work. FlipOrder
+// switches the include/exclude spawn order — the paper's experiment that
+// makes the continuation-stealing runtimes beat TBB on this benchmark.
+type Knapsack struct {
+	items     []ksItem // sorted by value density
+	capacity  int64
+	FlipOrder bool
+	best      atomic.Int64
+	visited   atomic.Int64
+	want      int64
+}
+
+// Visited reports how many branch nodes the last Run explored — the
+// §V-A order-sensitivity metric: schedulers that reach good solutions
+// early prune more and visit fewer nodes.
+func (k *Knapsack) Visited() int64 { return k.visited.Load() }
+
+type ksItem struct {
+	weight, value int64
+}
+
+// NewKnapsack returns the benchmark at the given scale (paper input: 32
+// items).
+func NewKnapsack(s Scale) *Knapsack {
+	switch s {
+	case Test:
+		return newKnapsack(16, 11)
+	case Large:
+		return newKnapsack(30, 11)
+	default:
+		return newKnapsack(24, 11)
+	}
+}
+
+func newKnapsack(n int, seed uint64) *Knapsack {
+	rng := splitmix64(seed)
+	items := make([]ksItem, n)
+	var totalW int64
+	for i := range items {
+		items[i] = ksItem{
+			weight: int64(rng.next()%100) + 1,
+			value:  int64(rng.next()%100) + 1,
+		}
+		totalW += items[i].weight
+	}
+	// Sort by value density so the fractional bound is valid.
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].value*items[j].weight > items[j].value*items[i].weight
+	})
+	k := &Knapsack{items: items, capacity: totalW / 2}
+	k.want = k.serialDP()
+	return k
+}
+
+// Name implements Benchmark.
+func (k *Knapsack) Name() string { return "knapsack" }
+
+// Description implements Benchmark.
+func (k *Knapsack) Description() string { return "Recursive knapsack" }
+
+// PaperInput implements Benchmark.
+func (k *Knapsack) PaperInput() string { return "32 items" }
+
+// Prepare implements Benchmark.
+func (k *Knapsack) Prepare() {
+	k.best.Store(0)
+	k.visited.Store(0)
+}
+
+// Run implements Benchmark.
+func (k *Knapsack) Run(c api.Ctx) {
+	k.branch(c, 0, k.capacity, 0)
+}
+
+// bound is the fractional upper bound on the value attainable from item i
+// on with remaining capacity.
+func (k *Knapsack) bound(i int, capLeft, value int64) int64 {
+	b := value
+	for ; i < len(k.items) && capLeft > 0; i++ {
+		it := k.items[i]
+		if it.weight <= capLeft {
+			capLeft -= it.weight
+			b += it.value
+			continue
+		}
+		b += it.value * capLeft / it.weight
+		capLeft = 0
+	}
+	return b
+}
+
+func (k *Knapsack) branch(c api.Ctx, i int, capLeft, value int64) {
+	k.visited.Add(1)
+	if value > k.best.Load() {
+		// Benign race as in the original: best only grows, a stale read
+		// merely prunes less.
+		for {
+			cur := k.best.Load()
+			if value <= cur || k.best.CompareAndSwap(cur, value) {
+				break
+			}
+		}
+	}
+	if i == len(k.items) || capLeft == 0 {
+		return
+	}
+	if k.bound(i, capLeft, value) <= k.best.Load() {
+		return // pruned
+	}
+	include := func(c api.Ctx) {
+		if k.items[i].weight <= capLeft {
+			k.branch(c, i+1, capLeft-k.items[i].weight, value+k.items[i].value)
+		}
+	}
+	exclude := func(c api.Ctx) { k.branch(c, i+1, capLeft, value) }
+	s := c.Scope()
+	if k.FlipOrder {
+		s.Spawn(exclude)
+		include(c)
+	} else {
+		s.Spawn(include)
+		exclude(c)
+	}
+	s.Sync()
+}
+
+// serialDP computes the exact optimum by dynamic programming.
+func (k *Knapsack) serialDP() int64 {
+	dp := make([]int64, k.capacity+1)
+	for _, it := range k.items {
+		for w := k.capacity; w >= it.weight; w-- {
+			if v := dp[w-it.weight] + it.value; v > dp[w] {
+				dp[w] = v
+			}
+		}
+	}
+	return dp[k.capacity]
+}
+
+// Verify implements Benchmark.
+func (k *Knapsack) Verify() error {
+	if got := k.best.Load(); got != k.want {
+		return fmt.Errorf("knapsack best = %d, want %d", got, k.want)
+	}
+	return nil
+}

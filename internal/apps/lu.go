@@ -1,0 +1,226 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// LU is the recursive blocked LU decomposition (Doolittle, no pivoting, on
+// a diagonally dominant matrix), factoring A in place into unit-lower L
+// and upper U.
+type LU struct {
+	n      int
+	cutoff int
+	a      *matrix // factored in place
+	orig   *matrix
+}
+
+// NewLU returns the benchmark at the given scale (paper input: 4096).
+func NewLU(s Scale) *LU {
+	switch s {
+	case Test:
+		return &LU{n: 64, cutoff: 16}
+	case Large:
+		return &LU{n: 768, cutoff: 32}
+	default:
+		return &LU{n: 256, cutoff: 32}
+	}
+}
+
+// Name implements Benchmark.
+func (l *LU) Name() string { return "lu" }
+
+// Description implements Benchmark.
+func (l *LU) Description() string { return "LU-decomposition" }
+
+// PaperInput implements Benchmark.
+func (l *LU) PaperInput() string { return "4096" }
+
+// Prepare implements Benchmark.
+func (l *LU) Prepare() {
+	l.orig = diagDominant(l.n, 9)
+	l.a = newMatrix(l.n, l.n)
+	copy(l.a.a, l.orig.a)
+}
+
+// Run implements Benchmark.
+func (l *LU) Run(c api.Ctx) {
+	luPar(c, l.a.view(), l.cutoff)
+}
+
+func luPar(c api.Ctx, a view, cutoff int) {
+	n := a.rows
+	if n <= cutoff {
+		luSerial(a)
+		return
+	}
+	h := n / 2
+	a00 := a.sub(0, h, 0, h)
+	a01 := a.sub(0, h, h, n-h)
+	a10 := a.sub(h, n-h, 0, h)
+	a11 := a.sub(h, n-h, h, n-h)
+
+	luPar(c, a00, cutoff)
+	// The two triangular solves are independent.
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { lowerSolvePar(c, a00, a01, cutoff) })
+	upperSolvePar(c, a00, a10, cutoff)
+	s.Sync()
+	// Schur complement: A11 -= A10·A01.
+	mulSubPar(c, a11, a10, a01, cutoff)
+	luPar(c, a11, cutoff)
+}
+
+// luSerial factors a in place (unit lower diagonal implied).
+func luSerial(a view) {
+	n := a.rows
+	for k := 0; k < n; k++ {
+		piv := a.at(k, k)
+		for i := k + 1; i < n; i++ {
+			lik := a.at(i, k) / piv
+			a.set(i, k, lik)
+			for j := k + 1; j < n; j++ {
+				a.add(i, j, -lik*a.at(k, j))
+			}
+		}
+	}
+}
+
+// lowerSolvePar solves L·X = B in place of B, where l holds unit-lower L;
+// columns of B are independent, so split them in parallel.
+func lowerSolvePar(c api.Ctx, l, b view, cutoff int) {
+	if b.cols > cutoff {
+		h := b.cols / 2
+		left, right := b.sub(0, b.rows, 0, h), b.sub(0, b.rows, h, b.cols-h)
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { lowerSolvePar(c, l, left, cutoff) })
+		lowerSolvePar(c, l, right, cutoff)
+		s.Sync()
+		return
+	}
+	for i := 1; i < b.rows; i++ {
+		for k := 0; k < i; k++ {
+			lik := l.at(i, k)
+			if lik == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				b.add(i, j, -lik*b.at(k, j))
+			}
+		}
+	}
+}
+
+// upperSolvePar solves X·U = B in place of B, where u holds U; rows of B
+// are independent.
+func upperSolvePar(c api.Ctx, u, b view, cutoff int) {
+	if b.rows > cutoff {
+		h := b.rows / 2
+		top, bot := b.sub(0, h, 0, b.cols), b.sub(h, b.rows-h, 0, b.cols)
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { upperSolvePar(c, u, top, cutoff) })
+		upperSolvePar(c, u, bot, cutoff)
+		s.Sync()
+		return
+	}
+	for i := 0; i < b.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			x := b.at(i, j)
+			for k := 0; k < j; k++ {
+				x -= b.at(i, k) * u.at(k, j)
+			}
+			b.set(i, j, x/u.at(j, j))
+		}
+	}
+}
+
+// mulSubSerial computes c -= a·b directly.
+func mulSubSerial(c, a, b view) {
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			aik := a.at(i, k)
+			if aik == 0 {
+				continue
+			}
+			crow := c.off + i*c.stride
+			brow := b.off + k*b.stride
+			for j := 0; j < b.cols; j++ {
+				c.a[crow+j] -= aik * b.a[brow+j]
+			}
+		}
+	}
+}
+
+// mulSubPar computes c -= a·b with the same decomposition as mulAddPar.
+func mulSubPar(c api.Ctx, dst, a, b view, cutoff int) {
+	m, n, k := a.rows, b.cols, a.cols
+	if m <= cutoff && n <= cutoff && k <= cutoff {
+		mulSubSerial(dst, a, b)
+		return
+	}
+	switch {
+	case m >= n && m >= k:
+		h := m / 2
+		aTop, aBot := a.sub(0, h, 0, k), a.sub(h, m-h, 0, k)
+		cTop, cBot := dst.sub(0, h, 0, n), dst.sub(h, m-h, 0, n)
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { mulSubPar(c, cTop, aTop, b, cutoff) })
+		mulSubPar(c, cBot, aBot, b, cutoff)
+		s.Sync()
+	case n >= k:
+		h := n / 2
+		bL, bR := b.sub(0, k, 0, h), b.sub(0, k, h, n-h)
+		cL, cR := dst.sub(0, m, 0, h), dst.sub(0, m, h, n-h)
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { mulSubPar(c, cL, a, bL, cutoff) })
+		mulSubPar(c, cR, a, bR, cutoff)
+		s.Sync()
+	default:
+		h := k / 2
+		mulSubPar(c, dst, a.sub(0, m, 0, h), b.sub(0, h, 0, n), cutoff)
+		mulSubPar(c, dst, a.sub(0, m, h, k-h), b.sub(h, k-h, 0, n), cutoff)
+	}
+}
+
+// Verify implements Benchmark: probe L·(U·x) against A·x.
+func (l *LU) Verify() error {
+	n := l.n
+	x := make([]float64, n)
+	rng := splitmix64(13)
+	for i := range x {
+		x[i] = 2*rng.float64n() - 1
+	}
+	// y = U·x (upper triangle incl. diagonal of packed factor).
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := i; j < n; j++ {
+			s += l.a.at(i, j) * x[j]
+		}
+		y[i] = s
+	}
+	// z = L·y (unit lower).
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s += l.a.at(i, j) * y[j]
+		}
+		z[i] = s
+	}
+	ax := matVec(l.orig, x)
+	scale := 0.0
+	for _, v := range ax {
+		if a := abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if e := maxAbsDiff(z, ax) / scale; e > 1e-8 {
+		return fmt.Errorf("lu: probe error %g", e)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// Matmul is the square divide-and-conquer matrix multiply.
+type Matmul struct {
+	n       int
+	cutoff  int
+	a, b, c *matrix
+}
+
+// NewMatmul returns the benchmark at the given scale (paper input: 2048).
+func NewMatmul(s Scale) *Matmul {
+	switch s {
+	case Test:
+		return &Matmul{n: 64, cutoff: 16}
+	case Large:
+		return &Matmul{n: 768, cutoff: 32}
+	default:
+		return &Matmul{n: 256, cutoff: 32}
+	}
+}
+
+// Name implements Benchmark.
+func (m *Matmul) Name() string { return "matmul" }
+
+// Description implements Benchmark.
+func (m *Matmul) Description() string { return "Matrix multiply" }
+
+// PaperInput implements Benchmark.
+func (m *Matmul) PaperInput() string { return "2048" }
+
+// Prepare implements Benchmark.
+func (m *Matmul) Prepare() {
+	m.a = randomMatrix(m.n, m.n, 1)
+	m.b = randomMatrix(m.n, m.n, 2)
+	m.c = newMatrix(m.n, m.n)
+}
+
+// Run implements Benchmark.
+func (m *Matmul) Run(c api.Ctx) {
+	mulAddPar(c, m.c.view(), m.a.view(), m.b.view(), m.cutoff)
+}
+
+// Verify implements Benchmark (random-probe check).
+func (m *Matmul) Verify() error {
+	if e := probeError(m.c, m.a, m.b); e > 1e-9 {
+		return fmt.Errorf("matmul: probe error %g", e)
+	}
+	return nil
+}
+
+// Rectmul is the rectangular divide-and-conquer multiply: (n×k)·(k×n)
+// with k ≠ n, exercising all three split directions.
+type Rectmul struct {
+	n, k    int
+	cutoff  int
+	a, b, c *matrix
+}
+
+// NewRectmul returns the benchmark at the given scale (paper input: 4096).
+func NewRectmul(s Scale) *Rectmul {
+	switch s {
+	case Test:
+		return &Rectmul{n: 48, k: 96, cutoff: 16}
+	case Large:
+		return &Rectmul{n: 512, k: 1024, cutoff: 32}
+	default:
+		return &Rectmul{n: 192, k: 384, cutoff: 32}
+	}
+}
+
+// Name implements Benchmark.
+func (m *Rectmul) Name() string { return "rectmul" }
+
+// Description implements Benchmark.
+func (m *Rectmul) Description() string { return "Rectangular matrix multiply" }
+
+// PaperInput implements Benchmark.
+func (m *Rectmul) PaperInput() string { return "4096" }
+
+// Prepare implements Benchmark.
+func (m *Rectmul) Prepare() {
+	m.a = randomMatrix(m.n, m.k, 3)
+	m.b = randomMatrix(m.k, m.n, 4)
+	m.c = newMatrix(m.n, m.n)
+}
+
+// Run implements Benchmark.
+func (m *Rectmul) Run(c api.Ctx) {
+	mulAddPar(c, m.c.view(), m.a.view(), m.b.view(), m.cutoff)
+}
+
+// Verify implements Benchmark.
+func (m *Rectmul) Verify() error {
+	if e := probeError(m.c, m.a, m.b); e > 1e-9 {
+		return fmt.Errorf("rectmul: probe error %g", e)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package apps
+
+import "nowa/internal/api"
+
+// view is a submatrix window into a row-major backing array, the basis of
+// the divide-and-conquer matrix kernels.
+type view struct {
+	a      []float64
+	off    int
+	stride int
+	rows   int
+	cols   int
+}
+
+func (m *matrix) view() view {
+	return view{a: m.a, stride: m.cols, rows: m.rows, cols: m.cols}
+}
+
+func (v view) at(i, j int) float64     { return v.a[v.off+i*v.stride+j] }
+func (v view) set(i, j int, x float64) { v.a[v.off+i*v.stride+j] = x }
+func (v view) add(i, j int, x float64) { v.a[v.off+i*v.stride+j] += x }
+
+// sub returns the window [r0:r0+nr) × [c0:c0+nc).
+func (v view) sub(r0, nr, c0, nc int) view {
+	return view{a: v.a, off: v.off + r0*v.stride + c0, stride: v.stride, rows: nr, cols: nc}
+}
+
+// quad splits v into quadrants at the half points.
+func (v view) quad() (v00, v01, v10, v11 view) {
+	hr, hc := v.rows/2, v.cols/2
+	return v.sub(0, hr, 0, hc), v.sub(0, hr, hc, v.cols-hc),
+		v.sub(hr, v.rows-hr, 0, hc), v.sub(hr, v.rows-hr, hc, v.cols-hc)
+}
+
+// mulAddSerial computes c += a·b directly.
+func mulAddSerial(c, a, b view) {
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			aik := a.at(i, k)
+			if aik == 0 {
+				continue
+			}
+			crow := c.off + i*c.stride
+			brow := b.off + k*b.stride
+			for j := 0; j < b.cols; j++ {
+				c.a[crow+j] += aik * b.a[brow+j]
+			}
+		}
+	}
+}
+
+// mulAddPar computes c += a·b by divide and conquer (the Cilk matmul
+// scheme): split the largest of the m/n dimensions in two and run the
+// halves in parallel; split the k dimension sequentially because both
+// halves accumulate into the same c.
+func mulAddPar(c api.Ctx, dst, a, b view, cutoff int) {
+	m, n, k := a.rows, b.cols, a.cols
+	if m <= cutoff && n <= cutoff && k <= cutoff {
+		mulAddSerial(dst, a, b)
+		return
+	}
+	switch {
+	case m >= n && m >= k:
+		h := m / 2
+		aTop, aBot := a.sub(0, h, 0, k), a.sub(h, m-h, 0, k)
+		cTop, cBot := dst.sub(0, h, 0, n), dst.sub(h, m-h, 0, n)
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { mulAddPar(c, cTop, aTop, b, cutoff) })
+		mulAddPar(c, cBot, aBot, b, cutoff)
+		s.Sync()
+	case n >= k:
+		h := n / 2
+		bL, bR := b.sub(0, k, 0, h), b.sub(0, k, h, n-h)
+		cL, cR := dst.sub(0, m, 0, h), dst.sub(0, m, h, n-h)
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { mulAddPar(c, cL, a, bL, cutoff) })
+		mulAddPar(c, cR, a, bR, cutoff)
+		s.Sync()
+	default:
+		h := k / 2
+		// Sequential in k: both halves write the same destination.
+		mulAddPar(c, dst, a.sub(0, m, 0, h), b.sub(0, h, 0, n), cutoff)
+		mulAddPar(c, dst, a.sub(0, m, h, k-h), b.sub(h, k-h, 0, n), cutoff)
+	}
+}
+
+// probeError verifies C = A·B without recomputing the product: it compares
+// C·x against A·(B·x) for a deterministic random vector x and returns the
+// max abs deviation, normalised by the vector magnitude.
+func probeError(cm, am, bm *matrix) float64 {
+	n := bm.cols
+	x := make([]float64, n)
+	rng := splitmix64(7)
+	for i := range x {
+		x[i] = 2*rng.float64n() - 1
+	}
+	bx := matVec(bm, x)
+	abx := matVec(am, bx)
+	cx := matVec(cm, x)
+	scale := 0.0
+	for _, v := range abx {
+		if a := abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return maxAbsDiff(cx, abx) / scale
+}
+
+func matVec(m *matrix, x []float64) []float64 {
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		row := i * m.cols
+		for j := 0; j < m.cols; j++ {
+			s += m.a[row+j] * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

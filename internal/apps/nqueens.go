@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// NQueens counts the placements of n non-attacking queens, spawning one
+// task per feasible column in each row (board prefix copied per branch,
+// as in the original). Figure 1's headline workload.
+type NQueens struct {
+	n      int
+	result int64
+}
+
+// NewNQueens returns the benchmark at the given scale (paper input: 14).
+func NewNQueens(s Scale) *NQueens {
+	switch s {
+	case Test:
+		return &NQueens{n: 8}
+	case Large:
+		return &NQueens{n: 13}
+	default:
+		return &NQueens{n: 11}
+	}
+}
+
+// Name implements Benchmark.
+func (q *NQueens) Name() string { return "nqueens" }
+
+// Description implements Benchmark.
+func (q *NQueens) Description() string { return "Count ways to place N queens" }
+
+// PaperInput implements Benchmark.
+func (q *NQueens) PaperInput() string { return "14" }
+
+// Prepare implements Benchmark.
+func (q *NQueens) Prepare() { q.result = 0 }
+
+// Run implements Benchmark.
+func (q *NQueens) Run(c api.Ctx) {
+	q.result = nqueensPar(c, q.n, nil)
+}
+
+// safe reports whether a queen at (len(board), col) attacks none of the
+// earlier rows' queens.
+func safe(board []int8, col int8) bool {
+	row := len(board)
+	for r, c := range board {
+		d := int8(row - r)
+		if c == col || c == col-d || c == col+d {
+			return false
+		}
+	}
+	return true
+}
+
+func nqueensPar(c api.Ctx, n int, board []int8) int64 {
+	row := len(board)
+	if row == n {
+		return 1
+	}
+	counts := make([]int64, n)
+	s := c.Scope()
+	for col := int8(0); col < int8(n); col++ {
+		if !safe(board, col) {
+			continue
+		}
+		// Copy the prefix per branch, as the Cilk benchmark does.
+		next := make([]int8, row+1)
+		copy(next, board)
+		next[row] = col
+		col := col
+		s.Spawn(func(c api.Ctx) { counts[col] = nqueensPar(c, n, next) })
+	}
+	s.Sync()
+	var total int64
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// knownQueens holds the accepted solution counts.
+var knownQueens = map[int]int64{
+	1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352,
+	10: 724, 11: 2680, 12: 14200, 13: 73712, 14: 365596,
+}
+
+// Verify implements Benchmark.
+func (q *NQueens) Verify() error {
+	want, ok := knownQueens[q.n]
+	if !ok {
+		return fmt.Errorf("nqueens: no reference count for n=%d", q.n)
+	}
+	if q.result != want {
+		return fmt.Errorf("nqueens(%d) = %d, want %d", q.n, q.result, want)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// Quicksort sorts a deterministic random array, spawning the left
+// partition and recursing on the right, with a sequential cutoff.
+type Quicksort struct {
+	n      int
+	data   []int64
+	sum    int64 // input checksum
+	cutoff int
+}
+
+// NewQuicksort returns the benchmark at the given scale (paper input:
+// 10^8 elements).
+func NewQuicksort(s Scale) *Quicksort {
+	switch s {
+	case Test:
+		return &Quicksort{n: 20_000, cutoff: 512}
+	case Large:
+		return &Quicksort{n: 4_000_000, cutoff: 2048}
+	default:
+		return &Quicksort{n: 400_000, cutoff: 2048}
+	}
+}
+
+// Name implements Benchmark.
+func (q *Quicksort) Name() string { return "quicksort" }
+
+// Description implements Benchmark.
+func (q *Quicksort) Description() string { return "Parallel quicksort" }
+
+// PaperInput implements Benchmark.
+func (q *Quicksort) PaperInput() string { return "10^8" }
+
+// Prepare implements Benchmark.
+func (q *Quicksort) Prepare() {
+	rng := splitmix64(42)
+	q.data = make([]int64, q.n)
+	q.sum = 0
+	for i := range q.data {
+		q.data[i] = int64(rng.next() >> 1)
+		q.sum += q.data[i]
+	}
+}
+
+// Run implements Benchmark.
+func (q *Quicksort) Run(c api.Ctx) {
+	quicksortPar(c, q.data, q.cutoff)
+}
+
+func quicksortPar(c api.Ctx, a []int64, cutoff int) {
+	for len(a) > cutoff {
+		p := partition(a)
+		left := a[:p]
+		a = a[p+1:]
+		if len(left) > 0 {
+			left := left
+			cut := cutoff
+			s := c.Scope()
+			s.Spawn(func(c api.Ctx) { quicksortPar(c, left, cut) })
+			quicksortPar(c, a, cutoff)
+			s.Sync()
+			return
+		}
+	}
+	serialQuicksort(a)
+}
+
+func serialQuicksort(a []int64) {
+	for len(a) > 32 {
+		p := partition(a)
+		if p < len(a)-p-1 {
+			serialQuicksort(a[:p])
+			a = a[p+1:]
+		} else {
+			serialQuicksort(a[p+1:])
+			a = a[:p]
+		}
+	}
+	insertionSort(a)
+}
+
+// partition uses median-of-three and returns the pivot's final index.
+func partition(a []int64) int {
+	n := len(a)
+	mid := n / 2
+	if a[0] > a[mid] {
+		a[0], a[mid] = a[mid], a[0]
+	}
+	if a[0] > a[n-1] {
+		a[0], a[n-1] = a[n-1], a[0]
+	}
+	if a[mid] > a[n-1] {
+		a[mid], a[n-1] = a[n-1], a[mid]
+	}
+	pivot := a[mid]
+	a[mid], a[n-2] = a[n-2], a[mid]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[n-2] = a[n-2], a[i]
+	return i
+}
+
+func insertionSort(a []int64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Verify implements Benchmark: sortedness plus checksum preservation.
+func (q *Quicksort) Verify() error {
+	var sum int64
+	for i, v := range q.data {
+		if i > 0 && q.data[i-1] > v {
+			return fmt.Errorf("quicksort: unsorted at index %d", i)
+		}
+		sum += v
+	}
+	if sum != q.sum {
+		return fmt.Errorf("quicksort: checksum %d != %d (elements lost)", sum, q.sum)
+	}
+	return nil
+}

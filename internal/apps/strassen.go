@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+)
+
+// Strassen multiplies square power-of-two matrices with Strassen's seven-
+// product recursion, spawning the seven subproducts.
+type Strassen struct {
+	n       int
+	cutoff  int
+	a, b, c *matrix
+}
+
+// NewStrassen returns the benchmark at the given scale (paper input: 4096).
+func NewStrassen(s Scale) *Strassen {
+	switch s {
+	case Test:
+		return &Strassen{n: 64, cutoff: 16}
+	case Large:
+		return &Strassen{n: 1024, cutoff: 64}
+	default:
+		return &Strassen{n: 256, cutoff: 32}
+	}
+}
+
+// Name implements Benchmark.
+func (m *Strassen) Name() string { return "strassen" }
+
+// Description implements Benchmark.
+func (m *Strassen) Description() string { return "Strassen matrix multiply" }
+
+// PaperInput implements Benchmark.
+func (m *Strassen) PaperInput() string { return "4096" }
+
+// Prepare implements Benchmark.
+func (m *Strassen) Prepare() {
+	m.a = randomMatrix(m.n, m.n, 5)
+	m.b = randomMatrix(m.n, m.n, 6)
+	m.c = newMatrix(m.n, m.n)
+}
+
+// Run implements Benchmark.
+func (m *Strassen) Run(c api.Ctx) {
+	strassenPar(c, m.c.view(), m.a.view(), m.b.view(), m.cutoff)
+}
+
+// Verify implements Benchmark.
+func (m *Strassen) Verify() error {
+	if e := probeError(m.c, m.a, m.b); e > 1e-7 {
+		return fmt.Errorf("strassen: probe error %g", e)
+	}
+	return nil
+}
+
+// tmp allocates an h×h scratch view.
+func tmp(h int) view {
+	return view{a: make([]float64, h*h), stride: h, rows: h, cols: h}
+}
+
+// addInto computes dst = x + y (dst may alias neither).
+func addInto(dst, x, y view) {
+	for i := 0; i < dst.rows; i++ {
+		for j := 0; j < dst.cols; j++ {
+			dst.set(i, j, x.at(i, j)+y.at(i, j))
+		}
+	}
+}
+
+// subInto computes dst = x − y.
+func subInto(dst, x, y view) {
+	for i := 0; i < dst.rows; i++ {
+		for j := 0; j < dst.cols; j++ {
+			dst.set(i, j, x.at(i, j)-y.at(i, j))
+		}
+	}
+}
+
+// strassenPar computes dst = a·b (dst zeroed by the caller) for n a power
+// of two.
+func strassenPar(c api.Ctx, dst, a, b view, cutoff int) {
+	n := a.rows
+	if n <= cutoff {
+		mulAddSerial(dst, a, b)
+		return
+	}
+	h := n / 2
+	a11, a12, a21, a22 := a.quad()
+	b11, b12, b21, b22 := b.quad()
+
+	m1, m2, m3, m4, m5, m6, m7 := tmp(h), tmp(h), tmp(h), tmp(h), tmp(h), tmp(h), tmp(h)
+
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { // M1 = (A11+A22)(B11+B22)
+		x, y := tmp(h), tmp(h)
+		addInto(x, a11, a22)
+		addInto(y, b11, b22)
+		strassenPar(c, m1, x, y, cutoff)
+	})
+	s.Spawn(func(c api.Ctx) { // M2 = (A21+A22)B11
+		x := tmp(h)
+		addInto(x, a21, a22)
+		strassenPar(c, m2, x, b11, cutoff)
+	})
+	s.Spawn(func(c api.Ctx) { // M3 = A11(B12−B22)
+		y := tmp(h)
+		subInto(y, b12, b22)
+		strassenPar(c, m3, a11, y, cutoff)
+	})
+	s.Spawn(func(c api.Ctx) { // M4 = A22(B21−B11)
+		y := tmp(h)
+		subInto(y, b21, b11)
+		strassenPar(c, m4, a22, y, cutoff)
+	})
+	s.Spawn(func(c api.Ctx) { // M5 = (A11+A12)B22
+		x := tmp(h)
+		addInto(x, a11, a12)
+		strassenPar(c, m5, x, b22, cutoff)
+	})
+	s.Spawn(func(c api.Ctx) { // M6 = (A21−A11)(B11+B12)
+		x, y := tmp(h), tmp(h)
+		subInto(x, a21, a11)
+		addInto(y, b11, b12)
+		strassenPar(c, m6, x, y, cutoff)
+	})
+	// M7 = (A12−A22)(B21+B22) on this strand.
+	{
+		x, y := tmp(h), tmp(h)
+		subInto(x, a12, a22)
+		addInto(y, b21, b22)
+		strassenPar(c, m7, x, y, cutoff)
+	}
+	s.Sync()
+
+	c11, c12, c21, c22 := dst.quad()
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			c11.set(i, j, m1.at(i, j)+m4.at(i, j)-m5.at(i, j)+m7.at(i, j))
+			c12.set(i, j, m3.at(i, j)+m5.at(i, j))
+			c21.set(i, j, m2.at(i, j)+m4.at(i, j))
+			c22.set(i, j, m1.at(i, j)-m2.at(i, j)+m3.at(i, j)+m6.at(i, j))
+		}
+	}
+}

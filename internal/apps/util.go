@@ -1,0 +1,109 @@
+package apps
+
+import "math"
+
+// splitmix64 is a small deterministic generator for reproducible inputs.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64n returns a deterministic float in [0, 1).
+func (s *splitmix64) float64n() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// matrix is a dense row-major n×m matrix.
+type matrix struct {
+	rows, cols int
+	a          []float64
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, a: make([]float64, rows*cols)}
+}
+
+func (m *matrix) at(i, j int) float64     { return m.a[i*m.cols+j] }
+func (m *matrix) set(i, j int, v float64) { m.a[i*m.cols+j] = v }
+
+// randomMatrix fills m with deterministic values in [-1, 1).
+func randomMatrix(rows, cols int, seed uint64) *matrix {
+	m := newMatrix(rows, cols)
+	rng := splitmix64(seed)
+	for i := range m.a {
+		m.a[i] = 2*rng.float64n() - 1
+	}
+	return m
+}
+
+// spdMatrix builds a symmetric positive-definite matrix: A = B·Bᵀ + n·I.
+func spdMatrix(n int, seed uint64) *matrix {
+	b := randomMatrix(n, n, seed)
+	a := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.at(i, k) * b.at(j, k)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.set(i, j, s)
+			a.set(j, i, s)
+		}
+	}
+	return a
+}
+
+// diagDominant builds a diagonally dominant matrix (stable LU without
+// pivoting).
+func diagDominant(n int, seed uint64) *matrix {
+	a := randomMatrix(n, n, seed)
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			row += math.Abs(a.at(i, j))
+		}
+		a.set(i, i, row+1)
+	}
+	return a
+}
+
+// matmulSerial computes c = a·b directly (reference implementation).
+func matmulSerial(a, b, c *matrix) {
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += a.at(i, k) * b.at(k, j)
+			}
+			c.set(i, j, s)
+		}
+	}
+}
+
+// maxAbsDiff returns max |x[i]-y[i]|.
+func maxAbsDiff(x, y []float64) float64 {
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// frobenius returns the Frobenius norm of m.
+func frobenius(m *matrix) float64 {
+	var s float64
+	for _, v := range m.a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

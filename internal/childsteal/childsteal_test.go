@@ -1,0 +1,172 @@
+package childsteal
+
+import (
+	"testing"
+
+	"nowa/internal/api"
+	"nowa/internal/deque"
+)
+
+func fib(c api.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a int
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { a = fib(c, n-1) })
+	b := fib(c, n-2)
+	s.Sync()
+	return a + b
+}
+
+func fibSerial(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+func TestFib(t *testing.T) {
+	want := fibSerial(16)
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt := NewTBB(workers)
+		var got int
+		rt.Run(func(c api.Ctx) { got = fib(c, 16) })
+		if got != want {
+			t.Fatalf("workers=%d: fib(16) = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestAgreesWithSerial(t *testing.T) {
+	var want int
+	api.Serial{}.Run(func(c api.Ctx) { want = fib(c, 14) })
+	rt := NewTBB(4)
+	var got int
+	rt.Run(func(c api.Ctx) { got = fib(c, 14) })
+	if got != want {
+		t.Fatalf("parallel %d != serial %d", got, want)
+	}
+}
+
+func TestReverseLocalExecutionOrder(t *testing.T) {
+	// §II-B / §V-A: child stealing executes forked-off functions in
+	// reverse order locally. With one worker, spawned tasks run at Sync in
+	// LIFO order.
+	rt := NewTBB(1)
+	var order []int
+	rt.Run(func(c api.Ctx) {
+		s := c.Scope()
+		for i := 0; i < 4; i++ {
+			i := i
+			s.Spawn(func(c api.Ctx) { order = append(order, i) })
+		}
+		s.Sync()
+	})
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParentContinuesBeforeChild(t *testing.T) {
+	// In child stealing the parent's continuation runs before the child
+	// on the same worker — the opposite of continuation stealing.
+	rt := NewTBB(1)
+	var order []string
+	rt.Run(func(c api.Ctx) {
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { order = append(order, "child") })
+		order = append(order, "continuation")
+		s.Sync()
+	})
+	if order[0] != "continuation" || order[1] != "child" {
+		t.Fatalf("order = %v, want [continuation child]", order)
+	}
+}
+
+func TestMultipleRounds(t *testing.T) {
+	rt := NewTBB(4)
+	total := 0
+	rt.Run(func(c api.Ctx) {
+		s := c.Scope()
+		for round := 0; round < 10; round++ {
+			vals := make([]int, 8)
+			for i := range vals {
+				i := i
+				s.Spawn(func(c api.Ctx) { vals[i] = fib(c, 8) })
+			}
+			s.Sync()
+			for _, v := range vals {
+				total += v
+			}
+		}
+	})
+	if want := 10 * 8 * fibSerial(8); total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestRuntimeReuse(t *testing.T) {
+	rt := NewTBB(2)
+	for i := 0; i < 5; i++ {
+		var got int
+		rt.Run(func(c api.Ctx) { got = fib(c, 10) })
+		if want := fibSerial(10); got != want {
+			t.Fatalf("run %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestConcurrentRunPanics(t *testing.T) {
+	rt := NewTBB(2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		rt.Run(func(c api.Ctx) {
+			close(started)
+			<-release
+		})
+		close(firstDone)
+	}()
+	<-started
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second concurrent Run did not panic")
+			}
+			close(release)
+		}()
+		rt.Run(func(c api.Ctx) {})
+	}()
+	<-firstDone
+}
+
+func TestLockedDequeVariant(t *testing.T) {
+	rt := New(Config{Name: "tbb-locked", Workers: 4, Deque: deque.Locked})
+	var got int
+	rt.Run(func(c api.Ctx) { got = fib(c, 14) })
+	if want := fibSerial(14); got != want {
+		t.Fatalf("fib(14) = %d, want %d", got, want)
+	}
+	if rt.Name() != "tbb-locked" {
+		t.Errorf("name = %q", rt.Name())
+	}
+}
+
+func TestCountersConservation(t *testing.T) {
+	rt := NewTBB(4)
+	rt.Run(func(c api.Ctx) { _ = fib(c, 14) })
+	cnt := rt.Counters()
+	if cnt.Spawns == 0 {
+		t.Fatal("no spawns recorded")
+	}
+	// Every spawned task executes exactly once: locally popped or stolen.
+	if cnt.LocalResumes+cnt.Steals != cnt.Spawns {
+		t.Errorf("LocalPops(%d) + Steals(%d) != Spawns(%d)",
+			cnt.LocalResumes, cnt.Steals, cnt.Spawns)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+// FuzzJoinSchedule fuzzes legal operation schedules against both
+// protocols: a sequence of steal/join/sync events must release exactly
+// once per round on each.
+//
+// Byte semantics per round: the low nibble is the steal count (0-8), the
+// high nibble splits the joins around the sync point.
+func FuzzJoinSchedule(f *testing.F) {
+	f.Add([]byte{0x00, 0x13, 0x28, 0xF4})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, rounds []byte) {
+		if len(rounds) > 64 {
+			rounds = rounds[:64]
+		}
+		wf := NewWaitFreeJoin()
+		lk := NewLockedJoin()
+		for ri, b := range rounds {
+			steals := int(b&0x0F) % 9
+			pre := int(b>>4) % (steals + 1)
+			for _, j := range []Join{wf, lk} {
+				releases := 0
+				for s := 0; s < steals; s++ {
+					j.OnSteal()
+				}
+				for s := 0; s < pre; s++ {
+					if j.OnChildJoin() {
+						releases++
+					}
+				}
+				if j.Forked() != int64(steals) {
+					t.Fatalf("round %d: Forked = %d, want %d", ri, j.Forked(), steals)
+				}
+				if j.SyncBegin() {
+					releases++
+				}
+				for s := pre; s < steals; s++ {
+					if j.OnChildJoin() {
+						releases++
+					}
+				}
+				if releases != 1 {
+					t.Fatalf("round %d (%T, steals=%d pre=%d): %d releases, want 1", ri, j, steals, pre, releases)
+				}
+				j.Rearm()
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package core
+
+import "sync"
+
+// LockedJoin is the Fibril-style lock-based baseline (§III-C, Listing 2).
+// A mutex guards the count of outstanding stolen children and the syncing
+// flag. The scheduler layer additionally couples this lock with the victim
+// deque's lock during steals — the overlapping acquisition that Listing 2
+// shows — so that a joiner that observed an empty deque cannot decrement
+// before the thief's increment lands.
+//
+// Every operation acquires the mutex, so under contention callers queue:
+// the protocol is blocking, which is precisely the scalability limit the
+// paper measures against.
+type LockedJoin struct {
+	mu      sync.Mutex
+	count   int64 // N_r: outstanding stolen children
+	syncing bool  // parent suspended at the explicit sync point
+	forked  int64 // total steals this round, for symmetry with Forked()
+}
+
+// NewLockedJoin returns an armed locked join.
+func NewLockedJoin() *LockedJoin { return &LockedJoin{} }
+
+// OnSteal records a fork under the frame lock.
+func (j *LockedJoin) OnSteal() {
+	j.mu.Lock()
+	j.count++
+	j.forked++
+	j.mu.Unlock()
+}
+
+// Lock exposes the frame mutex so the scheduler can reproduce Listing 2's
+// overlapping deque-lock/frame-lock acquisition; pair with Unlock and call
+// OnStealLocked in between.
+func (j *LockedJoin) Lock() { j.mu.Lock() }
+
+// Unlock releases the frame mutex.
+func (j *LockedJoin) Unlock() { j.mu.Unlock() }
+
+// OnStealLocked is OnSteal for callers already holding Lock.
+func (j *LockedJoin) OnStealLocked() {
+	j.count++
+	j.forked++
+}
+
+// OnChildJoin decrements the count and reports whether the caller must
+// resume the parent suspended at the explicit sync point.
+func (j *LockedJoin) OnChildJoin() bool {
+	j.mu.Lock()
+	j.count--
+	if j.count < 0 {
+		// Reachable only when the scheduler failed to couple the deque
+		// lock with this lock (the very race Listing 2 closes).
+		j.mu.Unlock()
+		panic("core: LockedJoin count went negative — deque/frame lock coupling violated")
+	}
+	ready := j.syncing && j.count == 0
+	j.mu.Unlock()
+	return ready
+}
+
+// SyncBegin reports whether the sync condition already holds; otherwise it
+// marks the parent as suspended so the last joiner resumes it.
+func (j *LockedJoin) SyncBegin() bool {
+	j.mu.Lock()
+	if j.count == 0 {
+		j.mu.Unlock()
+		return true
+	}
+	j.syncing = true
+	j.mu.Unlock()
+	return false
+}
+
+// Rearm resets the scope for the next spawn/sync round.
+func (j *LockedJoin) Rearm() {
+	j.mu.Lock()
+	j.count = 0
+	j.syncing = false
+	j.forked = 0
+	j.mu.Unlock()
+}
+
+// Forked reports the number of steals this round.
+func (j *LockedJoin) Forked() int64 {
+	j.mu.Lock()
+	f := j.forked
+	j.mu.Unlock()
+	return f
+}

@@ -1,0 +1,142 @@
+// Package dagprof measures the DAG metrics of §III-A for real fork/join
+// programs, in the spirit of Cilkview: execute the program serially while
+// attributing elapsed time to strands, and compute
+//
+//	work  T1  — total time over all strands,
+//	span  T∞  — the longest path through the DAG,
+//	parallelism T1/T∞ — the speedup ceiling of the computation,
+//
+// using the same recurrence the simulator's analyzer applies to its
+// abstract DAGs: within a spawning function, spawned children's spans
+// overlap the continuation until the sync that joins them.
+//
+// The profile predicts scalability before any parallel run: by Brent's
+// bound, P workers cannot beat max(T1/P, T∞), so a benchmark with
+// parallelism 10 (quicksort) will plateau near 10× regardless of the
+// runtime system — exactly the Figure 7 shape.
+package dagprof
+
+import (
+	"time"
+
+	"nowa/internal/api"
+)
+
+// timeNow is the profiler's clock; tests substitute a deterministic one.
+var timeNow = time.Now
+
+// Profile is the §III-A DAG cost model of one computation.
+type Profile struct {
+	// Work is T1: the serial execution time of all strands.
+	Work time.Duration
+	// Span is T∞: the critical-path length.
+	Span time.Duration
+	// Spawns and Syncs count the parallel control vertices.
+	Spawns int64
+	Syncs  int64
+}
+
+// Parallelism returns T1/T∞.
+func (p Profile) Parallelism() float64 {
+	if p.Span <= 0 {
+		return 1
+	}
+	return float64(p.Work) / float64(p.Span)
+}
+
+// SpeedupBound returns Brent's upper bound on speedup with n workers:
+// T1 / max(T1/n, T∞).
+func (p Profile) SpeedupBound(n int) float64 {
+	if n < 1 || p.Work <= 0 {
+		return 0
+	}
+	ideal := p.Work / time.Duration(n)
+	if ideal < p.Span {
+		ideal = p.Span
+	}
+	if ideal <= 0 {
+		return float64(n)
+	}
+	return float64(p.Work) / float64(ideal)
+}
+
+// Measure executes root serially and returns its DAG profile. The
+// program must follow the fully-strict rules of the api package.
+func Measure(root func(api.Ctx)) Profile {
+	c := &profCtx{}
+	c.now = timeNow()
+	root(c)
+	c.flush()
+	return Profile{
+		Work:   c.work,
+		Span:   c.path,
+		Spawns: c.spawns,
+		Syncs:  c.syncs,
+	}
+}
+
+// profCtx is a serial Ctx that attributes elapsed wall time to the
+// current strand and folds spans with the spawn/sync recurrence.
+type profCtx struct {
+	now    time.Time
+	work   time.Duration
+	path   time.Duration // span along the current strand since its start
+	spawns int64
+	syncs  int64
+}
+
+// flush charges the time since the last event to the current strand.
+func (c *profCtx) flush() {
+	t := timeNow()
+	d := t.Sub(c.now)
+	c.now = t
+	c.work += d
+	c.path += d
+}
+
+// Workers implements api.Ctx: profiling runs serially.
+func (c *profCtx) Workers() int { return 1 }
+
+// Scope implements api.Ctx.
+func (c *profCtx) Scope() api.Scope { return &profScope{c: c} }
+
+type profScope struct {
+	c            *profCtx
+	maxChildSpan time.Duration
+}
+
+// Spawn runs fn inline while accounting its span as overlapping the
+// continuation (it joins at the next Sync).
+func (s *profScope) Spawn(fn func(api.Ctx)) {
+	c := s.c
+	c.flush()
+	c.spawns++
+	// Measure the child's span on a fresh path; its work accumulates
+	// in the shared counter.
+	parentPath := c.path
+	c.path = 0
+	fn(c)
+	c.flush()
+	childSpan := c.path
+	c.path = parentPath
+	if sp := parentPath + childSpan; sp > s.maxChildSpan {
+		s.maxChildSpan = sp
+	}
+}
+
+// Sync joins the scope's children: the strand's span becomes the longest
+// of the continuation path and any spawned child's path.
+func (s *profScope) Sync() {
+	c := s.c
+	c.flush()
+	c.syncs++
+	if s.maxChildSpan > c.path {
+		c.path = s.maxChildSpan
+	}
+	s.maxChildSpan = 0
+}
+
+var (
+	_ api.Ctx   = (*profCtx)(nil)
+	_ api.Scope = (*profScope)(nil)
+)

@@ -1,0 +1,187 @@
+package dagprof
+
+import (
+	"testing"
+	"time"
+
+	"nowa/internal/api"
+)
+
+// fakeClock makes the profiler deterministic: "work" advances virtual
+// time explicitly instead of spinning the CPU, so the parallelism
+// assertions are exact and immune to host load.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time       { return f.t }
+func (f *fakeClock) work(d time.Duration) { f.t = f.t.Add(d) }
+func installFakeClock(t *testing.T) *fakeClock {
+	t.Helper()
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	old := timeNow
+	timeNow = fc.now
+	t.Cleanup(func() { timeNow = old })
+	return fc
+}
+
+func TestSerialChainHasNoParallelism(t *testing.T) {
+	fc := installFakeClock(t)
+	// spawn -> sync immediately, repeatedly: span == work.
+	p := Measure(func(c api.Ctx) {
+		for i := 0; i < 4; i++ {
+			s := c.Scope()
+			s.Spawn(func(c api.Ctx) { fc.work(2 * time.Millisecond) })
+			s.Sync()
+		}
+	})
+	if p.Spawns != 4 || p.Syncs != 4 {
+		t.Fatalf("spawns=%d syncs=%d", p.Spawns, p.Syncs)
+	}
+	if p.Work != 8*time.Millisecond || p.Span != 8*time.Millisecond {
+		t.Fatalf("work=%v span=%v, want 8ms/8ms", p.Work, p.Span)
+	}
+	if par := p.Parallelism(); par != 1 {
+		t.Errorf("chain parallelism = %v, want exactly 1", par)
+	}
+}
+
+func TestBalancedForkHasParallelismTwo(t *testing.T) {
+	fc := installFakeClock(t)
+	// One spawn overlapping an equal continuation: T1 = 2·T∞ exactly.
+	p := Measure(func(c api.Ctx) {
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { fc.work(4 * time.Millisecond) })
+		fc.work(4 * time.Millisecond)
+		s.Sync()
+	})
+	if p.Work != 8*time.Millisecond || p.Span != 4*time.Millisecond {
+		t.Fatalf("work=%v span=%v, want 8ms/4ms", p.Work, p.Span)
+	}
+	if par := p.Parallelism(); par != 2 {
+		t.Errorf("fork parallelism = %v, want exactly 2", par)
+	}
+}
+
+func TestWideSpawnParallelism(t *testing.T) {
+	fc := installFakeClock(t)
+	// Eight equal children, no continuation work: parallelism exactly 8.
+	p := Measure(func(c api.Ctx) {
+		s := c.Scope()
+		for i := 0; i < 8; i++ {
+			s.Spawn(func(c api.Ctx) { fc.work(time.Millisecond) })
+		}
+		s.Sync()
+	})
+	if p.Work != 8*time.Millisecond || p.Span != time.Millisecond {
+		t.Fatalf("work=%v span=%v, want 8ms/1ms", p.Work, p.Span)
+	}
+	if par := p.Parallelism(); par != 8 {
+		t.Errorf("wide parallelism = %v, want exactly 8", par)
+	}
+}
+
+func TestNestedSpawnsCompose(t *testing.T) {
+	fc := installFakeClock(t)
+	// A binary tree of depth 3 with 1ms leaves: T1 = 8ms, T∞ = 1ms.
+	var tree func(c api.Ctx, d int)
+	tree = func(c api.Ctx, d int) {
+		if d == 0 {
+			fc.work(time.Millisecond)
+			return
+		}
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { tree(c, d-1) })
+		tree(c, d-1)
+		s.Sync()
+	}
+	p := Measure(func(c api.Ctx) { tree(c, 3) })
+	if p.Spawns != 7 {
+		t.Fatalf("spawns = %d, want 7", p.Spawns)
+	}
+	if p.Work != 8*time.Millisecond || p.Span != time.Millisecond {
+		t.Fatalf("work=%v span=%v, want 8ms/1ms", p.Work, p.Span)
+	}
+	if par := p.Parallelism(); par != 8 {
+		t.Errorf("tree parallelism = %v, want exactly 8", par)
+	}
+}
+
+func TestUnevenChildrenSpanIsMax(t *testing.T) {
+	fc := installFakeClock(t)
+	// Children of 1, 5 and 2 ms with a 3 ms continuation: the span to the
+	// sync is max(0+1, 3+... children overlap from their spawn points:
+	// child1 spans [0,1], child2 spawned at 0 spans [0,5], continuation
+	// runs 3 — span = max(5, 3) = 5.
+	p := Measure(func(c api.Ctx) {
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { fc.work(1 * time.Millisecond) })
+		s.Spawn(func(c api.Ctx) { fc.work(5 * time.Millisecond) })
+		fc.work(3 * time.Millisecond)
+		s.Sync()
+	})
+	if p.Work != 9*time.Millisecond {
+		t.Fatalf("work = %v, want 9ms", p.Work)
+	}
+	if p.Span != 5*time.Millisecond {
+		t.Fatalf("span = %v, want 5ms (longest child)", p.Span)
+	}
+}
+
+func TestSpawnOffsetExtendsChildSpan(t *testing.T) {
+	fc := installFakeClock(t)
+	// 4 ms of work BEFORE the spawn: the child's path starts there, so
+	// span = 4 + 2 = 6 even though the continuation after the spawn is 0.
+	p := Measure(func(c api.Ctx) {
+		s := c.Scope()
+		fc.work(4 * time.Millisecond)
+		s.Spawn(func(c api.Ctx) { fc.work(2 * time.Millisecond) })
+		s.Sync()
+	})
+	if p.Span != 6*time.Millisecond {
+		t.Fatalf("span = %v, want 6ms", p.Span)
+	}
+}
+
+func TestSpeedupBound(t *testing.T) {
+	p := Profile{Work: 100 * time.Millisecond, Span: 10 * time.Millisecond}
+	if b := p.SpeedupBound(2); b < 1.9 || b > 2.1 {
+		t.Errorf("bound(2) = %.2f", b)
+	}
+	// Beyond the parallelism, the bound saturates at T1/T∞ = 10.
+	if b := p.SpeedupBound(1000); b < 9.9 || b > 10.1 {
+		t.Errorf("bound(1000) = %.2f", b)
+	}
+	if p.SpeedupBound(0) != 0 {
+		t.Error("bound(0) should be 0")
+	}
+}
+
+func TestParallelismDegenerate(t *testing.T) {
+	if (Profile{}).Parallelism() != 1 {
+		t.Error("zero profile parallelism should be 1")
+	}
+}
+
+func TestSequentialSemanticsPreserved(t *testing.T) {
+	// Profiling must not change results: it is a serial elision. Uses the
+	// real clock — no timing assertions.
+	var fibN func(c api.Ctx, n int) int
+	fibN = func(c api.Ctx, n int) int {
+		if n < 2 {
+			return n
+		}
+		var a int
+		s := c.Scope()
+		s.Spawn(func(c api.Ctx) { a = fibN(c, n-1) })
+		b := fibN(c, n-2)
+		s.Sync()
+		return a + b
+	}
+	var got int
+	p := Measure(func(c api.Ctx) { got = fibN(c, 15) })
+	if got != 610 {
+		t.Fatalf("fib(15) under profiling = %d", got)
+	}
+	if p.Spawns == 0 || p.Work <= 0 {
+		t.Errorf("profile empty: %+v", p)
+	}
+}

@@ -1,0 +1,109 @@
+package deque
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ABPDeque is the non-blocking work-stealing deque of Arora, Blumofe and
+// Plaxton (SPAA'98). The top index and a generation tag are packed into a
+// single 64-bit word ("age") manipulated with CAS; PushBottom needs no
+// atomic read-modify-write and PopBottom needs one only when racing for
+// the last element.
+//
+// The algorithm's documented drawback (§II-D of the Nowa paper): the array
+// is not a ring, and PopTop only ever increments top, so space freed by
+// steals is unusable until the owner observes an empty deque and resets
+// both indices. The reduced-effective-capacity condition can therefore
+// persist; Overflowed reports when it caused a push to fail.
+type ABPDeque[T any] struct {
+	age      atomic.Uint64 // packed (tag<<32 | top)
+	_        [7]int64
+	bot      atomic.Int64
+	_        [7]int64
+	slots    []atomic.Pointer[T]
+	overflow atomic.Int64
+}
+
+func packAge(top, tag uint32) uint64       { return uint64(tag)<<32 | uint64(top) }
+func unpackAge(a uint64) (top, tag uint32) { return uint32(a), uint32(a >> 32) }
+
+// NewABP returns an empty ABP deque with a fixed capacity of capHint
+// (rounded up to a power of two), as in the original bounded algorithm.
+func NewABP[T any](capHint int) *ABPDeque[T] {
+	return &ABPDeque[T]{slots: make([]atomic.Pointer[T], roundUpPow2(capHint))}
+}
+
+// PushBottom appends x. Owner-only. It panics when the array is exhausted —
+// including via the reduced-effective-capacity pathology — mirroring the
+// bounded original. Use Overflowed in tests to detect near-misses.
+func (d *ABPDeque[T]) PushBottom(x *T) {
+	b := d.bot.Load()
+	if b == int64(len(d.slots)) {
+		d.overflow.Add(1)
+		panic(fmt.Sprintf("deque: ABP deque overflow at capacity %d (top=%d)", len(d.slots), func() uint32 { t, _ := unpackAge(d.age.Load()); return t }()))
+	}
+	d.slots[b].Store(x)
+	d.bot.Store(b + 1)
+}
+
+// PopBottom removes the most recently pushed item. Owner-only.
+func (d *ABPDeque[T]) PopBottom() (*T, bool) {
+	b := d.bot.Load()
+	if b == 0 {
+		return nil, false
+	}
+	b--
+	d.bot.Store(b)
+	x := d.slots[b].Load()
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	if b > int64(top) {
+		return x, true
+	}
+	// Zero or one element left: reset bottom and bump the generation tag,
+	// the ABP mitigation for its monotonically advancing indices.
+	d.bot.Store(0)
+	newAge := packAge(0, tag+1)
+	if b == int64(top) {
+		if d.age.CompareAndSwap(oldAge, newAge) {
+			return x, true
+		}
+	}
+	// A thief got the last element (or the deque was already empty).
+	d.age.Store(newAge)
+	return nil, false
+}
+
+// PopTop steals the oldest item. Thief-safe; false on empty or lost race.
+func (d *ABPDeque[T]) PopTop() (*T, bool) {
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	b := d.bot.Load()
+	if b <= int64(top) {
+		return nil, false
+	}
+	x := d.slots[top].Load()
+	newAge := packAge(top+1, tag)
+	if d.age.CompareAndSwap(oldAge, newAge) {
+		return x, true
+	}
+	return nil, false
+}
+
+// Size reports a best-effort element count.
+func (d *ABPDeque[T]) Size() int {
+	top, _ := unpackAge(d.age.Load())
+	n := d.bot.Load() - int64(top)
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Overflowed reports how many PushBottom calls hit the capacity limit
+// (each such call panicked; the counter survives recover-based tests).
+func (d *ABPDeque[T]) Overflowed() int64 { return d.overflow.Load() }
+
+// Capacity reports the fixed array size.
+func (d *ABPDeque[T]) Capacity() int { return len(d.slots) }

@@ -1,0 +1,287 @@
+package deque
+
+import (
+	"testing"
+)
+
+// algorithms lists every implementation for conformance testing.
+var algorithms = []Algorithm{CL, THE, ABP, Locked}
+
+func forEach(t *testing.T, f func(t *testing.T, alg Algorithm)) {
+	t.Helper()
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) { f(t, alg) })
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[Algorithm]string{CL: "CL", THE: "THE", ABP: "ABP", Locked: "Locked"}
+	for alg, s := range want {
+		if alg.String() != s {
+			t.Errorf("Algorithm(%d).String() = %q, want %q", int(alg), alg.String(), s)
+		}
+	}
+	if got := Algorithm(99).String(); got != "Algorithm(99)" {
+		t.Errorf("unknown algorithm stringer = %q", got)
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown algorithm did not panic")
+		}
+	}()
+	New[int](Algorithm(42), 8)
+}
+
+func TestEmptyPops(t *testing.T) {
+	forEach(t, func(t *testing.T, alg Algorithm) {
+		d := New[int](alg, 8)
+		if _, ok := d.PopBottom(); ok {
+			t.Error("PopBottom on empty deque reported ok")
+		}
+		if _, ok := d.PopTop(); ok {
+			t.Error("PopTop on empty deque reported ok")
+		}
+		if d.Size() != 0 {
+			t.Errorf("empty deque Size = %d", d.Size())
+		}
+	})
+}
+
+func TestBottomIsLIFO(t *testing.T) {
+	forEach(t, func(t *testing.T, alg Algorithm) {
+		d := New[int](alg, 8)
+		vals := []int{10, 20, 30, 40, 50}
+		ptrs := make([]*int, len(vals))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+			d.PushBottom(ptrs[i])
+		}
+		if d.Size() != len(vals) {
+			t.Fatalf("Size = %d, want %d", d.Size(), len(vals))
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			x, ok := d.PopBottom()
+			if !ok {
+				t.Fatalf("PopBottom #%d failed", i)
+			}
+			if x != ptrs[i] {
+				t.Fatalf("PopBottom returned %v, want %v (LIFO violation)", *x, vals[i])
+			}
+		}
+		if _, ok := d.PopBottom(); ok {
+			t.Error("deque not empty after popping everything")
+		}
+	})
+}
+
+func TestTopIsFIFO(t *testing.T) {
+	forEach(t, func(t *testing.T, alg Algorithm) {
+		d := New[int](alg, 8)
+		vals := []int{1, 2, 3, 4, 5, 6}
+		for i := range vals {
+			d.PushBottom(&vals[i])
+		}
+		for i := range vals {
+			x, ok := d.PopTop()
+			if !ok {
+				t.Fatalf("PopTop #%d failed", i)
+			}
+			if *x != vals[i] {
+				t.Fatalf("PopTop returned %d, want %d (FIFO violation)", *x, vals[i])
+			}
+		}
+		if _, ok := d.PopTop(); ok {
+			t.Error("deque not empty after stealing everything")
+		}
+	})
+}
+
+func TestMixedEnds(t *testing.T) {
+	forEach(t, func(t *testing.T, alg Algorithm) {
+		d := New[int](alg, 8)
+		vals := []int{1, 2, 3, 4}
+		for i := range vals {
+			d.PushBottom(&vals[i])
+		}
+		// Steal the two oldest, pop the two newest.
+		if x, ok := d.PopTop(); !ok || *x != 1 {
+			t.Fatalf("first steal = %v, %v", x, ok)
+		}
+		if x, ok := d.PopBottom(); !ok || *x != 4 {
+			t.Fatalf("first pop = %v, %v", x, ok)
+		}
+		if x, ok := d.PopTop(); !ok || *x != 2 {
+			t.Fatalf("second steal = %v, %v", x, ok)
+		}
+		if x, ok := d.PopBottom(); !ok || *x != 3 {
+			t.Fatalf("second pop = %v, %v", x, ok)
+		}
+		if d.Size() != 0 {
+			t.Fatalf("Size = %d after draining", d.Size())
+		}
+	})
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	forEach(t, func(t *testing.T, alg Algorithm) {
+		d := New[int](alg, 8)
+		// Repeated push/pop cycles exercise index reset logic (THE, ABP).
+		for cycle := 0; cycle < 100; cycle++ {
+			vals := make([]int, 5)
+			for i := range vals {
+				vals[i] = cycle*10 + i
+				d.PushBottom(&vals[i])
+			}
+			for i := 4; i >= 0; i-- {
+				x, ok := d.PopBottom()
+				if !ok || *x != vals[i] {
+					t.Fatalf("cycle %d: pop %d got %v ok=%v", cycle, vals[i], x, ok)
+				}
+			}
+			if _, ok := d.PopBottom(); ok {
+				t.Fatalf("cycle %d: deque should be empty", cycle)
+			}
+		}
+	})
+}
+
+func TestGrowth(t *testing.T) {
+	// CL, THE and Locked must grow past their initial capacity.
+	for _, alg := range []Algorithm{CL, THE, Locked} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			d := New[int](alg, 8)
+			const n = 10_000
+			vals := make([]int, n)
+			for i := 0; i < n; i++ {
+				vals[i] = i
+				d.PushBottom(&vals[i])
+			}
+			if d.Size() != n {
+				t.Fatalf("Size = %d, want %d", d.Size(), n)
+			}
+			for i := n - 1; i >= 0; i-- {
+				x, ok := d.PopBottom()
+				if !ok || *x != i {
+					t.Fatalf("pop %d got %v ok=%v", i, x, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestGrowthPreservesOrderAcrossSteals(t *testing.T) {
+	// Steal a prefix, then force growth: the surviving window must be intact.
+	for _, alg := range []Algorithm{CL, THE} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			d := New[int](alg, 8)
+			const n = 64
+			vals := make([]int, n)
+			for i := 0; i < 6; i++ {
+				vals[i] = i
+				d.PushBottom(&vals[i])
+			}
+			for i := 0; i < 3; i++ {
+				if x, ok := d.PopTop(); !ok || *x != i {
+					t.Fatalf("steal %d got %v ok=%v", i, x, ok)
+				}
+			}
+			for i := 6; i < n; i++ {
+				vals[i] = i
+				d.PushBottom(&vals[i]) // forces at least one grow
+			}
+			for i := n - 1; i >= 3; i-- {
+				x, ok := d.PopBottom()
+				if !ok || *x != i {
+					t.Fatalf("pop %d got %v ok=%v", i, x, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestABPOverflowPathology(t *testing.T) {
+	// §II-D: space freed by PopTop is unusable in the ABP deque. With
+	// capacity 8, stealing items does not make room for new pushes.
+	d := NewABP[int](8)
+	vals := make([]int, 16)
+	for i := 0; i < 8; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := d.PopTop(); !ok {
+			t.Fatalf("steal %d failed", i)
+		}
+	}
+	// Logical size is 4, physical bottom is 8: the next push must overflow
+	// even though half the capacity is "free".
+	if d.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", d.Size())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("push into reduced-capacity ABP deque did not overflow")
+			}
+		}()
+		d.PushBottom(&vals[8])
+	}()
+	if d.Overflowed() != 1 {
+		t.Errorf("Overflowed = %d, want 1", d.Overflowed())
+	}
+	if d.Capacity() != 8 {
+		t.Errorf("Capacity = %d, want 8", d.Capacity())
+	}
+	// The mitigation: drain to empty (reset), then full capacity returns.
+	for {
+		if _, ok := d.PopBottom(); !ok {
+			break
+		}
+	}
+	for i := 0; i < 8; i++ {
+		d.PushBottom(&vals[i]) // must not panic after the reset
+	}
+	if d.Size() != 8 {
+		t.Fatalf("Size after reset/refill = %d, want 8", d.Size())
+	}
+}
+
+func TestABPTagPreventsABA(t *testing.T) {
+	// After a reset, top returns to 0 but the tag must have advanced so a
+	// stale CAS cannot succeed.
+	d := NewABP[int](8)
+	v := 1
+	d.PushBottom(&v)
+	age0 := d.age.Load()
+	if _, ok := d.PopBottom(); !ok {
+		t.Fatal("pop failed")
+	}
+	d.PushBottom(&v)
+	age1 := d.age.Load()
+	_, tag0 := unpackAge(age0)
+	top1, tag1 := unpackAge(age1)
+	if top1 != 0 {
+		t.Errorf("top after reset = %d, want 0", top1)
+	}
+	if tag1 == tag0 {
+		t.Errorf("generation tag did not advance across reset (tag=%d)", tag1)
+	}
+}
+
+func TestSizeNonNegativeDuringOwnerPop(t *testing.T) {
+	forEach(t, func(t *testing.T, alg Algorithm) {
+		d := New[int](alg, 8)
+		v := 7
+		d.PushBottom(&v)
+		d.PopBottom()
+		if s := d.Size(); s != 0 {
+			t.Errorf("Size = %d, want 0", s)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package deque
+
+import "testing"
+
+// FuzzDequeModel fuzzes operation sequences against the reference model
+// for every growable algorithm. Byte semantics: b%3 — 0 push, 1 pop
+// bottom, 2 pop top.
+func FuzzDequeModel(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 1})
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 2, 2})
+	f.Add([]byte{2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2000 {
+			ops = ops[:2000]
+		}
+		for _, alg := range []Algorithm{CL, THE, Locked} {
+			if !applyOps(t, alg, 8, opSeq(ops)) {
+				t.Fatalf("%v diverged from the model on %v", alg, ops)
+			}
+		}
+		// ABP with ample capacity for the bounded index space.
+		if !applyOps(t, ABP, 4096, opSeq(ops)) {
+			t.Fatalf("ABP diverged from the model on %v", ops)
+		}
+	})
+}
+
+// FuzzCLGrowth drives the Chase–Lev deque through growth boundaries with
+// arbitrary steal prefixes.
+func FuzzCLGrowth(f *testing.F) {
+	f.Add(uint8(6), uint8(3), uint8(120))
+	f.Fuzz(func(t *testing.T, initial, steals, extra uint8) {
+		d := NewCL[int](8)
+		n := int(initial)
+		vals := make([]int, n+int(extra))
+		for i := 0; i < n; i++ {
+			vals[i] = i
+			d.PushBottom(&vals[i])
+		}
+		st := int(steals)
+		if st > n {
+			st = n
+		}
+		for i := 0; i < st; i++ {
+			if x, ok := d.PopTop(); !ok || *x != i {
+				t.Fatalf("steal %d got %v ok=%v", i, x, ok)
+			}
+		}
+		for i := n; i < n+int(extra); i++ {
+			vals[i] = i
+			d.PushBottom(&vals[i])
+		}
+		for i := n + int(extra) - 1; i >= st; i-- {
+			x, ok := d.PopBottom()
+			if !ok || *x != i {
+				t.Fatalf("pop %d got %v ok=%v", i, x, ok)
+			}
+		}
+		if _, ok := d.PopBottom(); ok {
+			t.Fatal("deque should be empty")
+		}
+	})
+}

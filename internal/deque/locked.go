@@ -1,0 +1,60 @@
+package deque
+
+import "sync"
+
+// LockedDeque is the strawman: every operation acquires one mutex. It is
+// the "fully-synchronised queue" §II-A mentions as usable but slow, and the
+// lower anchor for the ablation benchmarks.
+type LockedDeque[T any] struct {
+	mu    sync.Mutex
+	items []*T
+}
+
+// NewLocked returns an empty fully locked deque.
+func NewLocked[T any](capHint int) *LockedDeque[T] {
+	return &LockedDeque[T]{items: make([]*T, 0, capHint)}
+}
+
+// PushBottom appends x at the bottom end.
+func (d *LockedDeque[T]) PushBottom(x *T) {
+	d.mu.Lock()
+	d.items = append(d.items, x)
+	d.mu.Unlock()
+}
+
+// PopBottom removes the most recently pushed item.
+func (d *LockedDeque[T]) PopBottom() (*T, bool) {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	x := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return x, true
+}
+
+// PopTop steals the oldest item.
+func (d *LockedDeque[T]) PopTop() (*T, bool) {
+	d.mu.Lock()
+	if len(d.items) == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	x := d.items[0]
+	d.items[0] = nil
+	d.items = d.items[1:]
+	d.mu.Unlock()
+	return x, true
+}
+
+// Size reports the element count.
+func (d *LockedDeque[T]) Size() int {
+	d.mu.Lock()
+	n := len(d.items)
+	d.mu.Unlock()
+	return n
+}

@@ -1,0 +1,138 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// modelDeque is the obviously correct reference used for model-based
+// property testing of the sequential (single-threaded) semantics.
+type modelDeque struct{ items []*int }
+
+func (m *modelDeque) PushBottom(x *int) { m.items = append(m.items, x) }
+func (m *modelDeque) PopBottom() (*int, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	x := m.items[len(m.items)-1]
+	m.items = m.items[:len(m.items)-1]
+	return x, true
+}
+func (m *modelDeque) PopTop() (*int, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	x := m.items[0]
+	m.items = m.items[1:]
+	return x, true
+}
+func (m *modelDeque) Size() int { return len(m.items) }
+
+// opSeq is a randomly generated operation sequence: 0 = push, 1 = pop
+// bottom, 2 = pop top.
+type opSeq []byte
+
+// applyOps runs the sequence against both deques and reports the first
+// divergence.
+func applyOps(t *testing.T, alg Algorithm, capHint int, ops opSeq) bool {
+	d := New[int](alg, capHint)
+	m := &modelDeque{}
+	counter := 0
+	storage := make([]int, 0, len(ops))
+	for i, op := range ops {
+		switch op % 3 {
+		case 0:
+			storage = append(storage, counter)
+			counter++
+			x := &storage[len(storage)-1]
+			d.PushBottom(x)
+			m.PushBottom(x)
+		case 1:
+			got, gotOK := d.PopBottom()
+			want, wantOK := m.PopBottom()
+			if gotOK != wantOK || got != want {
+				t.Logf("%s: op %d PopBottom diverged: got (%v,%v) want (%v,%v)", alg, i, got, gotOK, want, wantOK)
+				return false
+			}
+		case 2:
+			got, gotOK := d.PopTop()
+			want, wantOK := m.PopTop()
+			if gotOK != wantOK || got != want {
+				t.Logf("%s: op %d PopTop diverged: got (%v,%v) want (%v,%v)", alg, i, got, gotOK, want, wantOK)
+				return false
+			}
+		}
+		if d.Size() != m.Size() {
+			t.Logf("%s: op %d Size diverged: got %d want %d", alg, i, d.Size(), m.Size())
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, alg := range []Algorithm{CL, THE, Locked} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			f := func(ops opSeq) bool { return applyOps(t, alg, 8, ops) }
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// ABP gets its own model test with bounded sequences so pushes cannot
+// overflow its fixed capacity (pushes are capped by construction).
+func TestQuickModelEquivalenceABP(t *testing.T) {
+	f := func(ops opSeq) bool {
+		// Trim so the ABP deque's fixed array cannot overflow:
+		// the bot index never exceeds the number of pushes, so <=1000
+		// pushes cannot overflow capacity 4096.
+		if len(ops) > 1000 {
+			ops = ops[:1000]
+		}
+		return applyOps(t, ABP, 4096, ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStealDrainOrder(t *testing.T) {
+	// Property: for any set of pushed values, repeatedly alternating
+	// PopTop/PopBottom drains exactly the pushed multiset.
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			f := func(vals []int, fromTop []bool) bool {
+				if len(vals) > 500 {
+					vals = vals[:500]
+				}
+				d := New[int](alg, 1024)
+				for i := range vals {
+					d.PushBottom(&vals[i])
+				}
+				seen := make(map[*int]bool, len(vals))
+				for i := 0; i < len(vals); i++ {
+					var x *int
+					var ok bool
+					if i < len(fromTop) && fromTop[i] {
+						x, ok = d.PopTop()
+					} else {
+						x, ok = d.PopBottom()
+					}
+					if !ok || x == nil || seen[x] {
+						return false
+					}
+					seen[x] = true
+				}
+				_, ok := d.PopBottom()
+				return !ok && len(seen) == len(vals)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stressConfig drives the owner/thieves stress harness.
+type stressConfig struct {
+	items   int // total items the owner pushes
+	thieves int
+	popBias int // owner pops once every popBias pushes
+}
+
+// runStress pushes cfg.items unique items from a single owner goroutine
+// (interleaving pops) while cfg.thieves thieves steal concurrently. It
+// verifies the fundamental deque safety property: every pushed item is
+// consumed exactly once, none are lost, none are duplicated.
+func runStress(t *testing.T, alg Algorithm, cfg stressConfig) {
+	t.Helper()
+	d := New[int64](alg, 1<<16)
+	consumed := make([]atomic.Int32, cfg.items)
+	var totalConsumed atomic.Int64
+
+	consume := func(x *int64, who string) {
+		if x == nil {
+			t.Errorf("%s consumed nil item", who)
+			return
+		}
+		if n := consumed[*x].Add(1); n != 1 {
+			t.Errorf("%s: item %d consumed %d times", who, *x, n)
+		}
+		totalConsumed.Add(1)
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if x, ok := d.PopTop(); ok {
+					consume(x, "thief")
+				}
+			}
+			// Final drain so nothing lingers if the owner finished first.
+			for {
+				x, ok := d.PopTop()
+				if !ok {
+					return
+				}
+				consume(x, "thief-drain")
+			}
+		}()
+	}
+
+	vals := make([]int64, cfg.items)
+	for i := 0; i < cfg.items; i++ {
+		vals[i] = int64(i)
+		d.PushBottom(&vals[i])
+		if cfg.popBias > 0 && i%cfg.popBias == cfg.popBias-1 {
+			if x, ok := d.PopBottom(); ok {
+				consume(x, "owner")
+			}
+		}
+	}
+	// Owner drains its own deque, as a worker running out of spawns does.
+	for {
+		x, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		consume(x, "owner-drain")
+	}
+	done.Store(true)
+	wg.Wait()
+
+	// Thieves may race the owner's final PopBottom "empty" observation, so
+	// drain once more from the owner side after all thieves stopped.
+	for {
+		x, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		consume(x, "owner-final")
+	}
+
+	if got := totalConsumed.Load(); got != int64(cfg.items) {
+		t.Fatalf("%s: consumed %d items, pushed %d (lost %d)", alg, got, cfg.items, int64(cfg.items)-got)
+	}
+}
+
+func TestStressOwnerVsThieves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			runStress(t, alg, stressConfig{items: 50_000, thieves: 4, popBias: 3})
+		})
+	}
+}
+
+func TestStressStealHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			// No owner pops: thieves must consume everything.
+			runStress(t, alg, stressConfig{items: 30_000, thieves: 8, popBias: 0})
+		})
+	}
+}
+
+func TestStressLastElementRace(t *testing.T) {
+	// Hammer the single-element conflict path: one item at a time, one
+	// thief and the owner racing for it.
+	for _, alg := range algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			d := New[int64](alg, 64)
+			const rounds = 20_000
+			consumed := make([]atomic.Int32, rounds)
+			var stolen, popped atomic.Int64
+			var wg sync.WaitGroup
+			next := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range next {
+					// One steal attempt per round. A lagging attempt may
+					// land on a later round's item; that is fine — only
+					// exactly-once consumption matters.
+					if y, ok := d.PopTop(); ok {
+						if consumed[*y].Add(1) != 1 {
+							t.Errorf("item %d consumed twice (thief)", *y)
+						}
+						stolen.Add(1)
+					}
+				}
+			}()
+			vals := make([]int64, rounds)
+			for i := 0; i < rounds; i++ {
+				vals[i] = int64(i)
+				d.PushBottom(&vals[i])
+				next <- struct{}{}
+				if y, ok := d.PopBottom(); ok {
+					if consumed[*y].Add(1) != 1 {
+						t.Fatalf("item %d consumed twice (owner)", *y)
+					}
+					popped.Add(1)
+				}
+			}
+			close(next)
+			wg.Wait()
+			// Anything neither side took must still be in the deque.
+			for {
+				y, ok := d.PopBottom()
+				if !ok {
+					break
+				}
+				if consumed[*y].Add(1) != 1 {
+					t.Fatalf("item %d consumed twice (drain)", *y)
+				}
+				popped.Add(1)
+			}
+			if popped.Load()+stolen.Load() != rounds {
+				t.Fatalf("popped %d + stolen %d != %d rounds",
+					popped.Load(), stolen.Load(), rounds)
+			}
+		})
+	}
+}
+
+func TestStressGrowthUnderSteals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	// Tiny initial capacity forces repeated growth while thieves run.
+	for _, alg := range []Algorithm{CL, THE, Locked} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			d := New[int64](alg, 8)
+			const items = 20_000
+			consumed := make([]atomic.Int32, items)
+			var total atomic.Int64
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !done.Load() {
+						if x, ok := d.PopTop(); ok {
+							if consumed[*x].Add(1) != 1 {
+								t.Errorf("duplicate consume of %d", *x)
+							}
+							total.Add(1)
+						}
+					}
+				}()
+			}
+			vals := make([]int64, items)
+			for i := range vals {
+				vals[i] = int64(i)
+				d.PushBottom(&vals[i])
+			}
+			for {
+				x, ok := d.PopBottom()
+				if !ok {
+					break
+				}
+				if consumed[*x].Add(1) != 1 {
+					t.Errorf("duplicate consume of %d", *x)
+				}
+				total.Add(1)
+			}
+			done.Store(true)
+			wg.Wait()
+			for {
+				x, ok := d.PopBottom()
+				if !ok {
+					break
+				}
+				if consumed[*x].Add(1) != 1 {
+					t.Errorf("duplicate consume of %d", *x)
+				}
+				total.Add(1)
+			}
+			if total.Load() != items {
+				t.Fatalf("consumed %d, want %d", total.Load(), items)
+			}
+		})
+	}
+}

@@ -1,0 +1,333 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Deque micro-step model: the Chase–Lev algorithm as implemented in
+// internal/deque/cl.go, decomposed into its individual shared-memory
+// accesses (loads, stores, CAS), exhaustively interleaved between one
+// owner and a set of thieves — the §II-D style of verification Norris and
+// Demsky applied to the published CL queue (and found a bug in).
+//
+// Go's sync/atomic operations are sequentially consistent, so exploring
+// all interleavings of atomic micro-steps is a faithful model of the
+// implementation's possible behaviours.
+//
+// Checked property: element conservation — every pushed value is consumed
+// exactly once (by the owner's pop or a thief's steal) or remains in the
+// deque at quiescence; no loss, no duplication.
+
+// DequeOp is one owner operation in a scenario.
+type DequeOp uint8
+
+const (
+	// DPush pushes the next value in sequence.
+	DPush DequeOp = iota
+	// DPop pops from the bottom.
+	DPop
+)
+
+// DequeConfig is a bounded scenario.
+type DequeConfig struct {
+	// Owner is the owner's operation sequence.
+	Owner []DequeOp
+	// Thieves is the number of concurrent popTop callers (each performs
+	// one steal, retrying a failed CAS up to MaxRetries times).
+	Thieves int
+	// MaxRetries bounds a thief's CAS retries (keeps the model finite).
+	MaxRetries int
+	// BuggyPublishFirst inverts the push order (publish bottom before
+	// storing the element) — a classic ordering bug the checker must
+	// catch, validating its sensitivity.
+	BuggyPublishFirst bool
+}
+
+const dequeRingSize = 8 // power of two ≥ max elements in any scenario
+
+// dstate is the full shared + per-thread state.
+type dstate struct {
+	top    int8
+	bottom int8
+	slots  [dequeRingSize]int8
+
+	ownerPC  int8 // index into the compiled owner micro-program
+	ownerOp  int8 // which Owner op is executing
+	ownerB   int8 // owner's local register
+	ownerT   int8
+	ownerGot []int8 // values the owner popped (in order)
+
+	thiefPC   []int8 // per thief
+	thiefT    []int8
+	thiefB    []int8
+	thiefX    []int8
+	thiefTry  []int8
+	thiefGot  []int8 // -1: nothing yet; -2: observed empty / gave up
+	pushedVal int8   // next value to push (1, 2, 3, …)
+}
+
+func (s *dstate) clone() *dstate {
+	ns := *s
+	ns.ownerGot = append([]int8(nil), s.ownerGot...)
+	ns.thiefPC = append([]int8(nil), s.thiefPC...)
+	ns.thiefT = append([]int8(nil), s.thiefT...)
+	ns.thiefB = append([]int8(nil), s.thiefB...)
+	ns.thiefX = append([]int8(nil), s.thiefX...)
+	ns.thiefTry = append([]int8(nil), s.thiefTry...)
+	ns.thiefGot = append([]int8(nil), s.thiefGot...)
+	return &ns
+}
+
+func (s *dstate) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%v|%d|%d|%d|%d|%v|", s.top, s.bottom, s.slots, s.ownerPC, s.ownerOp, s.ownerB, s.ownerT, s.ownerGot)
+	fmt.Fprintf(&b, "%v|%v|%v|%v|%v|%v|%d", s.thiefPC, s.thiefT, s.thiefB, s.thiefX, s.thiefTry, s.thiefGot, s.pushedVal)
+	return b.String()
+}
+
+// DequeResult reports a deque model check.
+type DequeResult struct {
+	States     int
+	Executions int
+	Violation  *Violation
+}
+
+// CheckDeque exhaustively explores the scenario.
+func CheckDeque(cfg DequeConfig) DequeResult {
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	s := &dstate{pushedVal: 1}
+	s.thiefPC = make([]int8, cfg.Thieves)
+	s.thiefT = make([]int8, cfg.Thieves)
+	s.thiefB = make([]int8, cfg.Thieves)
+	s.thiefX = make([]int8, cfg.Thieves)
+	s.thiefTry = make([]int8, cfg.Thieves)
+	s.thiefGot = make([]int8, cfg.Thieves)
+	for i := range s.thiefGot {
+		s.thiefGot[i] = -1
+	}
+	e := &dequeExplorer{cfg: cfg, visited: map[string]bool{}}
+	e.dfs(s, nil)
+	return DequeResult{States: len(e.visited), Executions: e.executions, Violation: e.violation}
+}
+
+type dequeExplorer struct {
+	cfg        DequeConfig
+	visited    map[string]bool
+	executions int
+	violation  *Violation
+}
+
+func (e *dequeExplorer) dfs(s *dstate, trace []string) {
+	if e.violation != nil {
+		return
+	}
+	k := s.key()
+	if e.visited[k] {
+		return
+	}
+	e.visited[k] = true
+
+	ts := e.enabled(s)
+	if len(ts) == 0 {
+		e.executions++
+		if v := e.checkTerminal(s, trace); v != nil {
+			e.violation = v
+		}
+		return
+	}
+	for _, t := range ts {
+		ns := s.clone()
+		t.apply(ns)
+		e.dfs(ns, append(trace, t.name))
+		if e.violation != nil {
+			return
+		}
+	}
+}
+
+// checkTerminal verifies conservation at quiescence.
+func (e *dequeExplorer) checkTerminal(s *dstate, trace []string) *Violation {
+	pushed := int(s.pushedVal) - 1
+	seen := map[int8]int{}
+	for _, v := range s.ownerGot {
+		seen[v]++
+	}
+	for _, v := range s.thiefGot {
+		if v > 0 {
+			seen[v]++
+		}
+	}
+	// Remaining elements live at ring indices [top, bottom).
+	for i := s.top; i < s.bottom; i++ {
+		seen[s.slots[i%dequeRingSize]]++
+	}
+	for v := int8(1); int(v) <= pushed; v++ {
+		switch seen[v] {
+		case 1:
+		case 0:
+			return &Violation{Kind: fmt.Sprintf("lost element %d", v), Trace: copyTrace(trace)}
+		default:
+			return &Violation{Kind: fmt.Sprintf("element %d consumed %d times", v, seen[v]), Trace: copyTrace(trace)}
+		}
+	}
+	return nil
+}
+
+type dtrans struct {
+	name  string
+	apply func(*dstate)
+}
+
+// Owner micro-programs. pc encoding per op:
+//
+//	push: 0 load b,t (reads only — fused, they do not affect safety);
+//	      1 store slot[b]; 2 store bottom=b+1 → next op
+//	pop:  0 b=load(bottom)-1; 1 store bottom=b; 2 t=load top, branch;
+//	      3 empty path: store bottom=t → next op
+//	      4 single-element: CAS top (succeed or lose); 5 store bottom=t+1 → next
+//	      6 plain take slot[b] → next op
+func (e *dequeExplorer) enabled(s *dstate) []dtrans {
+	var out []dtrans
+	if int(s.ownerOp) < len(e.cfg.Owner) {
+		out = append(out, e.ownerStep(s))
+	}
+	for i := 0; i < e.cfg.Thieves; i++ {
+		if t, ok := e.thiefStep(s, i); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (e *dequeExplorer) ownerStep(s *dstate) dtrans {
+	op := e.cfg.Owner[s.ownerOp]
+	if op == DPush {
+		storeSlot := func(ns *dstate) {
+			ns.slots[ns.ownerB%dequeRingSize] = ns.pushedVal
+			ns.pushedVal++
+		}
+		publish := func(ns *dstate) { ns.bottom = ns.ownerB + 1 }
+		first, second := storeSlot, publish
+		names := [2]string{"owner: store slot[b]", "owner: publish bottom=b+1"}
+		if e.cfg.BuggyPublishFirst {
+			first, second = publish, storeSlot
+			names = [2]string{"owner: publish bottom=b+1 (BUGGY ORDER)", "owner: store slot[b]"}
+		}
+		switch s.ownerPC {
+		case 0:
+			return dtrans{"owner: push loads b", func(ns *dstate) {
+				ns.ownerB = ns.bottom
+				ns.ownerPC = 1
+			}}
+		case 1:
+			return dtrans{names[0], func(ns *dstate) {
+				first(ns)
+				ns.ownerPC = 2
+			}}
+		default:
+			return dtrans{names[1], func(ns *dstate) {
+				second(ns)
+				ns.ownerPC = 0
+				ns.ownerOp++
+			}}
+		}
+	}
+	// DPop
+	switch s.ownerPC {
+	case 0:
+		return dtrans{"owner: pop b = bottom-1", func(ns *dstate) {
+			ns.ownerB = ns.bottom - 1
+			ns.ownerPC = 1
+		}}
+	case 1:
+		return dtrans{"owner: store bottom=b", func(ns *dstate) {
+			ns.bottom = ns.ownerB
+			ns.ownerPC = 2
+		}}
+	case 2:
+		return dtrans{"owner: t = top, branch", func(ns *dstate) {
+			ns.ownerT = ns.top
+			switch {
+			case ns.ownerT > ns.ownerB:
+				ns.ownerPC = 3 // empty
+			case ns.ownerT == ns.ownerB:
+				ns.ownerPC = 4 // last-element race
+			default:
+				ns.ownerPC = 6 // plain take
+			}
+		}}
+	case 3:
+		return dtrans{"owner: empty, restore bottom=t", func(ns *dstate) {
+			ns.bottom = ns.ownerT
+			ns.ownerPC = 0
+			ns.ownerOp++
+		}}
+	case 4:
+		return dtrans{"owner: CAS top (last element)", func(ns *dstate) {
+			if ns.top == ns.ownerT {
+				ns.top = ns.ownerT + 1
+				ns.ownerGot = append(ns.ownerGot, ns.slots[ns.ownerB%dequeRingSize])
+			}
+			ns.ownerPC = 5
+		}}
+	case 5:
+		return dtrans{"owner: store bottom=t+1", func(ns *dstate) {
+			ns.bottom = ns.ownerT + 1
+			ns.ownerPC = 0
+			ns.ownerOp++
+		}}
+	default: // 6
+		return dtrans{"owner: take slot[b]", func(ns *dstate) {
+			ns.ownerGot = append(ns.ownerGot, ns.slots[ns.ownerB%dequeRingSize])
+			ns.ownerPC = 0
+			ns.ownerOp++
+		}}
+	}
+}
+
+// Thief micro-program: 0 t=load top; 1 b=load bottom, branch (empty →
+// done); 2 x=load slot[t]; 3 CAS top: success → got x, done; failure →
+// retry from 0 or give up.
+func (e *dequeExplorer) thiefStep(s *dstate, i int) (dtrans, bool) {
+	if s.thiefGot[i] != -1 {
+		return dtrans{}, false // done
+	}
+	switch s.thiefPC[i] {
+	case 0:
+		return dtrans{fmt.Sprintf("thief %d: t = top", i), func(ns *dstate) {
+			ns.thiefT[i] = ns.top
+			ns.thiefPC[i] = 1
+		}}, true
+	case 1:
+		return dtrans{fmt.Sprintf("thief %d: b = bottom, branch", i), func(ns *dstate) {
+			ns.thiefB[i] = ns.bottom
+			if ns.thiefT[i] >= ns.thiefB[i] {
+				ns.thiefGot[i] = -2 // observed empty
+				return
+			}
+			ns.thiefPC[i] = 2
+		}}, true
+	case 2:
+		return dtrans{fmt.Sprintf("thief %d: x = slot[t]", i), func(ns *dstate) {
+			ns.thiefX[i] = ns.slots[ns.thiefT[i]%dequeRingSize]
+			ns.thiefPC[i] = 3
+		}}, true
+	default: // 3
+		return dtrans{fmt.Sprintf("thief %d: CAS top", i), func(ns *dstate) {
+			if ns.top == ns.thiefT[i] {
+				ns.top = ns.thiefT[i] + 1
+				ns.thiefGot[i] = ns.thiefX[i]
+				return
+			}
+			ns.thiefTry[i]++
+			if int(ns.thiefTry[i]) >= e.cfg.MaxRetries {
+				ns.thiefGot[i] = -2 // give up (lost race)
+				return
+			}
+			ns.thiefPC[i] = 0
+		}}, true
+	}
+}

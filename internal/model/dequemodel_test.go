@@ -1,0 +1,77 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCLDequeConservationScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		cfg  DequeConfig
+	}{
+		{"push2-pop2-2thieves", DequeConfig{Owner: []DequeOp{DPush, DPush, DPop, DPop}, Thieves: 2}},
+		{"interleaved-1thief", DequeConfig{Owner: []DequeOp{DPush, DPop, DPush, DPop}, Thieves: 1}},
+		{"push3-pop1-2thieves", DequeConfig{Owner: []DequeOp{DPush, DPush, DPush, DPop}, Thieves: 2}},
+		{"pop-on-empty-1thief", DequeConfig{Owner: []DequeOp{DPop, DPush, DPop}, Thieves: 1}},
+		{"last-element-race", DequeConfig{Owner: []DequeOp{DPush, DPop}, Thieves: 2}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			r := CheckDeque(sc.cfg)
+			if r.Violation != nil {
+				t.Fatalf("CL deque model violated:\n%s", r.Violation)
+			}
+			if r.States < 10 || r.Executions == 0 {
+				t.Fatalf("exploration too small: %d states, %d executions", r.States, r.Executions)
+			}
+			t.Logf("%s: %d states, %d maximal executions, conservation holds",
+				sc.name, r.States, r.Executions)
+		})
+	}
+}
+
+func TestCLDequeBuggyOrderCaught(t *testing.T) {
+	// Publishing bottom before storing the element must be caught: a
+	// thief can steal an uninitialised slot, losing the element.
+	r := CheckDeque(DequeConfig{
+		Owner:             []DequeOp{DPush, DPop},
+		Thieves:           1,
+		BuggyPublishFirst: true,
+	})
+	if r.Violation == nil {
+		t.Fatal("buggy publish-first ordering was reported safe — the checker is blind")
+	}
+	t.Logf("buggy order counterexample (%d states):\n%s", r.States, r.Violation)
+	if !strings.Contains(r.Violation.Kind, "lost") && !strings.Contains(r.Violation.Kind, "consumed") {
+		t.Errorf("unexpected violation kind: %s", r.Violation.Kind)
+	}
+}
+
+func TestCLDequeRetrylessThieves(t *testing.T) {
+	// MaxRetries 1: thieves give up after one failed CAS; conservation
+	// must still hold (the element stays for someone else).
+	r := CheckDeque(DequeConfig{
+		Owner:      []DequeOp{DPush, DPush, DPop, DPop},
+		Thieves:    2,
+		MaxRetries: 1,
+	})
+	if r.Violation != nil {
+		t.Fatalf("violation with retryless thieves:\n%s", r.Violation)
+	}
+}
+
+func TestCLDequeManyThieves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large model in -short mode")
+	}
+	r := CheckDeque(DequeConfig{
+		Owner:   []DequeOp{DPush, DPush, DPop},
+		Thieves: 3,
+	})
+	if r.Violation != nil {
+		t.Fatalf("violation with 3 thieves:\n%s", r.Violation)
+	}
+	t.Logf("3 thieves: %d states explored", r.States)
+}

@@ -1,0 +1,376 @@
+package model
+
+import "fmt"
+
+// transition is one enabled atomic step.
+type transition struct {
+	name  string
+	apply func(*state)
+}
+
+// Check exhaustively explores all interleavings of the configured model
+// with a DFS over distinct states, and returns the first violation found
+// (deterministically: threads are tried in index order).
+func Check(cfg Config) Result {
+	if cfg.Spawns < 1 {
+		cfg.Spawns = 1
+	}
+	s := &state{
+		pc:         make([]int8, 1+2*cfg.Spawns),
+		cont:       -1,
+		consumedBy: make([]int8, cfg.Spawns),
+	}
+	switch cfg.Proto {
+	case ProtoWaitFree:
+		s.counter = iMax
+	default:
+		// Locked/naive count active parallel strands: the main strand is
+		// active from the start (§III-A: N_c starts at one).
+		s.counter = 1
+	}
+	e := &explorer{cfg: cfg, visited: map[string]bool{}}
+	e.dfs(s, nil)
+	return Result{States: len(e.visited), Executions: e.executions, Violation: e.violation}
+}
+
+type explorer struct {
+	cfg        Config
+	visited    map[string]bool
+	executions int
+	violation  *Violation
+}
+
+func (e *explorer) dfs(s *state, trace []string) {
+	if e.violation != nil {
+		return
+	}
+	k := s.key()
+	if e.visited[k] {
+		return
+	}
+	e.visited[k] = true
+
+	if v := e.checkState(s, trace); v != nil {
+		e.violation = v
+		return
+	}
+
+	ts := e.enabled(s)
+	if len(ts) == 0 {
+		e.executions++
+		if v := e.checkTerminal(s, trace); v != nil {
+			e.violation = v
+		}
+		return
+	}
+	for _, t := range ts {
+		ns := s.clone()
+		t.apply(ns)
+		e.dfs(ns, append(trace, t.name))
+		if e.violation != nil {
+			return
+		}
+	}
+}
+
+// checkState verifies the safety properties in every reachable state.
+func (e *explorer) checkState(s *state, trace []string) *Violation {
+	if s.released > 1 {
+		return &Violation{Kind: "double release: the sync point was released twice", Trace: copyTrace(trace)}
+	}
+	if s.released > 0 && !s.syncing && s.pc[0] != e.cfg.pcMainDone() {
+		return &Violation{
+			Kind:  "premature release: sync released before the main path reached the explicit sync point",
+			Trace: copyTrace(trace),
+		}
+	}
+	if s.released == 1 {
+		// A release is premature unless every child strand has finished.
+		for i := 0; i < e.cfg.Spawns; i++ {
+			if !e.childDone(s, i) {
+				return &Violation{
+					Kind:  fmt.Sprintf("premature release: sync released while child %d is still active", i),
+					Trace: copyTrace(trace),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkTerminal verifies liveness at maximal executions: the computation
+// must have completed the sync exactly once.
+func (e *explorer) checkTerminal(s *state, trace []string) *Violation {
+	if s.pc[0] != e.cfg.pcMainDone() {
+		return &Violation{
+			Kind:  fmt.Sprintf("lost release: execution deadlocked with the main path at pc %d", s.pc[0]),
+			Trace: copyTrace(trace),
+		}
+	}
+	if s.released != 1 {
+		return &Violation{
+			Kind:  fmt.Sprintf("terminal state with %d releases, want 1", s.released),
+			Trace: copyTrace(trace),
+		}
+	}
+	return nil
+}
+
+func copyTrace(t []string) []string { return append([]string(nil), t...) }
+
+func (e *explorer) childDone(s *state, i int) bool {
+	return s.pc[1+i] == e.childDonePC()
+}
+
+func (e *explorer) childDonePC() int8 {
+	if e.cfg.Proto == ProtoNaive {
+		return 2
+	}
+	return 1
+}
+
+// enabled lists every enabled transition, threads in index order.
+func (e *explorer) enabled(s *state) []transition {
+	var out []transition
+	out = append(out, e.mainSteps(s)...)
+	for i := 0; i < e.cfg.Spawns; i++ {
+		out = append(out, e.childSteps(s, i)...)
+		out = append(out, e.thiefSteps(s, i)...)
+	}
+	return out
+}
+
+// --- main path ------------------------------------------------------------
+
+func (e *explorer) mainSteps(s *state) []transition {
+	cfg := e.cfg
+	pc := s.pc[0]
+	if i, ok := cfg.mainPush(pc); ok {
+		return []transition{{
+			name: fmt.Sprintf("main: push continuation %d, call child %d", i, i),
+			apply: func(ns *state) {
+				ns.cont = int8(i)
+				ns.pc[0]++
+			},
+		}}
+	}
+	if i, ok := cfg.mainWait(pc); ok {
+		if !s.resume {
+			return nil
+		}
+		return []transition{{
+			name: fmt.Sprintf("main: resumed after spawn %d", i),
+			apply: func(ns *state) {
+				ns.resume = false
+				ns.pc[0]++
+			},
+		}}
+	}
+	switch pc {
+	case cfg.pcPublish():
+		// Publish the suspension handle before touching the counter, as
+		// the runtime does.
+		return []transition{{
+			name: "main: reach explicit sync, publish suspension",
+			apply: func(ns *state) {
+				ns.syncing = true
+				ns.pc[0]++
+			},
+		}}
+	case cfg.pcCheck():
+		switch cfg.Proto {
+		case ProtoWaitFree:
+			return []transition{{
+				name: "main: restore N_r = N_r' - (I_max - alpha) and test",
+				apply: func(ns *state) {
+					ns.counter -= iMax - ns.alpha
+					if ns.counter == 0 {
+						ns.released++
+						ns.pc[0] = cfg.pcMainDone()
+						return
+					}
+					ns.pc[0]++
+				},
+			}}
+		default:
+			// Locked and naive: the main strand leaves the computation,
+			// decrementing the active count; zero means no outstanding
+			// children. Under ProtoLocked this whole step is atomic (frame
+			// lock); the naive variant is identical here — its race is on
+			// the queue/counter pairs of thieves and joiners.
+			return []transition{{
+				name: "main: sync decrement and test",
+				apply: func(ns *state) {
+					ns.counter--
+					if ns.counter == 0 {
+						ns.released++
+						ns.pc[0] = cfg.pcMainDone()
+						return
+					}
+					ns.pc[0]++
+				},
+			}}
+		}
+	case cfg.pcWaitRel():
+		if s.released == 0 {
+			return nil
+		}
+		return []transition{{
+			name:  "main: woken past the sync point",
+			apply: func(ns *state) { ns.pc[0] = cfg.pcMainDone() },
+		}}
+	}
+	return nil
+}
+
+// --- children --------------------------------------------------------------
+
+func (e *explorer) childSteps(s *state, i int) []transition {
+	tid := 1 + i
+	// A child exists once its spawn happened: main is past push i.
+	if int(s.pc[0]) < 2*i+1 {
+		return nil
+	}
+	switch s.pc[tid] {
+	case 0:
+		if s.cont == int8(i) {
+			// popBottom hit: discard the continuation and proceed — the
+			// resume of the parent without any counter operation.
+			return []transition{{
+				name: fmt.Sprintf("child %d: popBottom hit, resume parent", i),
+				apply: func(ns *state) {
+					ns.cont = -1
+					ns.consumedBy[i] = 1
+					ns.resume = true
+					ns.pc[tid] = e.childDonePC()
+				},
+			}}
+		}
+		if s.consumedBy[i] != 2 {
+			// The continuation is still in flight (thief mid-steal is
+			// modelled by consumedBy already being set); wait.
+			if s.cont == -1 && s.consumedBy[i] == 0 {
+				return nil
+			}
+		}
+		// popBottom miss: the continuation was stolen — implicit sync.
+		switch e.cfg.Proto {
+		case ProtoWaitFree:
+			return []transition{{
+				name: fmt.Sprintf("child %d: popBottom miss; counter-- and test", i),
+				apply: func(ns *state) {
+					ns.counter--
+					if ns.counter == 0 {
+						ns.released++
+					}
+					ns.pc[tid] = 1
+				},
+			}}
+		case ProtoLocked:
+			// Deque lock + frame lock fuse the miss observation with the
+			// decrement and test.
+			return []transition{{
+				name: fmt.Sprintf("child %d: [locked] miss+decrement+test", i),
+				apply: func(ns *state) {
+					ns.counter--
+					if ns.syncing && ns.counter == 0 {
+						ns.released++
+					}
+					ns.pc[tid] = 1
+				},
+			}}
+		default: // ProtoNaive: miss observed; decrement is a separate step.
+			return []transition{{
+				name:  fmt.Sprintf("child %d: popBottom miss observed", i),
+				apply: func(ns *state) { ns.pc[tid] = 1 },
+			}}
+		}
+	case 1:
+		if e.cfg.Proto != ProtoNaive {
+			return nil // done
+		}
+		return []transition{{
+			name: fmt.Sprintf("child %d: counter-- and test", i),
+			apply: func(ns *state) {
+				ns.counter--
+				if ns.counter == 0 {
+					ns.released++
+				}
+				ns.pc[tid] = 2
+			},
+		}}
+	}
+	return nil
+}
+
+// --- thieves ---------------------------------------------------------------
+
+func (e *explorer) thiefSteps(s *state, i int) []transition {
+	tid := 1 + e.cfg.Spawns + i
+	if int(s.pc[0]) < 2*i+1 {
+		return nil // nothing published yet
+	}
+	switch s.pc[tid] {
+	case 0:
+		if s.cont == int8(i) {
+			if e.cfg.Proto == ProtoLocked {
+				// Deque lock held across popTop and the count increment
+				// (Listing 2): one atomic step.
+				return []transition{{
+					name: fmt.Sprintf("thief %d: [locked] popTop+count++", i),
+					apply: func(ns *state) {
+						ns.cont = -1
+						ns.consumedBy[i] = 2
+						ns.counter++
+						ns.pc[tid] = 2
+					},
+				}}
+			}
+			return []transition{{
+				name: fmt.Sprintf("thief %d: popTop", i),
+				apply: func(ns *state) {
+					ns.cont = -1
+					ns.consumedBy[i] = 2
+					ns.pc[tid] = 1
+				},
+			}}
+		}
+		if s.consumedBy[i] == 1 {
+			// The child won the race; this thief gives up.
+			return []transition{{
+				name:  fmt.Sprintf("thief %d: continuation gone, abandon", i),
+				apply: func(ns *state) { ns.pc[tid] = 3 },
+			}}
+		}
+		return nil
+	case 1:
+		// The separate count update after the steal — the §III-C window.
+		switch e.cfg.Proto {
+		case ProtoWaitFree:
+			return []transition{{
+				name: fmt.Sprintf("thief %d: alpha++ (run())", i),
+				apply: func(ns *state) {
+					ns.alpha++
+					ns.pc[tid] = 2
+				},
+			}}
+		default: // naive
+			return []transition{{
+				name: fmt.Sprintf("thief %d: count++ (run())", i),
+				apply: func(ns *state) {
+					ns.counter++
+					ns.pc[tid] = 2
+				},
+			}}
+		}
+	case 2:
+		return []transition{{
+			name: fmt.Sprintf("thief %d: resume stolen continuation", i),
+			apply: func(ns *state) {
+				ns.resume = true
+				ns.pc[tid] = 3
+			},
+		}}
+	}
+	return nil
+}

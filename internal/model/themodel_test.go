@@ -1,0 +1,51 @@
+package model
+
+import "testing"
+
+func TestTHEDequeConservationScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		cfg  THEConfig
+	}{
+		{"push2-pop2-2thieves", THEConfig{Owner: []DequeOp{DPush, DPush, DPop, DPop}, Thieves: 2}},
+		{"interleaved-1thief", THEConfig{Owner: []DequeOp{DPush, DPop, DPush, DPop}, Thieves: 1}},
+		{"push3-pop2-2thieves", THEConfig{Owner: []DequeOp{DPush, DPush, DPush, DPop, DPop}, Thieves: 2}},
+		{"pop-on-empty", THEConfig{Owner: []DequeOp{DPop, DPush, DPop}, Thieves: 1}},
+		{"last-element-conflict", THEConfig{Owner: []DequeOp{DPush, DPop}, Thieves: 2}},
+		{"reset-then-reuse", THEConfig{Owner: []DequeOp{DPush, DPop, DPop, DPush, DPop}, Thieves: 1}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			r := CheckTHE(sc.cfg)
+			if r.Violation != nil {
+				t.Fatalf("THE deque model violated:\n%s", r.Violation)
+			}
+			if r.States < 10 || r.Executions == 0 {
+				t.Fatalf("exploration too small: %d states", r.States)
+			}
+			t.Logf("%s: %d states, %d maximal executions, conservation holds",
+				sc.name, r.States, r.Executions)
+		})
+	}
+}
+
+func TestTHEDequeManyThieves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large model in -short mode")
+	}
+	r := CheckTHE(THEConfig{Owner: []DequeOp{DPush, DPush, DPop}, Thieves: 3})
+	if r.Violation != nil {
+		t.Fatalf("violation with 3 thieves:\n%s", r.Violation)
+	}
+	t.Logf("3 thieves: %d states explored", r.States)
+}
+
+func TestTHELockAlwaysReleased(t *testing.T) {
+	// The terminal check includes lock==-1; a scenario heavy on conflicts
+	// exercises every lock path.
+	r := CheckTHE(THEConfig{Owner: []DequeOp{DPush, DPop, DPop}, Thieves: 2})
+	if r.Violation != nil {
+		t.Fatalf("violation: %s", r.Violation)
+	}
+}

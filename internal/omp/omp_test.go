@@ -1,0 +1,206 @@
+package omp
+
+import (
+	"testing"
+
+	"nowa/internal/api"
+)
+
+func fib(c api.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a int
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { a = fib(c, n-1) })
+	b := fib(c, n-2)
+	s.Sync()
+	return a + b
+}
+
+func fibSerial(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+func runtimes(workers int) []api.Runtime {
+	return []api.Runtime{
+		NewGOMP(workers),
+		NewOMP(workers, Untied),
+		NewOMP(workers, Tied),
+	}
+}
+
+func TestFibAllRuntimes(t *testing.T) {
+	want := fibSerial(14)
+	for _, workers := range []int{1, 2, 4} {
+		for _, rt := range runtimes(workers) {
+			rt := rt
+			t.Run(rt.Name(), func(t *testing.T) {
+				var got int
+				rt.Run(func(c api.Ctx) { got = fib(c, 14) })
+				if got != want {
+					t.Fatalf("w=%d: fib(14) = %d, want %d", workers, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewGOMP(1).Name() != "libgomp" {
+		t.Error("GOMP name")
+	}
+	if NewOMP(1, Untied).Name() != "libomp-untied" {
+		t.Error("OMP untied name")
+	}
+	if NewOMP(1, Tied).Name() != "libomp-tied" {
+		t.Error("OMP tied name")
+	}
+	if Untied.String() != "untied" || Tied.String() != "tied" {
+		t.Error("mode strings")
+	}
+}
+
+func TestWideSpawn(t *testing.T) {
+	for _, rt := range runtimes(4) {
+		rt := rt
+		t.Run(rt.Name(), func(t *testing.T) {
+			const n = 200
+			results := make([]int, n)
+			rt.Run(func(c api.Ctx) {
+				s := c.Scope()
+				for i := 0; i < n; i++ {
+					i := i
+					s.Spawn(func(c api.Ctx) { results[i] = i * 2 })
+				}
+				s.Sync()
+			})
+			for i, r := range results {
+				if r != i*2 {
+					t.Fatalf("results[%d] = %d", i, r)
+				}
+			}
+		})
+	}
+}
+
+func TestNestedTaskwaits(t *testing.T) {
+	// Nested scopes with interleaved syncs stress the tied-mode
+	// restriction (waiting thread may only run its own tasks).
+	for _, rt := range runtimes(4) {
+		rt := rt
+		t.Run(rt.Name(), func(t *testing.T) {
+			var total int
+			rt.Run(func(c api.Ctx) {
+				total = nested(c, 4)
+			})
+			if want := nestedSerial(4); total != want {
+				t.Fatalf("nested = %d, want %d", total, want)
+			}
+		})
+	}
+}
+
+func nested(c api.Ctx, depth int) int {
+	if depth == 0 {
+		return 1
+	}
+	parts := make([]int, 3)
+	s := c.Scope()
+	for i := range parts {
+		i := i
+		s.Spawn(func(c api.Ctx) { parts[i] = nested(c, depth-1) })
+	}
+	s.Sync()
+	sum := 1
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+func nestedSerial(depth int) int {
+	if depth == 0 {
+		return 1
+	}
+	sum := 1
+	for i := 0; i < 3; i++ {
+		sum += nestedSerial(depth - 1)
+	}
+	return sum
+}
+
+func TestRuntimeReuse(t *testing.T) {
+	for _, rt := range runtimes(2) {
+		rt := rt
+		t.Run(rt.Name(), func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				var got int
+				rt.Run(func(c api.Ctx) { got = fib(c, 10) })
+				if want := fibSerial(10); got != want {
+					t.Fatalf("run %d: %d != %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestGOMPCentralQueueContention(t *testing.T) {
+	// Behavioural fingerprint: every libgomp scheduling action goes
+	// through the central queue, so "steals" (queue takes) must equal
+	// spawns — there is no local fast path at all.
+	rt := NewGOMP(4)
+	rt.Run(func(c api.Ctx) { _ = fib(c, 12) })
+	cnt := rt.Counters()
+	if cnt.Spawns == 0 {
+		t.Fatal("no spawns")
+	}
+	if cnt.Steals != cnt.Spawns {
+		t.Errorf("central-queue takes (%d) != spawns (%d)", cnt.Steals, cnt.Spawns)
+	}
+	if cnt.LocalResumes != 0 {
+		t.Errorf("libgomp has no local fast path, got %d local pops", cnt.LocalResumes)
+	}
+}
+
+func TestOMPTiedNeverStealsAtTaskwait(t *testing.T) {
+	// With one worker, a tied taskwait may only pop its own deque; steal
+	// attempts would self-target and be visible in FailedSteals.
+	rt := NewOMP(1, Tied)
+	rt.Run(func(c api.Ctx) { _ = fib(c, 12) })
+	cnt := rt.Counters()
+	if cnt.Steals != 0 {
+		t.Errorf("tied single-worker recorded %d steals", cnt.Steals)
+	}
+	if cnt.LocalResumes != cnt.Spawns {
+		t.Errorf("local pops (%d) != spawns (%d)", cnt.LocalResumes, cnt.Spawns)
+	}
+}
+
+func TestConcurrentRunPanics(t *testing.T) {
+	rt := NewOMP(2, Untied)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		rt.Run(func(c api.Ctx) {
+			close(started)
+			<-release
+		})
+		close(firstDone)
+	}()
+	<-started
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second concurrent Run did not panic")
+			}
+			close(release)
+		}()
+		rt.Run(func(c api.Ctx) {})
+	}()
+	<-firstDone
+}

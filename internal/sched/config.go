@@ -1,0 +1,174 @@
+// Package sched is the continuation-stealing runtime system of the
+// reproduction: randomized work-stealing workers, one deque per worker,
+// continuations published at every spawn, the popBottom fast path, and
+// implicit/explicit sync handled by a pluggable join protocol — the
+// wait-free Nowa protocol or the lock-based Fibril baseline (§III, §IV).
+//
+// # The vessel model
+//
+// Go cannot steal native stack continuations, so strands execute on pooled
+// goroutines called vessels, and workers are reified as tokens: exactly
+// one strand holds worker w's token at any time, and "running on worker w"
+// means holding token w. Spawn publishes the parent's vessel as the
+// continuation in deque[w], hands token w to a fresh vessel that runs the
+// child, and parks the parent. The protocol-visible behaviour matches the
+// paper exactly:
+//
+//   - child-first execution order on the spawning worker;
+//   - one stealable continuation per spawning function, no allocation per
+//     spawn (the continuation slot lives in the vessel);
+//   - popBottom hit after the child returns ⇒ the continuation was not
+//     stolen and the worker proceeds (vessel handoff, token unchanged);
+//   - popBottom miss ⇒ implicit sync: tryResume on the parent scope, then
+//     work stealing;
+//   - a thief that steals a continuation increments α and becomes the main
+//     path, resuming the parked vessel with the thief's token.
+//
+// Token migration reproduces the real worker's movement precisely, so the
+// deque-per-worker contents equal the real runtime's: the continuations of
+// the frames on the worker's current execution path, outermost at the top.
+package sched
+
+import (
+	"fmt"
+
+	"nowa/internal/cactus"
+	"nowa/internal/deque"
+)
+
+// VictimPolicy selects how thieves pick victims.
+type VictimPolicy int
+
+const (
+	// VictimRandom is the paper's randomized work stealing.
+	VictimRandom VictimPolicy = iota
+	// VictimRoundRobin cycles deterministically through the workers — an
+	// ablation knob; randomized stealing's theoretical bounds (§II) do
+	// not apply to it.
+	VictimRoundRobin
+)
+
+// String returns the policy name.
+func (v VictimPolicy) String() string {
+	if v == VictimRoundRobin {
+		return "round-robin"
+	}
+	return "random"
+}
+
+// JoinKind selects the strand-coordination protocol.
+type JoinKind int
+
+const (
+	// WaitFree is the Nowa protocol of §IV.
+	WaitFree JoinKind = iota
+	// LockedFibril is the Fibril baseline: frame mutex coupled with the
+	// victim deque lock during steals (Listing 2). Requires the THE deque.
+	LockedFibril
+)
+
+// String returns the protocol name.
+func (k JoinKind) String() string {
+	if k == WaitFree {
+		return "wait-free"
+	}
+	return "locked"
+}
+
+// Config parameterises a Runtime.
+type Config struct {
+	// Name labels the variant in reports (defaults to a derived name).
+	Name string
+	// Workers is the number of worker tokens (default 1).
+	Workers int
+	// Deque selects the work-stealing queue algorithm (default CL).
+	Deque deque.Algorithm
+	// Join selects the coordination protocol (default WaitFree).
+	Join JoinKind
+	// Stacks configures the cactus stack pool. Workers and PerWorkerCap
+	// are filled in automatically; set GlobalCap for the Cilk Plus bounded
+	// mode and Madvise for the §V-B page-release experiment.
+	Stacks cactus.Config
+	// Seed seeds the per-worker steal RNGs (default 1).
+	Seed int64
+	// DequeCap is the initial deque capacity (default 256). For the
+	// bounded ABP deque this is the FIXED capacity: it must exceed the
+	// deepest spawn chain, or the runtime panics on overflow (the ABP
+	// drawback discussed in §II-D).
+	DequeCap int
+	// Victim selects the steal victim policy (default random).
+	Victim VictimPolicy
+	// Events, if non-nil, records scheduler events for tracing (see
+	// EventLog and cmd/nowa-trace). Create it with NewEventLog(Workers).
+	Events *EventLog
+}
+
+func (c *Config) fill() error {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DequeCap <= 0 {
+		c.DequeCap = 256
+	}
+	if c.Join == LockedFibril && c.Deque != deque.THE {
+		return fmt.Errorf("sched: the Fibril protocol requires the THE deque (its lock couples with the frame lock); got %v", c.Deque)
+	}
+	c.Stacks.Workers = c.Workers
+	if c.Stacks.StackBytes <= 0 {
+		c.Stacks.StackBytes = 16 << 10
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("%s+%s", c.Join, c.Deque)
+	}
+	return nil
+}
+
+// NewNowa returns the flagship configuration: wait-free join protocol with
+// the lock-free CL deque (§IV-C's synergy).
+func NewNowa(workers int) *Runtime {
+	rt, err := New(Config{Name: "nowa", Workers: workers, Deque: deque.CL, Join: WaitFree})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NewNowaTHE returns the §V-C ablation: wait-free join protocol but with
+// the partially locked THE deque.
+func NewNowaTHE(workers int) *Runtime {
+	rt, err := New(Config{Name: "nowa-the", Workers: workers, Deque: deque.THE, Join: WaitFree})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NewFibril returns the lock-based baseline: THE deque plus the coupled
+// deque/frame locking of Listing 2.
+func NewFibril(workers int) *Runtime {
+	rt, err := New(Config{Name: "fibril", Workers: workers, Deque: deque.THE, Join: LockedFibril})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// NewCilkPlus returns the Cilk Plus-like variant: lock-based like Fibril,
+// but with a bounded stack pool — workers stop stealing when the bound is
+// reached (§II-C).
+func NewCilkPlus(workers int) *Runtime {
+	rt, err := New(Config{
+		Name:    "cilkplus",
+		Workers: workers,
+		Deque:   deque.THE,
+		Join:    LockedFibril,
+		Stacks:  cactus.Config{GlobalCap: 8 * workers},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}

@@ -1,0 +1,113 @@
+package sched
+
+import "time"
+
+// EventKind labels one scheduler event for tracing.
+type EventKind uint8
+
+const (
+	// EvSpawn: a continuation was published (Aux = scope's task depth
+	// unused; Aux = 0).
+	EvSpawn EventKind = iota
+	// EvLocalResume: popBottom hit — continuation resumed in place.
+	EvLocalResume
+	// EvSteal: a continuation was stolen (Aux = victim worker).
+	EvSteal
+	// EvImplicitSync: popBottom miss — the continuation was stolen.
+	EvImplicitSync
+	// EvSuspend: a frame suspended at an explicit sync point.
+	EvSuspend
+	// EvSyncResume: a suspended frame was resumed by its last joiner.
+	EvSyncResume
+	// EvStrandStart: a vessel began executing a strand.
+	EvStrandStart
+	// EvStrandEnd: a strand's function returned.
+	EvStrandEnd
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvLocalResume:
+		return "local-resume"
+	case EvSteal:
+		return "steal"
+	case EvImplicitSync:
+		return "implicit-sync"
+	case EvSuspend:
+		return "suspend"
+	case EvSyncResume:
+		return "sync-resume"
+	case EvStrandStart:
+		return "strand-start"
+	case EvStrandEnd:
+		return "strand-end"
+	}
+	return "unknown"
+}
+
+// Event is one recorded scheduler event.
+type Event struct {
+	// T is the time since the Run started.
+	T time.Duration
+	// Worker is the worker token the event occurred on.
+	Worker int32
+	// Kind is the event type.
+	Kind EventKind
+	// Aux carries kind-specific data (EvSteal: the victim worker).
+	Aux int32
+}
+
+// EventLog collects scheduler events with per-worker buffers (no
+// synchronisation on the hot path: a worker token is held by exactly one
+// strand at a time). Attach one via Config.Events; read it with Drain
+// after the Run completes.
+type EventLog struct {
+	start   time.Time
+	perWork [][]Event
+}
+
+// NewEventLog creates a log for the given worker count.
+func NewEventLog(workers int) *EventLog {
+	return &EventLog{perWork: make([][]Event, workers)}
+}
+
+// reset is called by Run; events from previous runs are discarded.
+func (l *EventLog) reset() {
+	l.start = time.Now()
+	for w := range l.perWork {
+		l.perWork[w] = l.perWork[w][:0]
+	}
+}
+
+// record appends one event to the worker's buffer.
+func (l *EventLog) record(worker int, kind EventKind, aux int32) {
+	l.perWork[worker] = append(l.perWork[worker], Event{
+		T:      time.Since(l.start),
+		Worker: int32(worker),
+		Kind:   kind,
+		Aux:    aux,
+	})
+}
+
+// Drain returns all recorded events ordered by time. Call only when the
+// runtime is idle.
+func (l *EventLog) Drain() []Event {
+	var out []Event
+	for _, evs := range l.perWork {
+		out = append(out, evs...)
+	}
+	// Insertion sort by time: buffers are already per-worker sorted.
+	for i := 1; i < len(out); i++ {
+		e := out[i]
+		j := i - 1
+		for j >= 0 && out[j].T > e.T {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = e
+	}
+	return out
+}

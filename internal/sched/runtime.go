@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"nowa/internal/api"
+	"nowa/internal/cactus"
+	"nowa/internal/deque"
+	"nowa/internal/trace"
+)
+
+// Runtime is a continuation-stealing fork/join runtime instance. Create it
+// with New or a variant constructor, execute computations with Run, and
+// Close it when done to stop the vessel goroutines. A Runtime is reusable
+// across Run calls but supports only one Run at a time.
+type Runtime struct {
+	cfg       Config
+	deques    []deque.Deque[cont]
+	theDeques []*deque.THEDeque[cont] // non-nil per worker iff cfg.Deque == THE
+	pool      *cactus.Pool
+	rec       *trace.Recorder
+	rngs      []rngState
+
+	vlocal  []vesselFreeList
+	vglobal vesselFreeList
+
+	allMu      sync.Mutex
+	allVessels []*vessel
+	closed     bool
+
+	running    atomic.Bool
+	done       atomic.Bool
+	tokensLeft atomic.Int64
+	finished   chan struct{}
+
+	panicMu  sync.Mutex
+	panicked *api.StrandPanic
+}
+
+// rngState is a per-worker xorshift64 generator for victim selection,
+// padded against false sharing.
+type rngState struct {
+	s uint64
+	_ [56]byte
+}
+
+func (r *rngState) next() uint64 {
+	x := r.s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.s = x
+	return x
+}
+
+// New creates a runtime from cfg.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		deques: make([]deque.Deque[cont], cfg.Workers),
+		pool:   cactus.NewPool(cfg.Stacks),
+		rec:    trace.NewRecorder(cfg.Workers),
+		rngs:   make([]rngState, cfg.Workers),
+		vlocal: make([]vesselFreeList, cfg.Workers),
+	}
+	if cfg.Deque == deque.THE {
+		rt.theDeques = make([]*deque.THEDeque[cont], cfg.Workers)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		d := deque.New[cont](cfg.Deque, cfg.DequeCap)
+		rt.deques[w] = d
+		if rt.theDeques != nil {
+			rt.theDeques[w] = d.(*deque.THEDeque[cont])
+		}
+		rt.rngs[w].s = uint64(cfg.Seed) + uint64(w)*0x9e3779b97f4a7c15 + 1
+	}
+	return rt, nil
+}
+
+// MustNew is New for configurations known valid; it panics on error.
+func MustNew(cfg Config) *Runtime {
+	rt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Name implements api.Runtime.
+func (rt *Runtime) Name() string { return rt.cfg.Name }
+
+// Workers implements api.Runtime.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Counters aggregates the scheduler event counters. Exact when no Run is
+// in progress.
+func (rt *Runtime) Counters() trace.Counters { return rt.rec.Aggregate() }
+
+// StackStats returns the cactus stack pool accounting.
+func (rt *Runtime) StackStats() cactus.Stats { return rt.pool.Stats() }
+
+// Run implements api.Runtime: it executes root and all transitively
+// spawned strands to completion.
+func (rt *Runtime) Run(root func(api.Ctx)) {
+	if !rt.running.CompareAndSwap(false, true) {
+		panic("sched: concurrent Run on the same Runtime")
+	}
+	defer rt.running.Store(false)
+
+	rt.done.Store(false)
+	rt.tokensLeft.Store(int64(rt.cfg.Workers))
+	rt.finished = make(chan struct{})
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.reset()
+	}
+
+	// Token 0 carries the root strand; each stack the root's frame chain
+	// pins is accounted against the pool like any stolen frame's stack.
+	rv := rt.getVessel(0)
+	if s, ok := rt.pool.Get(0); ok {
+		rv.stacks = append(rv.stacks, s)
+	}
+	rv.start <- dispatch{fn: root, worker: 0}
+
+	// The remaining tokens begin life as thieves.
+	for w := 1; w < rt.cfg.Workers; w++ {
+		v := rt.getVessel(w)
+		v.start <- dispatch{worker: w}
+	}
+	<-rt.finished
+
+	// A strand panic is re-raised here, on the caller's goroutine, after
+	// the computation drained (every join completed, the runtime stays
+	// consistent and reusable).
+	rt.panicMu.Lock()
+	p := rt.panicked
+	rt.panicked = nil
+	rt.panicMu.Unlock()
+	if p != nil {
+		panic(p)
+	}
+}
+
+// recordPanic keeps the first strand panic of the current Run.
+func (rt *Runtime) recordPanic(v any) {
+	rt.panicMu.Lock()
+	if rt.panicked == nil {
+		rt.panicked = &api.StrandPanic{Value: v, Stack: debug.Stack()}
+	}
+	rt.panicMu.Unlock()
+}
+
+// retireToken surrenders one worker token at shutdown; the last retirement
+// completes the Run.
+func (rt *Runtime) retireToken() {
+	if rt.tokensLeft.Add(-1) == 0 {
+		close(rt.finished)
+	}
+}
+
+// Close stops all pooled vessel goroutines. The runtime must be idle; Run
+// must not be called afterwards.
+func (rt *Runtime) Close() {
+	rt.allMu.Lock()
+	defer rt.allMu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, v := range rt.allVessels {
+		close(v.start)
+	}
+}
+
+var _ api.Runtime = (*Runtime)(nil)
+
+// DebugTokensLeft exposes the live token count for diagnostics.
+func (rt *Runtime) DebugTokensLeft() int64 { return rt.tokensLeft.Load() }
+
+// DebugDequeSize exposes a deque's size for diagnostics.
+func (rt *Runtime) DebugDequeSize(w int) int { return rt.deques[w].Size() }

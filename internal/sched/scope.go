@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"nowa/internal/api"
+	"nowa/internal/core"
+)
+
+// Proc is the execution context of a strand (api.Ctx). It is bound to the
+// vessel, not the worker: across Spawn and Sync the same Proc pointer
+// stays valid while its worker field tracks the token the strand holds.
+type Proc struct {
+	rt     *Runtime
+	v      *vessel
+	worker int
+}
+
+// Workers implements api.Ctx.
+func (p *Proc) Workers() int { return p.rt.cfg.Workers }
+
+// Scope implements api.Ctx: it opens a spawning-function scope backed by
+// the configured join protocol.
+func (p *Proc) Scope() api.Scope {
+	s := &scope{p: p}
+	if p.rt.cfg.Join == WaitFree {
+		s.wf.Rearm()
+		s.join = &s.wf
+	} else {
+		s.join = core.NewLockedJoin()
+	}
+	return s
+}
+
+// scope is the per-spawning-function state: the paper's "stack object for
+// every called spawning function" holding α and the sync-condition counter
+// (wait-free mode) or the mutex-protected count (Fibril mode).
+type scope struct {
+	p    *Proc
+	join core.Join
+	wf   core.WaitFreeJoin // inline storage for the wait-free protocol
+}
+
+// Spawn implements lines 1–3 of Figure 5: push the continuation, then call
+// the spawned function — on this worker, via vessel handoff. When Spawn
+// returns, the strand may hold a different worker token (a thief resumed
+// the continuation) exactly as in the paper's strand-to-worker mappings
+// (Figure 4).
+func (s *scope) Spawn(fn func(api.Ctx)) {
+	p := s.p
+	rt := p.rt
+	w := p.worker
+	rt.rec.Worker(w).Spawns++
+
+	// Publish the continuation: this vessel, parked below, resumable by a
+	// thief (popTop) or by the child's return (popBottom hit).
+	v := p.v
+	v.cont.scope = s
+	rt.deques[w].PushBottom(&v.cont)
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.record(w, EvSpawn, 0)
+	}
+
+	// The child executes next on this worker: hand over the token.
+	cv := rt.getVessel(w)
+	rt.rec.Worker(w).VesselDispatch++
+	cv.start <- dispatch{fn: fn, parent: s, worker: w}
+
+	// Park until the continuation is resumed.
+	tok := <-v.park
+	p.worker = tok.worker
+}
+
+// Sync implements the explicit sync point: restore the sync-condition
+// counter (wait-free) or test the count (locked); suspend if children are
+// outstanding. The last joiner hands its token to the suspended parent.
+func (s *scope) Sync() {
+	p := s.p
+	rt := p.rt
+	rt.rec.Worker(p.worker).ExplicitSyncs++
+	if s.join.SyncBegin() {
+		s.join.Rearm()
+		return
+	}
+	// The sync condition does not hold: suspend this frame. The worker
+	// itself must not idle with it — it "goes over to steal work"
+	// (Figure 5), so hand the token to a thief strand before parking.
+	rt.rec.Worker(p.worker).Suspensions++
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.record(p.worker, EvSuspend, 0)
+	}
+	tv := rt.getVessel(p.worker)
+	tv.start <- dispatch{worker: p.worker}
+	tok := <-p.v.park
+	p.worker = tok.worker
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.record(p.worker, EvSyncResume, 0)
+	}
+	s.join.Rearm()
+}
+
+var (
+	_ api.Ctx   = (*Proc)(nil)
+	_ api.Scope = (*scope)(nil)
+)

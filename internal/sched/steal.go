@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"runtime"
+	"time"
+
+	"nowa/internal/cactus"
+	"nowa/internal/core"
+)
+
+// stealLoop is the quest for work: the strand holding token p.worker picks
+// random victims until it steals a continuation (which it resumes, ending
+// this strand) or the runtime finishes.
+func (rt *Runtime) stealLoop(p *Proc) {
+	w := p.worker
+	rec := rt.rec.Worker(w)
+	rng := &rt.rngs[w]
+	bounded := rt.cfg.Stacks.GlobalCap > 0
+	fails := 0
+	rr := w // round-robin cursor
+	for {
+		if rt.done.Load() {
+			rt.retireToken()
+			return
+		}
+
+		// Cilk Plus mode: a thief must hold a stack before it may steal;
+		// when the pool is exhausted it stops stealing (§II-C).
+		var preStack *cactus.Stack
+		if bounded {
+			s, ok := rt.pool.Get(w)
+			if !ok {
+				fails++
+				stealBackoff(fails)
+				continue
+			}
+			preStack = s
+		}
+
+		var victim int
+		if rt.cfg.Victim == VictimRoundRobin {
+			rr++
+			victim = int(rr) % rt.cfg.Workers
+		} else {
+			victim = int(rng.next() % uint64(rt.cfg.Workers))
+		}
+		c, ok := rt.popTopSteal(victim)
+		if !ok {
+			if preStack != nil {
+				rt.pool.Put(w, preStack)
+			}
+			rec.FailedSteals++
+			fails++
+			stealBackoff(fails)
+			continue
+		}
+		rec.Steals++
+		if rt.cfg.Events != nil {
+			rt.cfg.Events.record(w, EvSteal, int32(victim))
+		}
+
+		// The resumed frame chain is charged one stack: the victim's stack
+		// transferred with the frame (Listing 2 line 13) and the displaced
+		// party draws a replacement from the pool.
+		stack := preStack
+		if stack == nil {
+			if s, ok := rt.pool.Get(w); ok {
+				stack = s
+			}
+		}
+		if stack != nil {
+			c.v.stacks = append(c.v.stacks, stack)
+		}
+
+		// run(): the thief becomes the main path — increment α (already
+		// done inside popTopSteal) and resume the continuation with this
+		// token.
+		c.v.park <- token{worker: w}
+		return
+	}
+}
+
+// popTopSteal performs one steal attempt on the victim's deque, updating
+// the stolen scope's join state according to the configured protocol.
+//
+// Wait-free mode: a plain lock-free popTop; on success the thief, now the
+// sole main path of the stolen scope, increments α without further
+// synchronisation (Invariant II).
+//
+// Fibril mode (Listing 2): the victim's THE deque lock is held across the
+// pop and overlaps the frame lock, so a joiner that subsequently observes
+// the empty deque is ordered after the thief's count increment — the
+// hazardous race of §III-C is excluded by blocking, not transformed.
+func (rt *Runtime) popTopSteal(victim int) (*cont, bool) {
+	if rt.cfg.Join == LockedFibril {
+		d := rt.theDeques[victim]
+		d.Lock()
+		c, ok := d.PopTopLocked()
+		if !ok {
+			d.Unlock()
+			return nil, false
+		}
+		lj := c.scope.join.(*core.LockedJoin)
+		lj.Lock()
+		d.Unlock()
+		lj.OnStealLocked()
+		lj.Unlock()
+		return c, true
+	}
+	c, ok := rt.deques[victim].PopTop()
+	if !ok {
+		return nil, false
+	}
+	c.scope.join.OnSteal()
+	return c, true
+}
+
+// stealBackoff yields progressively: spin-yield first for low latency,
+// then sleep so idle thieves do not starve working strands — essential on
+// hosts with fewer CPUs than worker tokens.
+func stealBackoff(fails int) {
+	switch {
+	case fails < 64:
+		runtime.Gosched()
+	case fails < 256:
+		time.Sleep(time.Microsecond)
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+}

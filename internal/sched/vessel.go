@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"sync"
+
+	"nowa/internal/api"
+	"nowa/internal/cactus"
+)
+
+// token is ownership of one worker: the strand holding token w *is* worker
+// w until it parks or finishes. Exactly one live strand holds each token.
+type token struct {
+	worker int
+}
+
+// dispatch activates a vessel: run fn as a child of parent on the given
+// worker. A nil fn dispatches an initial thief (idle token at Run start).
+type dispatch struct {
+	fn     func(api.Ctx)
+	parent *scope // nil for the root strand and for initial thieves
+	worker int
+}
+
+// cont is the stealable continuation of a parked vessel. Each vessel owns
+// exactly one cont slot — a spawning function has at most one pending
+// continuation at a time (§II-B), so no allocation happens per spawn.
+type cont struct {
+	v     *vessel
+	scope *scope // the spawning function's scope, for the thief's OnSteal
+}
+
+// vessel is a pooled goroutine that executes strands. It stands in for a
+// linear stack of the original runtime; its cactus.Stack payloads carry
+// the RSS accounting.
+type vessel struct {
+	rt    *Runtime
+	park  chan token    // resume channel; buffered so resume-before-park is safe
+	start chan dispatch // next strand to execute
+	proc  Proc
+	cont  cont
+	// stacks accumulates the pool stacks charged to this vessel's frame
+	// chain (one per steal of its continuations); released when the
+	// strand finishes.
+	stacks []*cactus.Stack
+}
+
+// vesselFreeList is a mutex-protected vessel stack; the per-worker lists
+// are effectively uncontended because a worker token is held by one strand
+// at a time.
+type vesselFreeList struct {
+	mu   sync.Mutex
+	free []*vessel
+	_    [32]byte
+}
+
+const perWorkerVesselCap = 8
+
+func (rt *Runtime) newVessel() *vessel {
+	v := &vessel{
+		rt:    rt,
+		park:  make(chan token, 1),
+		start: make(chan dispatch, 1),
+	}
+	v.proc = Proc{rt: rt, v: v}
+	v.cont.v = v
+	rt.allMu.Lock()
+	if rt.closed {
+		rt.allMu.Unlock()
+		panic("sched: Runtime used after Close")
+	}
+	rt.allVessels = append(rt.allVessels, v)
+	rt.allMu.Unlock()
+	go v.loop()
+	return v
+}
+
+// getVessel obtains a vessel: worker-local list, then global, then fresh.
+func (rt *Runtime) getVessel(w int) *vessel {
+	lf := &rt.vlocal[w]
+	lf.mu.Lock()
+	if n := len(lf.free); n > 0 {
+		v := lf.free[n-1]
+		lf.free[n-1] = nil
+		lf.free = lf.free[:n-1]
+		lf.mu.Unlock()
+		return v
+	}
+	lf.mu.Unlock()
+	rt.vglobal.mu.Lock()
+	if n := len(rt.vglobal.free); n > 0 {
+		v := rt.vglobal.free[n-1]
+		rt.vglobal.free[n-1] = nil
+		rt.vglobal.free = rt.vglobal.free[:n-1]
+		rt.vglobal.mu.Unlock()
+		return v
+	}
+	rt.vglobal.mu.Unlock()
+	return rt.newVessel()
+}
+
+// putVessel returns a finished vessel to the pool of the worker it ended
+// on, overflowing to the global list.
+func (rt *Runtime) putVessel(v *vessel) {
+	w := v.proc.worker
+	if w < 0 || w >= len(rt.vlocal) {
+		w = 0
+	}
+	lf := &rt.vlocal[w]
+	lf.mu.Lock()
+	if len(lf.free) < perWorkerVesselCap {
+		lf.free = append(lf.free, v)
+		lf.mu.Unlock()
+		return
+	}
+	lf.mu.Unlock()
+	rt.vglobal.mu.Lock()
+	rt.vglobal.free = append(rt.vglobal.free, v)
+	rt.vglobal.mu.Unlock()
+}
+
+// loop is the vessel goroutine body: execute dispatched strands until the
+// runtime closes.
+func (v *vessel) loop() {
+	for d := range v.start {
+		v.proc.worker = d.worker
+		if d.fn != nil {
+			v.runStrand(d)
+		} else {
+			// Initial thief: the token starts idle.
+			v.rt.stealLoop(&v.proc)
+		}
+		v.rt.putVessel(v)
+	}
+}
+
+// runStrand executes one strand, containing any panic so the fork/join
+// protocol (and the worker token) survives: the panic is recorded and the
+// strand is treated as returned, so all joins still happen and Run can
+// re-raise it at the end.
+func (v *vessel) runStrand(d dispatch) {
+	if v.rt.cfg.Events != nil {
+		v.rt.cfg.Events.record(v.proc.worker, EvStrandStart, 0)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			v.rt.recordPanic(r)
+			v.rt.finishStrand(v, d.parent)
+		}
+	}()
+	d.fn(&v.proc)
+	if v.rt.cfg.Events != nil {
+		v.rt.cfg.Events.record(v.proc.worker, EvStrandEnd, 0)
+	}
+	v.rt.finishStrand(v, d.parent)
+}
+
+// finishStrand implements lines 4–5 of Figure 5: after the strand's
+// function returns, pop the bottom of the current worker's deque; a hit is
+// the continuation we pushed (resume it — the paper's "discard and
+// proceed"); a miss means it was stolen, so perform the implicit sync and
+// go stealing.
+func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
+	p := &v.proc
+	w := p.worker
+	rec := rt.rec.Worker(w)
+	rt.releaseStacks(v, w)
+	if c, ok := rt.deques[w].PopBottom(); ok {
+		rec.LocalResumes++
+		if rt.cfg.Events != nil {
+			rt.cfg.Events.record(w, EvLocalResume, 0)
+		}
+		c.v.park <- token{worker: w}
+		return
+	}
+	rec.ImplicitSyncs++
+	if rt.cfg.Events != nil {
+		rt.cfg.Events.record(w, EvImplicitSync, 0)
+	}
+	if parent == nil {
+		// The root strand finished: the whole computation is done.
+		rt.done.Store(true)
+		rt.retireToken()
+		return
+	}
+	if parent.join.OnChildJoin() {
+		// Sync condition holds: resume the parent suspended at its
+		// explicit sync point, handing over this token.
+		parent.p.v.park <- token{worker: w}
+		return
+	}
+	rt.stealLoop(p)
+}
+
+// releaseStacks returns the vessel's accumulated pool stacks.
+func (rt *Runtime) releaseStacks(v *vessel, w int) {
+	if len(v.stacks) == 0 {
+		return
+	}
+	for i, s := range v.stacks {
+		rt.pool.Put(w, s)
+		v.stacks[i] = nil
+	}
+	v.stacks = v.stacks[:0]
+}

@@ -1,0 +1,102 @@
+package sim
+
+import "fmt"
+
+// Cost-model sensitivity analysis: how robust are the reproduction's
+// conclusions to the calibration constants? Each ablation scales one
+// CostModel parameter across a range and reports the headline comparison
+// (Nowa vs Fibril speedup ratio at 256 workers on fib) at every point.
+// If the *ordering* flips anywhere in a plausible range, the reproduction
+// would be resting on a knife-edge calibration — EXPERIMENTS.md cites
+// these sweeps as evidence it does not.
+
+// AblationParam names a sweepable cost parameter.
+type AblationParam string
+
+// Sweepable parameters.
+const (
+	AblLockHold    AblationParam = "lockhold"
+	AblAtomic      AblationParam = "atomic"
+	AblStealSetup  AblationParam = "stealsetup"
+	AblStackSwitch AblationParam = "stackswitch"
+	AblMemChannels AblationParam = "memchannels"
+	AblRetry       AblationParam = "retry"
+)
+
+// AblationParams lists all sweepable parameters.
+func AblationParams() []AblationParam {
+	return []AblationParam{AblLockHold, AblAtomic, AblStealSetup, AblStackSwitch, AblMemChannels, AblRetry}
+}
+
+// scaled returns a cost model with the parameter multiplied by f.
+func scaled(base CostModel, p AblationParam, f float64) (CostModel, error) {
+	c := base
+	mul := func(v int64) int64 {
+		out := int64(float64(v) * f)
+		if out < 1 {
+			out = 1
+		}
+		return out
+	}
+	switch p {
+	case AblLockHold:
+		c.LockHold = mul(c.LockHold)
+	case AblAtomic:
+		c.Atomic = mul(c.Atomic)
+	case AblStealSetup:
+		c.StealSetup = mul(c.StealSetup)
+	case AblStackSwitch:
+		c.StackSwitch = mul(c.StackSwitch)
+	case AblMemChannels:
+		n := int(float64(c.MemChannels) * f)
+		if n < 1 {
+			n = 1
+		}
+		c.MemChannels = n
+	case AblRetry:
+		c.StealFailRetry = mul(c.StealFailRetry)
+	default:
+		return c, fmt.Errorf("sim: unknown ablation parameter %q", p)
+	}
+	return c, nil
+}
+
+// AblationPoint is one sweep sample.
+type AblationPoint struct {
+	Factor       float64
+	NowaSpeedup  float64
+	OtherSpeedup float64
+	Ratio        float64
+}
+
+// Ablate sweeps the parameter across the factors and reports the Nowa/
+// other comparison on the workload at p workers.
+func Ablate(dagName string, param AblationParam, other Scheme, factors []float64, p int, seed uint64) ([]AblationPoint, error) {
+	dag, err := Workload(dagName, SimFull)
+	if err != nil {
+		return nil, err
+	}
+	base := DefaultCosts()
+	out := make([]AblationPoint, 0, len(factors))
+	for _, f := range factors {
+		c, err := scaled(base, param, f)
+		if err != nil {
+			return nil, err
+		}
+		rn := Run(dag, Nowa(), p, c, seed)
+		ro := Run(dag, other, p, c, seed)
+		out = append(out, AblationPoint{
+			Factor:       f,
+			NowaSpeedup:  rn.Speedup,
+			OtherSpeedup: ro.Speedup,
+			Ratio:        rn.Speedup / ro.Speedup,
+		})
+	}
+	return out, nil
+}
+
+// DefaultAblationFactors spans a quarter to four times the calibrated
+// value.
+func DefaultAblationFactors() []float64 {
+	return []float64{0.25, 0.5, 1, 2, 4}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+// TestAblationOrderingRobust is the knife-edge check EXPERIMENTS.md cites:
+// the headline ordering (Nowa ≥ Fibril on fib at 256 threads) must hold
+// across a 16× range of every cost parameter.
+func TestAblationOrderingRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-worker sweeps in -short mode")
+	}
+	for _, param := range AblationParams() {
+		param := param
+		t.Run(string(param), func(t *testing.T) {
+			pts, err := Ablate("fib", param, Fibril(), DefaultAblationFactors(), 256, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pt := range pts {
+				if pt.Ratio < 0.95 {
+					t.Errorf("factor %.2f: Nowa/Fibril ratio %.2f — ordering flipped", pt.Factor, pt.Ratio)
+				}
+			}
+		})
+	}
+}
+
+// TestAblationLockHoldMonotonic: raising the lock hold time must widen
+// (or at least not shrink drastically) the gap against the lock-based
+// runtime.
+func TestAblationLockHoldMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-worker sweeps in -short mode")
+	}
+	pts, err := Ablate("fib", AblLockHold, Fibril(), []float64{0.5, 1, 4}, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[2].Ratio < pts[0].Ratio {
+		t.Errorf("4x lock hold ratio %.2f below 0.5x ratio %.2f — lock cost not driving the gap",
+			pts[2].Ratio, pts[0].Ratio)
+	}
+}
+
+func TestAblationUnknownParam(t *testing.T) {
+	if _, err := Ablate("fib", AblationParam("nope"), Fibril(), []float64{1}, 4, 1); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if _, err := Ablate("nope", AblLockHold, Fibril(), []float64{1}, 4, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestScaledClamps(t *testing.T) {
+	base := DefaultCosts()
+	c, err := scaled(base, AblMemChannels, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MemChannels != 1 {
+		t.Errorf("MemChannels = %d, want clamp to 1", c.MemChannels)
+	}
+	c, err = scaled(base, AblAtomic, 0.000001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Atomic != 1 {
+		t.Errorf("Atomic = %d, want clamp to 1", c.Atomic)
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+// Child-stealing protocol steps (TBB, libomp) and the central-queue model
+// (libgomp).
+
+// childSpawn allocates the child task and queues it; the parent keeps
+// running its continuation.
+func (e *Engine) childSpawn(w int32, n *node, child *Task) {
+	wk := &e.workers[w]
+	wk.now += e.cost.SpawnFixed + e.sch.SpawnExtra
+	e.m.Spawns++
+	fr := &e.frames[n.task.ID]
+	fr.pending++
+	if e.sch.Malloc {
+		arena := int(w) % len(e.malloc)
+		wk.now = e.malloc[arena].acquire(wk.now, e.cost.Malloc)
+	}
+	if e.sch.HeavyTasks {
+		wk.now += e.cost.TaskExtra
+	}
+	it := qitem{task: child, frame: fr}
+	if e.sch.Steal == CentralQueue {
+		wk.now = e.centralLock.acquire(wk.now, e.cost.CentralHold) + e.cost.LockOverhead
+		e.central.push(it)
+		return
+	}
+	// The owner's push pays the deque's synchronisation: with a locked
+	// queue it queues behind probing thieves — the child-stealing melt at
+	// high worker counts.
+	switch e.sch.Queue {
+	case LockedQueue:
+		wk.now = e.dqLock[w].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+	case THEQueue, CLQueue:
+		wk.now += e.cost.Push
+	}
+	e.deques[w].push(it)
+}
+
+// childSync is the blocking sync of child stealing: help with local tasks
+// (reverse spawn order), steal if untied, otherwise poll. It reports true
+// when the strand proceeds past the sync inline.
+func (e *Engine) childSync(w int32, n *node) bool {
+	wk := &e.workers[w]
+	fr := &e.frames[n.task.ID]
+	if fr.pending == 0 {
+		wk.now += e.cost.SyncFixed
+		n.idx++
+		return true
+	}
+	if e.sch.Steal == CentralQueue {
+		wk.now = e.centralLock.acquire(wk.now, e.cost.CentralHold) + e.cost.LockOverhead
+		if e.central.size() > 0 {
+			it := e.central.popBottom()
+			wk.now += e.cost.StackSwitch
+			wk.strand = &node{task: it.task, caller: n, frame: it.frame}
+			e.schedule(w, wk.now)
+			return false
+		}
+		e.schedule(w, wk.now+e.cost.StealFailRetry)
+		return false
+	}
+	// Help from the own deque first (LIFO: reverse spawn order, §II-B).
+	d := &e.deques[w]
+	if d.size() > 0 {
+		switch e.sch.Queue {
+		case THEQueue:
+			if d.size() <= 1 {
+				wk.now = e.dqLock[w].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+			}
+		case LockedQueue:
+			wk.now = e.dqLock[w].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+		case CLQueue:
+			if d.size() == 1 {
+				wk.now = e.dqTop[w].acquire(wk.now, e.cost.Atomic)
+			}
+		}
+		it := d.popBottom()
+		e.m.LocalResumes++
+		wk.now += e.cost.StackSwitch
+		wk.strand = &node{task: it.task, caller: n, frame: it.frame}
+		e.schedule(w, wk.now)
+		return false
+	}
+	if !e.sch.TiedWait {
+		// Untied: steal while waiting.
+		wk.now += e.cost.StealSetup
+		victim := int32(e.rand(w) % uint64(e.p))
+		vd := &e.deques[victim]
+		switch e.sch.Queue {
+		case THEQueue, LockedQueue:
+			wk.now = e.dqLock[victim].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+			if vd.size() == 0 {
+				e.failSteal(w)
+				return false
+			}
+		case CLQueue:
+			if vd.size() == 0 {
+				e.failSteal(w)
+				return false
+			}
+			wk.now = e.dqTop[victim].acquire(wk.now, e.cost.Atomic)
+		}
+		it := vd.popTop()
+		e.m.Steals++
+		wk.failStreak = 0
+		wk.now += e.cost.StackSwitch
+		wk.strand = &node{task: it.task, caller: n, frame: it.frame}
+		e.schedule(w, wk.now)
+		return false
+	}
+	// Tied: may not steal while waiting; poll until the children finish.
+	e.schedule(w, wk.now+e.cost.StealFailRetry)
+	return false
+}
+
+// centralIdle is the idle loop of the central-queue runtime.
+func (e *Engine) centralIdle(w int32) {
+	wk := &e.workers[w]
+	wk.now = e.centralLock.acquire(wk.now, e.cost.CentralHold) + e.cost.LockOverhead
+	if e.central.size() == 0 {
+		e.failSteal(w)
+		return
+	}
+	it := e.central.popBottom()
+	e.m.Steals++
+	wk.failStreak = 0
+	wk.now += e.cost.StackSwitch
+	wk.strand = &node{task: it.task, frame: it.frame}
+	e.schedule(w, wk.now)
+}

@@ -1,0 +1,195 @@
+package sim
+
+// Continuation-stealing protocol steps (Nowa, Nowa-THE, Fibril, CilkPlus).
+
+// contSpawn publishes the current strand (with its whole call chain) as
+// the stealable continuation and switches the worker to the child —
+// child-first order, no stack switch, no allocation (Figure 5 lines 1–3).
+func (e *Engine) contSpawn(w int32, n *node, child *Task) {
+	wk := &e.workers[w]
+	wk.now += e.cost.SpawnFixed + e.cost.Push + e.sch.SpawnExtra
+	e.m.Spawns++
+	e.deques[w].push(qitem{n: n, frame: &e.frames[n.task.ID]})
+	wk.strand = &node{task: child, spawned: true, frame: &e.frames[n.task.ID]}
+	e.schedule(w, wk.now)
+}
+
+// contStrandEnd implements Figure 5 lines 4–5: popBottom; hit resumes the
+// continuation in place; miss performs the implicit sync.
+func (e *Engine) contStrandEnd(w int32, n *node) {
+	wk := &e.workers[w]
+	wk.now += e.cost.Pop
+	d := &e.deques[w]
+	// Owner-side conflict handling by queue kind: near-empty deques force
+	// THE owners through the lock; CL owners CAS only for the last item.
+	switch e.sch.Queue {
+	case THEQueue:
+		if d.size() <= 1 {
+			wk.now = e.dqLock[w].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+		}
+	case LockedQueue:
+		wk.now = e.dqLock[w].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+	case CLQueue:
+		if d.size() == 1 {
+			wk.now = e.dqTop[w].acquire(wk.now, e.cost.Atomic)
+		}
+	}
+	if d.size() > 0 {
+		it := d.popBottom()
+		e.m.LocalResumes++
+		wk.strand = it.n // same stack, no switch: the fast path
+		e.schedule(w, wk.now)
+		return
+	}
+	// Continuation stolen: implicit sync on the spawning frame.
+	fr := n.frame
+	e.joinCost(w, fr)
+	fr.joined++
+	if fr.atSync && fr.joined == fr.stolen {
+		// Sync condition holds: resume the suspended parent, adopting its
+		// blocked stack; our stack returns to the pool.
+		e.putStack(w)
+		fr.atSync = false
+		wk.now += e.cost.StackSwitch
+		if fr.suspMadv {
+			fr.suspMadv = false
+			wk.now += e.cost.Refault
+			e.m.Refaults++
+		}
+		wk.strand = fr.susp
+		fr.susp = nil
+		e.schedule(w, wk.now)
+		return
+	}
+	// Still outstanding: this worker is out of work.
+	e.putStack(w)
+	wk.strand = nil
+	e.schedule(w, wk.now)
+}
+
+// contSync is the explicit sync point. It reports true when the strand
+// may proceed past the sync.
+func (e *Engine) contSync(w int32, n *node) bool {
+	wk := &e.workers[w]
+	wk.now += e.cost.SyncFixed
+	fr := &e.frames[n.task.ID]
+	// Counter restore (Nowa, one atomic RMW) or frame lock (Fibril).
+	e.joinCost(w, fr)
+	if fr.joined == fr.stolen {
+		fr.stolen = 0
+		fr.joined = 0
+		n.idx++
+		return true
+	}
+	// Suspend the frame; the worker goes stealing (Figure 5).
+	e.m.Suspensions++
+	n.idx++
+	fr.atSync = true
+	fr.susp = n
+	if e.sch.Madvise {
+		// Practical cactus-stack solution: release the suspended stack's
+		// pages (§V-B).
+		fr.suspMadv = true
+		wk.now += e.cost.Madvise
+		e.m.MadviseCalls++
+	}
+	wk.strand = nil
+	e.schedule(w, wk.now)
+	return false
+}
+
+// joinCost charges one join-protocol operation on the frame.
+func (e *Engine) joinCost(w int32, fr *frameState) {
+	wk := &e.workers[w]
+	if e.sch.Join == WaitFreeJoin {
+		wk.now = fr.line.acquire(wk.now, e.cost.Atomic)
+		return
+	}
+	wk.now = fr.line.acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+}
+
+// probesPerIdleEvent batches several spin-probe attempts into one event:
+// real thieves probe back-to-back with only tiny pauses, and each probe
+// charges its full protocol cost (including the victim deque lock in THE),
+// so the contention of hundreds of spinning thieves is preserved without
+// one simulator event per probe.
+const probesPerIdleEvent = 4
+
+// idleStep performs a batch of steal attempts for an idle worker.
+func (e *Engine) idleStep(w int32) {
+	if e.sch.Steal == CentralQueue {
+		e.centralIdle(w)
+		return
+	}
+	wk := &e.workers[w]
+	for probe := 0; probe < probesPerIdleEvent; probe++ {
+		wk.now += e.cost.StealSetup
+
+		// Cilk Plus: no stack, no steal.
+		if e.sch.Steal == ContSteal && e.bound > 0 && !e.stackAvailable(w) {
+			e.m.FailedSteals++
+			continue
+		}
+
+		victim := int32(e.rand(w) % uint64(e.p))
+		d := &e.deques[victim]
+		switch e.sch.Queue {
+		case THEQueue, LockedQueue:
+			// Thieves always lock, even to find the deque empty.
+			wk.now = e.dqLock[victim].acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+			if d.size() == 0 {
+				e.m.FailedSteals++
+				continue
+			}
+		case CLQueue:
+			if d.size() == 0 {
+				e.m.FailedSteals++
+				continue
+			}
+			wk.now = e.dqTop[victim].acquire(wk.now, e.cost.Atomic)
+		}
+		it := d.popTop()
+		e.m.Steals++
+		wk.failStreak = 0
+
+		if e.sch.Steal == ContSteal {
+			// run(): increment the fork count under the configured
+			// protocol, take a stack, resume the continuation.
+			if e.sch.Join == LockedJoin {
+				wk.now = it.frame.line.acquire(wk.now, e.cost.LockHold) + e.cost.LockOverhead
+			}
+			it.frame.stolen++
+			e.getStack(w)
+			wk.now += e.cost.StackSwitch
+			wk.strand = it.n
+			e.schedule(w, wk.now)
+			return
+		}
+		// Child stealing: execute the stolen task.
+		wk.now += e.cost.StackSwitch
+		wk.strand = &node{task: it.task, frame: it.frame}
+		e.schedule(w, wk.now)
+		return
+	}
+	// The whole batch failed: pause briefly (with a gentle capped growth
+	// so a long-idle fleet does not flood the event queue).
+	shift := wk.failStreak
+	if shift > 3 {
+		shift = 3
+	}
+	wk.failStreak++
+	e.schedule(w, wk.now+e.cost.StealFailRetry<<shift)
+}
+
+// failSteal is the single-attempt failure path used by the child-stealing
+// sync helper: count and retry after a pause.
+func (e *Engine) failSteal(w int32) {
+	e.m.FailedSteals++
+	wk := &e.workers[w]
+	shift := wk.failStreak
+	if shift > 3 {
+		shift = 3
+	}
+	wk.failStreak++
+	e.schedule(w, wk.now+e.cost.StealFailRetry<<shift)
+}

@@ -1,0 +1,93 @@
+package sim
+
+// CostModel holds the virtual-time costs (nanoseconds) of every protocol
+// operation the simulator charges. The defaults are calibrated to typical
+// large x86 NUMA servers (the paper's testbed class): contended cache-line
+// transfers in the tens of nanoseconds, lock critical sections several
+// times that, stack switches in the hundreds.
+//
+// Contention is NOT a constant here: mutexes and hot atomic cache lines
+// are modelled as FIFO resources in virtual time, so queueing delays —
+// lock convoys, serialised CAS streams — emerge from the simulation
+// rather than being assumed.
+type CostModel struct {
+	// Atomic is the hold time of one atomic RMW on a shared cache line
+	// (the wait-free counter update, a CL CAS).
+	Atomic int64
+	// LockHold is the critical-section hold time of a runtime lock (THE
+	// deque lock, Fibril frame lock, central queue lock).
+	LockHold int64
+	// LockOverhead is the uncontended acquire/release cost added around a
+	// critical section.
+	LockOverhead int64
+	// Push is the owner's deque push cost (store + fence).
+	Push int64
+	// Pop is the owner's deque pop cost on the unconflicted path.
+	Pop int64
+	// StealSetup is the thief's per-attempt overhead (victim selection,
+	// remote-line reads) before touching the victim's structures.
+	StealSetup int64
+	// StealFailRetry is the idle back-off after a failed attempt.
+	StealFailRetry int64
+	// StackSwitch is the cost of resuming a strand on a different stack
+	// (steal resume, suspended-frame resume, child-steal task start).
+	StackSwitch int64
+	// SpawnFixed is the non-queue bookkeeping cost of a spawn.
+	SpawnFixed int64
+	// SyncFixed is the bookkeeping cost of an explicit sync.
+	SyncFixed int64
+	// Call is the plain function-call overhead charged per task in the
+	// serial elision and on every Call op.
+	Call int64
+	// Malloc is the dynamic allocation cost per child task object
+	// (child-stealing runtimes), charged against one of MallocArenas
+	// FIFO arena resources.
+	Malloc int64
+	// MallocArenas is the number of independent allocator arenas.
+	MallocArenas int
+	// TaskExtra is an additional per-task-creation cost for heavyweight
+	// task runtimes (libgomp, libomp).
+	TaskExtra int64
+	// StackAlloc is the cost of allocating a brand-new stack.
+	StackAlloc int64
+	// PoolTransfer is the hold time of the global stack pool lock.
+	PoolTransfer int64
+	// Madvise is the cost of releasing a stack's pages on suspension
+	// (madvise(MADV_FREE) plus later kernel work attributed here).
+	Madvise int64
+	// Refault is the cost of faulting a released stack back in.
+	Refault int64
+	// CentralHold is the hold time of the libgomp central queue lock
+	// (longer than LockHold: it protects a bigger structure).
+	CentralHold int64
+	// MemChannels is the number of independent memory channels the
+	// memory-bound portion of work ops serialises over (the bandwidth
+	// ceiling of the simulated machine).
+	MemChannels int
+}
+
+// DefaultCosts returns the calibrated model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Atomic:         25,
+		LockHold:       70,
+		LockOverhead:   30,
+		Push:           12,
+		Pop:            12,
+		StealSetup:     120,
+		StealFailRetry: 400,
+		StackSwitch:    250,
+		SpawnFixed:     15,
+		SyncFixed:      10,
+		Call:           8,
+		Malloc:         90,
+		MallocArenas:   8,
+		TaskExtra:      350,
+		StackAlloc:     600,
+		PoolTransfer:   150,
+		Madvise:        1800,
+		Refault:        2600,
+		CentralHold:    160,
+		MemChannels:    10,
+	}
+}

@@ -1,0 +1,129 @@
+package sim
+
+// OpKind is the kind of one step of a task's body.
+type OpKind uint8
+
+const (
+	// OpWork advances virtual time by D.
+	OpWork OpKind = iota
+	// OpSpawn makes Child stealable (continuation-stealing: the child runs
+	// next and the continuation is published; child-stealing: the child is
+	// queued and the parent continues).
+	OpSpawn
+	// OpCall executes Child inline as an ordinary function call.
+	OpCall
+	// OpSync joins all children spawned so far by this task.
+	OpSync
+)
+
+// Op is one step of a task body.
+type Op struct {
+	Kind  OpKind
+	D     int64 // OpWork compute duration
+	M     int64 // OpWork memory-bound duration (serialised over channels)
+	Child *Task
+}
+
+// Task is one spawning-function instance in the program DAG. Each Task is
+// executed exactly once per simulation (fully-strict fork/join).
+type Task struct {
+	ID  int32
+	Ops []Op
+}
+
+// DAG is a complete benchmark program.
+type DAG struct {
+	Name  string
+	Root  *Task
+	Tasks int   // total task count (IDs are 0..Tasks-1)
+	T1    int64 // total work: Σ OpWork durations
+	TInf  int64 // critical path length over OpWork durations
+}
+
+// builder assigns task IDs and accumulates counts.
+type builder struct {
+	n int32
+}
+
+func (b *builder) task(ops ...Op) *Task {
+	t := &Task{ID: b.n, Ops: ops}
+	b.n++
+	return t
+}
+
+func work(d int64) Op       { return Op{Kind: OpWork, D: d} }
+func memWork(d, m int64) Op { return Op{Kind: OpWork, D: d, M: m} }
+func spawn(t *Task) Op      { return Op{Kind: OpSpawn, Child: t} }
+func call(t *Task) Op       { return Op{Kind: OpCall, Child: t} }
+func syncOp() Op            { return Op{Kind: OpSync} }
+
+// analyze computes T1 and T∞ for the DAG rooted at root.
+//
+// The critical-path recurrence follows the DAG model of §III-A: within a
+// task, spans of spawned children overlap the continuation until the sync
+// point that joins them.
+func analyze(root *Task) (t1, tinf int64) {
+	type res struct{ t1, tinf int64 }
+	memo := map[*Task]res{}
+	var rec func(t *Task) res
+	rec = func(t *Task) res {
+		if r, ok := memo[t]; ok {
+			// Tasks are trees in our builders; memo guards against
+			// accidental sharing.
+			return r
+		}
+		var total int64
+		var path int64    // serial time along the main path since last sync
+		var spanMax int64 // longest outstanding spawned span joined at next sync
+		for _, op := range t.Ops {
+			switch op.Kind {
+			case OpWork:
+				total += op.D + op.M
+				path += op.D + op.M
+			case OpCall:
+				r := rec(op.Child)
+				total += r.t1
+				path += r.tinf
+			case OpSpawn:
+				r := rec(op.Child)
+				total += r.t1
+				if s := path + r.tinf; s > spanMax {
+					spanMax = s
+				}
+			case OpSync:
+				if spanMax > path {
+					path = spanMax
+				}
+				spanMax = 0
+			}
+		}
+		if spanMax > path {
+			path = spanMax // implicit join at task end
+		}
+		r := res{t1: total, tinf: path}
+		memo[t] = r
+		return r
+	}
+	r := rec(root)
+	return r.t1, r.tinf
+}
+
+// finish seals a DAG: computes totals.
+func (b *builder) finish(name string, root *Task) *DAG {
+	t1, tinf := analyze(root)
+	return &DAG{Name: name, Root: root, Tasks: int(b.n), T1: t1, TInf: tinf}
+}
+
+// SerialTime is the virtual serial-elision time: all work plus one plain
+// call per task.
+func (d *DAG) SerialTime(c *CostModel) int64 {
+	return d.T1 + int64(d.Tasks)*c.Call
+}
+
+// Parallelism returns T1/T∞.
+func (d *DAG) Parallelism() float64 {
+	if d.TInf == 0 {
+		return 0
+	}
+	return float64(d.T1) / float64(d.TInf)
+}

@@ -1,0 +1,325 @@
+// Package sim is a deterministic discrete-event simulator of the runtime
+// protocols the paper compares, used to regenerate the 1–256-hardware-
+// thread figures on hosts with far fewer cores (the documented substrate
+// substitution in DESIGN.md §2).
+//
+// The simulator executes the benchmark DAGs through the *same protocol
+// decision logic* as the real runtimes — continuation publication,
+// popBottom fast path, implicit/explicit sync, randomized stealing, stack
+// pooling — while taking operation timings from a CostModel. Shared
+// mutexes and hot atomic cache lines are FIFO resources in virtual time,
+// so lock convoys and serialised CAS streams emerge from first principles
+// rather than being assumed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// resource is a serially usable entity in virtual time (a mutex's critical
+// section, an atomic cache line). acquire returns the completion time of a
+// usage starting no earlier than t and holding for hold.
+type resource struct {
+	availableAt int64
+}
+
+func (r *resource) acquire(t, hold int64) int64 {
+	if r.availableAt > t {
+		t = r.availableAt
+	}
+	r.availableAt = t + hold
+	return t + hold
+}
+
+// node is one frame of a strand's call stack.
+type node struct {
+	task   *Task
+	idx    int
+	caller *node
+	// frame is the frame state of the task that spawned this strand
+	// (continuation stealing, spawned == true) or whose Sync/steal loop
+	// this helper task joins back into (child stealing).
+	frame   *frameState
+	spawned bool
+}
+
+// frameState is the per-task coordination state.
+type frameState struct {
+	line   resource // join-counter cache line / frame lock
+	stolen int32
+	joined int32
+	atSync bool
+	// suspMadv marks the suspended frame's stack as page-released.
+	suspMadv bool
+	susp     *node
+	pending  int32 // child stealing: outstanding children
+}
+
+type qitem struct {
+	n     *node       // continuation (continuation stealing)
+	task  *Task       // child task (child stealing)
+	frame *frameState // owning frame
+}
+
+// sdeque is the simulated per-worker deque: bottom at the end, top at
+// head.
+type sdeque struct {
+	items []qitem
+	head  int
+}
+
+func (d *sdeque) size() int     { return len(d.items) - d.head }
+func (d *sdeque) push(it qitem) { d.items = append(d.items, it) }
+func (d *sdeque) popBottom() qitem {
+	it := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = qitem{}
+	d.items = d.items[:len(d.items)-1]
+	if d.size() == 0 {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return it
+}
+func (d *sdeque) popTop() qitem {
+	it := d.items[d.head]
+	d.items[d.head] = qitem{}
+	d.head++
+	if d.size() == 0 {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return it
+}
+
+type simWorker struct {
+	now        int64
+	strand     *node
+	rng        uint64
+	failStreak int32
+}
+
+type event struct {
+	t   int64
+	seq int64
+	w   int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Metrics are the per-run scheduler event counts.
+type Metrics struct {
+	Spawns        int64
+	LocalResumes  int64
+	Steals        int64
+	FailedSteals  int64
+	Suspensions   int64
+	StackAllocs   int64
+	GlobalPoolOps int64
+	MadviseCalls  int64
+	Refaults      int64
+	Events        int64
+}
+
+// Result of one simulation.
+type Result struct {
+	Scheme   string
+	Workers  int
+	Makespan int64 // virtual ns until the root strand completed
+	Serial   int64 // virtual serial-elision time of the DAG
+	Speedup  float64
+	Metrics  Metrics
+}
+
+// Engine is one simulation instance.
+type Engine struct {
+	sch   Scheme
+	cost  CostModel
+	p     int
+	dag   *DAG
+	bound int
+
+	heap    eventHeap
+	seq     int64
+	workers []simWorker
+	deques  []sdeque
+	dqLock  []resource
+	dqTop   []resource
+	frames  []frameState
+
+	central     sdeque
+	centralLock resource
+
+	malloc []resource
+	mem    []resource
+
+	stackLocal  []int32
+	stackGlobal int32
+	stackAlloc  int32
+	poolLock    resource
+
+	finished int64 // -1 until the root completes
+	m        Metrics
+}
+
+// Run simulates the DAG under the scheme with p workers.
+func Run(dag *DAG, sch Scheme, p int, cost CostModel, seed uint64) Result {
+	if p < 1 {
+		p = 1
+	}
+	e := &Engine{
+		sch:        sch,
+		cost:       cost,
+		p:          p,
+		dag:        dag,
+		bound:      sch.stackBound(p),
+		workers:    make([]simWorker, p),
+		deques:     make([]sdeque, p),
+		dqLock:     make([]resource, p),
+		dqTop:      make([]resource, p),
+		frames:     make([]frameState, dag.Tasks),
+		malloc:     make([]resource, max(1, cost.MallocArenas)),
+		mem:        make([]resource, max(1, cost.MemChannels)),
+		stackLocal: make([]int32, p),
+		finished:   -1,
+	}
+	for w := range e.workers {
+		e.workers[w].rng = seed + uint64(w)*0x9e3779b97f4a7c15 + 1
+	}
+	// Worker 0 starts with the root strand and one stack.
+	e.stackAlloc = 1
+	e.workers[0].strand = &node{task: dag.Root, spawned: true}
+	e.schedule(0, 0)
+	// Everyone else starts idle.
+	for w := 1; w < p; w++ {
+		e.schedule(int32(w), int64(w%7)) // small skew for victim diversity
+	}
+	e.loop()
+	return Result{
+		Scheme:   sch.Name,
+		Workers:  p,
+		Makespan: e.finished,
+		Serial:   dag.SerialTime(&cost),
+		Speedup:  float64(dag.SerialTime(&cost)) / float64(e.finished),
+		Metrics:  e.m,
+	}
+}
+
+func (e *Engine) schedule(w int32, t int64) {
+	e.seq++
+	heap.Push(&e.heap, event{t: t, seq: e.seq, w: w})
+}
+
+func (e *Engine) loop() {
+	for e.finished < 0 && len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		e.m.Events++
+		wk := &e.workers[ev.w]
+		if ev.t > wk.now {
+			wk.now = ev.t
+		}
+		if wk.strand != nil {
+			e.runStrand(ev.w)
+		} else {
+			e.idleStep(ev.w)
+		}
+	}
+	if e.finished < 0 {
+		panic(fmt.Sprintf("sim: %s deadlocked with no pending events", e.sch.Name))
+	}
+}
+
+func (e *Engine) rand(w int32) uint64 {
+	x := e.workers[w].rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	e.workers[w].rng = x
+	return x
+}
+
+// runStrand advances the worker's strand until it schedules its next
+// event (a work completion, a zero-delay transition) or goes idle.
+func (e *Engine) runStrand(w int32) {
+	wk := &e.workers[w]
+	for {
+		n := wk.strand
+		if n.idx == len(n.task.Ops) {
+			// Task body complete.
+			if n.caller != nil {
+				if n.frame != nil {
+					// Child-stealing helper task: join the counter.
+					n.frame.pending--
+				}
+				wk.strand = n.caller
+				continue
+			}
+			if n.task == e.dag.Root {
+				e.finished = wk.now
+				return
+			}
+			if n.frame != nil && !n.spawned {
+				// Child-stealing task picked up by an idle worker.
+				n.frame.pending--
+				wk.strand = nil
+				e.schedule(w, wk.now)
+				return
+			}
+			// Continuation stealing: spawned strand ended.
+			e.contStrandEnd(w, n)
+			return
+		}
+		op := n.task.Ops[n.idx]
+		switch op.Kind {
+		case OpWork:
+			n.idx++
+			t := wk.now + op.D
+			if op.M > 0 {
+				// Memory-bound portion: serialised over the channels, the
+				// bandwidth ceiling real stencil/sort kernels hit.
+				ch := &e.mem[e.rand(w)%uint64(len(e.mem))]
+				t = ch.acquire(t, op.M)
+			}
+			e.schedule(w, t)
+			return
+		case OpCall:
+			n.idx++
+			wk.now += e.cost.Call
+			wk.strand = &node{task: op.Child, caller: n}
+		case OpSpawn:
+			n.idx++
+			if e.sch.Steal == ContSteal {
+				e.contSpawn(w, n, op.Child)
+				return // strand switched to the child: new scheduling round
+			}
+			e.childSpawn(w, n, op.Child)
+		case OpSync:
+			if e.sch.Steal == ContSteal {
+				if !e.contSync(w, n) {
+					return // suspended: worker went idle
+				}
+				continue
+			}
+			if !e.childSync(w, n) {
+				return // helping or polling: control left this loop
+			}
+		}
+	}
+}

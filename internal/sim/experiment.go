@@ -1,0 +1,58 @@
+package sim
+
+// Experiment sweep helpers shared by cmd/nowa-sim and the bench harness.
+
+// Point is one (threads, speedup) sample of a figure series.
+type Point struct {
+	Workers  int
+	Speedup  float64
+	Makespan int64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Scheme string
+	Points []Point
+}
+
+// DefaultThreads is the x-axis used for the figure sweeps.
+var DefaultThreads = []int{1, 16, 32, 64, 96, 128, 160, 192, 224, 256}
+
+// Sweep runs the scheme over the worker counts and returns its curve.
+func Sweep(dag *DAG, sch Scheme, threads []int, cost CostModel, seed uint64) Series {
+	s := Series{Scheme: sch.Name}
+	for _, p := range threads {
+		r := Run(dag, sch, p, cost, seed)
+		s.Points = append(s.Points, Point{Workers: p, Speedup: r.Speedup, Makespan: r.Makespan})
+	}
+	return s
+}
+
+// SweepAll runs several schemes over the same DAG and thread axis.
+func SweepAll(dag *DAG, schemes []Scheme, threads []int, cost CostModel, seed uint64) []Series {
+	out := make([]Series, 0, len(schemes))
+	for _, sch := range schemes {
+		out = append(out, Sweep(dag, sch, threads, cost, seed))
+	}
+	return out
+}
+
+// Fig7Schemes are the four runtimes of Figure 7.
+func Fig7Schemes() []Scheme {
+	return []Scheme{Nowa(), Fibril(), CilkPlus(), TBB()}
+}
+
+// Fig8Schemes are the madvise comparison series of Figure 8.
+func Fig8Schemes() []Scheme {
+	return []Scheme{Nowa(), NowaMadvise(), CilkPlus()}
+}
+
+// Fig9Schemes are the queue-ablation series of Figure 9.
+func Fig9Schemes() []Scheme {
+	return []Scheme{Nowa(), NowaTHE(), Fibril()}
+}
+
+// Fig10Schemes are the OpenMP comparison series of Figure 10.
+func Fig10Schemes() []Scheme {
+	return []Scheme{Nowa(), TBB(), LibGOMP(), LibOMPUntied(), LibOMPTied()}
+}

@@ -1,0 +1,123 @@
+package sim
+
+// StealKind selects the scheduling family.
+type StealKind uint8
+
+const (
+	// ContSteal is continuation stealing (§II-B): the spawned child runs
+	// next, the continuation is published for thieves.
+	ContSteal StealKind = iota
+	// ChildSteal is child stealing: the child task is queued, the parent
+	// continues; sync blocks and helps.
+	ChildSteal
+	// CentralQueue is the libgomp model: one mutex-protected global task
+	// queue instead of per-worker deques.
+	CentralQueue
+)
+
+// JoinKind selects the strand-coordination protocol (continuation
+// stealing only).
+type JoinKind uint8
+
+const (
+	// WaitFreeJoin is the Nowa protocol: one atomic RMW per operation.
+	WaitFreeJoin JoinKind = iota
+	// LockedJoin is the Fibril protocol: a frame mutex per operation.
+	LockedJoin
+)
+
+// QueueKind selects the work-stealing queue algorithm.
+type QueueKind uint8
+
+const (
+	// CLQueue is lock-free: steals CAS a shared top line; owners lock
+	// nothing (one CAS when racing for the last element).
+	CLQueue QueueKind = iota
+	// THEQueue locks every steal; owners lock only on conflict (deque
+	// nearly empty) — which under heavy stealing is most of the time.
+	THEQueue
+	// LockedQueue locks every operation.
+	LockedQueue
+)
+
+// Scheme is a complete simulated runtime-system configuration.
+type Scheme struct {
+	Name  string
+	Steal StealKind
+	Join  JoinKind
+	Queue QueueKind
+	// TiedWait restricts a worker waiting at a sync to tasks from its own
+	// deque (OpenMP tied tasks).
+	TiedWait bool
+	// Malloc charges a per-spawn dynamic allocation (child stealing).
+	Malloc bool
+	// HeavyTasks charges the TaskExtra per-task cost (OpenMP runtimes).
+	HeavyTasks bool
+	// SpawnExtra is an additional per-spawn bookkeeping cost for
+	// runtimes with heavier frame setup (Cilk Plus's full-frame protocol).
+	SpawnExtra int64
+	// StackBound, if positive, caps the total number of stacks; thieves
+	// stop stealing when it is exhausted (Cilk Plus).
+	StackBound int
+	// Madvise releases suspended/pooled stack pages (§V-B).
+	Madvise bool
+}
+
+// Nowa is the flagship scheme: wait-free join + CL queue.
+func Nowa() Scheme { return Scheme{Name: "nowa", Steal: ContSteal, Join: WaitFreeJoin, Queue: CLQueue} }
+
+// NowaMadvise is Nowa with the practical cactus-stack solution enabled.
+func NowaMadvise() Scheme {
+	s := Nowa()
+	s.Name = "nowa-madvise"
+	s.Madvise = true
+	return s
+}
+
+// NowaTHE is the §V-C ablation: wait-free join on the THE queue.
+func NowaTHE() Scheme {
+	return Scheme{Name: "nowa-the", Steal: ContSteal, Join: WaitFreeJoin, Queue: THEQueue}
+}
+
+// Fibril is the lock-based baseline: locked join + THE queue.
+func Fibril() Scheme {
+	return Scheme{Name: "fibril", Steal: ContSteal, Join: LockedJoin, Queue: THEQueue}
+}
+
+// CilkPlus is Fibril plus a bounded stack pool (workers stop stealing at
+// the bound); the bound scales with the worker count at Run time when
+// StackBound is set to 0 here (8 per worker).
+func CilkPlus() Scheme {
+	return Scheme{Name: "cilkplus", Steal: ContSteal, Join: LockedJoin, Queue: THEQueue, StackBound: -8, SpawnExtra: 30}
+}
+
+// TBB is the child-stealing comparator with per-task allocation.
+func TBB() Scheme {
+	return Scheme{Name: "tbb", Steal: ChildSteal, Queue: LockedQueue, Malloc: true}
+}
+
+// LibGOMP is the central-queue OpenMP runtime.
+func LibGOMP() Scheme {
+	return Scheme{Name: "libgomp", Steal: CentralQueue, Malloc: true, HeavyTasks: true}
+}
+
+// LibOMPUntied is the work-stealing OpenMP runtime with untied tasks.
+func LibOMPUntied() Scheme {
+	return Scheme{Name: "libomp-untied", Steal: ChildSteal, Queue: LockedQueue, Malloc: true, HeavyTasks: true}
+}
+
+// LibOMPTied is LibOMPUntied with tied tasks.
+func LibOMPTied() Scheme {
+	s := LibOMPUntied()
+	s.Name = "libomp-tied"
+	s.TiedWait = true
+	return s
+}
+
+// stackBound resolves the effective bound for P workers.
+func (s Scheme) stackBound(p int) int {
+	if s.StackBound < 0 {
+		return -s.StackBound * p
+	}
+	return s.StackBound
+}

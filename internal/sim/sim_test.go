@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allSchemes() []Scheme {
+	return []Scheme{
+		Nowa(), NowaMadvise(), NowaTHE(), Fibril(), CilkPlus(),
+		TBB(), LibGOMP(), LibOMPUntied(), LibOMPTied(),
+	}
+}
+
+func TestAnalyzeSimpleDAG(t *testing.T) {
+	b := &builder{}
+	// root: 10 work, spawn child (20 work), 5 work, sync, 5 work.
+	child := b.task(work(20))
+	root := b.task(work(10), spawn(child), work(5), syncOp(), work(5))
+	d := b.finish("t", root)
+	if d.T1 != 40 {
+		t.Errorf("T1 = %d, want 40", d.T1)
+	}
+	// Critical path: max(10+20, 10+5) + 5 = 35.
+	if d.TInf != 35 {
+		t.Errorf("TInf = %d, want 35", d.TInf)
+	}
+	if d.Tasks != 2 {
+		t.Errorf("Tasks = %d, want 2", d.Tasks)
+	}
+}
+
+func TestAnalyzeCallChain(t *testing.T) {
+	b := &builder{}
+	inner := b.task(work(7))
+	root := b.task(work(3), call(inner), work(2))
+	d := b.finish("t", root)
+	if d.T1 != 12 || d.TInf != 12 {
+		t.Errorf("T1=%d TInf=%d, want 12/12 (calls are serial)", d.T1, d.TInf)
+	}
+}
+
+func TestAnalyzeMemWorkCounts(t *testing.T) {
+	b := &builder{}
+	root := b.task(memWork(10, 30))
+	d := b.finish("t", root)
+	if d.T1 != 40 {
+		t.Errorf("T1 = %d, want 40 (compute + memory)", d.T1)
+	}
+}
+
+func TestAllWorkloadsAllSchemesComplete(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		dag, err := Workload(name, SimTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sch := range allSchemes() {
+			sch := sch
+			r := Run(dag, sch, 8, DefaultCosts(), 1)
+			if r.Makespan <= 0 {
+				t.Errorf("%s/%s: makespan %d", name, sch.Name, r.Makespan)
+			}
+			if r.Makespan < dag.TInf {
+				t.Errorf("%s/%s: makespan %d below critical path %d", name, sch.Name, r.Makespan, dag.TInf)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	dag, _ := Workload("fib", SimTest)
+	for _, sch := range allSchemes() {
+		a := Run(dag, sch, 16, DefaultCosts(), 7)
+		b := Run(dag, sch, 16, DefaultCosts(), 7)
+		if a.Makespan != b.Makespan || a.Metrics != b.Metrics {
+			t.Errorf("%s: nondeterministic results %v vs %v", sch.Name, a.Makespan, b.Makespan)
+		}
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	dag, _ := Workload("fib", SimTest)
+	a := Run(dag, Nowa(), 16, DefaultCosts(), 1)
+	b := Run(dag, Nowa(), 16, DefaultCosts(), 2)
+	if a.Makespan == b.Makespan && a.Metrics.Steals == b.Metrics.Steals {
+		t.Error("different seeds produced an identical schedule (suspicious)")
+	}
+}
+
+func TestSingleWorkerBounds(t *testing.T) {
+	// One worker: no steals, makespan ≥ serial time (the runtime adds
+	// overhead over the serial elision, never removes it).
+	for _, name := range WorkloadNames() {
+		dag, _ := Workload(name, SimTest)
+		r := Run(dag, Nowa(), 1, DefaultCosts(), 1)
+		if r.Metrics.Steals != 0 {
+			t.Errorf("%s: %d steals on one worker", name, r.Metrics.Steals)
+		}
+		if r.Speedup > 1.0 {
+			t.Errorf("%s: one-worker speedup %.3f > 1", name, r.Speedup)
+		}
+		if r.Makespan < dag.T1 {
+			t.Errorf("%s: makespan %d below T1 %d", name, r.Makespan, dag.T1)
+		}
+	}
+}
+
+func TestSpeedupGrowsWithWorkers(t *testing.T) {
+	for _, name := range []string{"matmul", "fft", "nqueens"} {
+		dag, _ := Workload(name, SimTest)
+		r1 := Run(dag, Nowa(), 1, DefaultCosts(), 1)
+		r8 := Run(dag, Nowa(), 8, DefaultCosts(), 1)
+		if r8.Speedup < 1.5*r1.Speedup {
+			t.Errorf("%s: S8=%.2f not meaningfully above S1=%.2f", name, r8.Speedup, r1.Speedup)
+		}
+	}
+}
+
+func TestSpawnConservation(t *testing.T) {
+	// Continuation stealing: every spawn is resolved by a local resume or
+	// a steal, exactly once.
+	dag, _ := Workload("fib", SimTest)
+	for _, sch := range []Scheme{Nowa(), NowaTHE(), Fibril()} {
+		r := Run(dag, sch, 8, DefaultCosts(), 3)
+		m := r.Metrics
+		if m.LocalResumes+m.Steals != m.Spawns {
+			t.Errorf("%s: resumes(%d)+steals(%d) != spawns(%d)", sch.Name, m.LocalResumes, m.Steals, m.Spawns)
+		}
+	}
+}
+
+func TestMadviseChargesShowUp(t *testing.T) {
+	dag, _ := Workload("fib", SimTest)
+	r := Run(dag, NowaMadvise(), 8, DefaultCosts(), 1)
+	if r.Metrics.MadviseCalls == 0 {
+		t.Error("madvise scheme recorded no page releases")
+	}
+	base := Run(dag, Nowa(), 8, DefaultCosts(), 1)
+	if r.Makespan <= base.Makespan {
+		t.Errorf("madvise (%d) not slower than baseline (%d) — §V-B penalty missing",
+			r.Makespan, base.Makespan)
+	}
+}
+
+func TestCilkPlusBoundThrottlesStealing(t *testing.T) {
+	dag, _ := Workload("fib", SimTest)
+	tight := Scheme{Name: "cp1", Steal: ContSteal, Join: LockedJoin, Queue: THEQueue, StackBound: 2}
+	loose := Fibril()
+	rt := Run(dag, tight, 16, DefaultCosts(), 1)
+	rl := Run(dag, loose, 16, DefaultCosts(), 1)
+	if rt.Metrics.Steals >= rl.Metrics.Steals {
+		t.Errorf("bounded stacks did not reduce steals: %d vs %d", rt.Metrics.Steals, rl.Metrics.Steals)
+	}
+	if rt.Makespan <= rl.Makespan {
+		t.Errorf("tight stack bound not slower: %d vs %d", rt.Makespan, rl.Makespan)
+	}
+}
+
+func TestPaperOrderingsAt256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-worker orderings skipped in -short mode")
+	}
+	cost := DefaultCosts()
+	// fib at 256: Nowa > NowaTHE ≈ Fibril > TBB > libgomp (Fig 7/9/10).
+	dag := FibDAG(SimFull)
+	s := map[string]float64{}
+	for _, sch := range []Scheme{Nowa(), NowaTHE(), Fibril(), TBB(), LibGOMP()} {
+		s[sch.Name] = Run(dag, sch, 256, cost, 1).Speedup
+	}
+	if !(s["nowa"] > s["nowa-the"] && s["nowa-the"] > s["tbb"] && s["fibril"] > s["tbb"] && s["tbb"] > s["libgomp"]) {
+		t.Errorf("fib ordering violated: %v", s)
+	}
+	if s["nowa"] < 1.3*s["fibril"] {
+		t.Errorf("fib: Nowa/Fibril ratio %.2f below paper-scale gap", s["nowa"]/s["fibril"])
+	}
+	if s["libgomp"] > 1 {
+		t.Errorf("libgomp fib speedup %.2f should collapse below 1", s["libgomp"])
+	}
+}
+
+func TestWorkloadUnknown(t *testing.T) {
+	if _, err := Workload("nope", SimTest); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSchemeStackBoundScaling(t *testing.T) {
+	cp := CilkPlus()
+	if got := cp.stackBound(32); got != 256 {
+		t.Errorf("scaled bound = %d, want 256", got)
+	}
+	fixed := Scheme{StackBound: 7}
+	if got := fixed.stackBound(32); got != 7 {
+		t.Errorf("fixed bound = %d, want 7", got)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	dag, _ := Workload("integrate", SimTest)
+	ser := Sweep(dag, Nowa(), []int{1, 2, 4}, DefaultCosts(), 1)
+	if len(ser.Points) != 3 || ser.Scheme != "nowa" {
+		t.Fatalf("series = %+v", ser)
+	}
+	for i, p := range ser.Points {
+		if p.Speedup <= 0 || p.Makespan <= 0 {
+			t.Errorf("point %d: %+v", i, p)
+		}
+	}
+	all := SweepAll(dag, Fig9Schemes(), []int{1, 4}, DefaultCosts(), 1)
+	if len(all) != 3 {
+		t.Errorf("SweepAll returned %d series", len(all))
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	var r resource
+	end1 := r.acquire(100, 10)
+	if end1 != 110 {
+		t.Errorf("first acquire end = %d", end1)
+	}
+	end2 := r.acquire(105, 10) // arrives while held: queues
+	if end2 != 120 {
+		t.Errorf("queued acquire end = %d, want 120", end2)
+	}
+	end3 := r.acquire(500, 10) // idle resource: no wait
+	if end3 != 510 {
+		t.Errorf("idle acquire end = %d, want 510", end3)
+	}
+}
+
+// Property: for any small random DAG, T1 ≥ TInf and the one-worker
+// makespan ≥ T1.
+func TestQuickDAGInvariants(t *testing.T) {
+	f := func(shape []uint8) bool {
+		if len(shape) == 0 {
+			return true
+		}
+		if len(shape) > 40 {
+			shape = shape[:40]
+		}
+		b := &builder{}
+		i := 0
+		var rec func(depth int) *Task
+		rec = func(depth int) *Task {
+			if depth >= 4 || i >= len(shape) {
+				return b.task(work(int64(1 + shape[min(i, len(shape)-1)]%50)))
+			}
+			v := shape[i]
+			i++
+			switch v % 3 {
+			case 0:
+				return b.task(work(int64(1+v%20)), spawn(rec(depth+1)), call(rec(depth+1)), syncOp())
+			case 1:
+				return b.task(work(int64(1+v%20)), call(rec(depth+1)))
+			default:
+				return b.task(work(int64(1 + v%20)))
+			}
+		}
+		d := b.finish("q", rec(0))
+		if d.T1 < d.TInf {
+			return false
+		}
+		r := Run(d, Nowa(), 1, DefaultCosts(), 1)
+		return r.Makespan >= d.T1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package sim
+
+// Simulated cactus stack pool: per-worker free counts, a mutex-protected
+// global pool, fresh allocations, the Cilk Plus bound, and the madvise
+// release/refault costs of §V-B. Only counts matter to the simulation;
+// identity does not.
+
+const simLocalStackCap = 4
+
+// stackAvailable reports whether a thief could obtain a stack (bounded
+// mode pre-check; see §II-C: workers stop stealing at the bound).
+func (e *Engine) stackAvailable(w int32) bool {
+	if e.stackLocal[w] > 0 || e.stackGlobal > 0 {
+		return true
+	}
+	return e.bound <= 0 || int(e.stackAlloc) < e.bound
+}
+
+// getStack charges the acquisition of one stack to worker w.
+func (e *Engine) getStack(w int32) {
+	wk := &e.workers[w]
+	if e.stackLocal[w] > 0 {
+		e.stackLocal[w]--
+	} else if e.stackGlobal > 0 {
+		// Global pool: a single lock-protected structure — the cholesky
+		// bottleneck of §V-A.
+		wk.now = e.poolLock.acquire(wk.now, e.cost.PoolTransfer) + e.cost.LockOverhead
+		e.stackGlobal--
+		e.m.GlobalPoolOps++
+	} else {
+		wk.now += e.cost.StackAlloc
+		e.stackAlloc++
+		e.m.StackAllocs++
+		return // fresh stacks are resident; no refault
+	}
+	if e.sch.Madvise {
+		wk.now += e.cost.Refault
+		e.m.Refaults++
+	}
+}
+
+// putStack returns worker w's stack to the pool.
+func (e *Engine) putStack(w int32) {
+	wk := &e.workers[w]
+	if e.sch.Madvise {
+		wk.now += e.cost.Madvise
+		e.m.MadviseCalls++
+	}
+	if e.stackLocal[w] < simLocalStackCap {
+		e.stackLocal[w]++
+		return
+	}
+	wk.now = e.poolLock.acquire(wk.now, e.cost.PoolTransfer) + e.cost.LockOverhead
+	e.stackGlobal++
+	e.m.GlobalPoolOps++
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,472 @@
+package sim
+
+import "fmt"
+
+// Workload scales for the simulator.
+type WorkScale int
+
+const (
+	// SimTest builds small DAGs for unit tests.
+	SimTest WorkScale = iota
+	// SimFull builds the figure-generation DAGs (tens of thousands of
+	// tasks, enough parallel slack for 256 virtual workers).
+	SimFull
+)
+
+// Workload builds the named benchmark's DAG. Names match apps.Names().
+func Workload(name string, sc WorkScale) (*DAG, error) {
+	switch name {
+	case "cholesky":
+		return CholeskyDAG(sc), nil
+	case "fft":
+		return FFTDAG(sc), nil
+	case "fib":
+		return FibDAG(sc), nil
+	case "heat":
+		return HeatDAG(sc), nil
+	case "integrate":
+		return IntegrateDAG(sc), nil
+	case "knapsack":
+		return KnapsackDAG(sc), nil
+	case "lu":
+		return LUDAG(sc), nil
+	case "matmul":
+		return MatmulDAG(sc), nil
+	case "nqueens":
+		return NQueensDAG(sc), nil
+	case "quicksort":
+		return QuicksortDAG(sc), nil
+	case "rectmul":
+		return RectmulDAG(sc), nil
+	case "strassen":
+		return StrassenDAG(sc), nil
+	}
+	return nil, fmt.Errorf("sim: unknown workload %q", name)
+}
+
+// WorkloadNames lists the available workloads in Table I order.
+func WorkloadNames() []string {
+	return []string{
+		"cholesky", "fft", "fib", "heat", "integrate", "knapsack",
+		"lu", "matmul", "nqueens", "quicksort", "rectmul", "strassen",
+	}
+}
+
+// --- fib ---------------------------------------------------------------
+
+// FibDAG is the recursive Fibonacci tree: tiny strands, no shared data —
+// the runtime-system stress test.
+func FibDAG(sc WorkScale) *DAG {
+	n := 22
+	if sc == SimTest {
+		n = 12
+	}
+	b := &builder{}
+	var rec func(k int) *Task
+	rec = func(k int) *Task {
+		if k < 2 {
+			return b.task(work(6))
+		}
+		left := rec(k - 1)
+		right := rec(k - 2)
+		return b.task(
+			work(4),
+			spawn(left),
+			work(3),
+			call(right),
+			work(2),
+			syncOp(),
+			work(2),
+		)
+	}
+	return b.finish("fib", rec(n))
+}
+
+// --- integrate ----------------------------------------------------------
+
+// IntegrateDAG is a balanced bisection tree with tiny leaves.
+func IntegrateDAG(sc WorkScale) *DAG {
+	depth := 15
+	if sc == SimTest {
+		depth = 8
+	}
+	b := &builder{}
+	var rec func(d int) *Task
+	rec = func(d int) *Task {
+		if d == 0 {
+			return b.task(work(15))
+		}
+		l, r := rec(d-1), rec(d-1)
+		return b.task(
+			work(8), // midpoint evaluation
+			spawn(l),
+			work(3),
+			call(r),
+			syncOp(),
+			work(2),
+		)
+	}
+	return b.finish("integrate", rec(depth))
+}
+
+// --- nqueens ------------------------------------------------------------
+
+// NQueensDAG is the *actual* n-queens search tree (irregular fan-out,
+// computed exactly), with per-node work proportional to the safety checks.
+func NQueensDAG(sc WorkScale) *DAG {
+	n := 11
+	if sc == SimTest {
+		n = 7
+	}
+	b := &builder{}
+	board := make([]int8, 0, n)
+	var rec func() *Task
+	rec = func() *Task {
+		row := len(board)
+		checkWork := int64(6 + 2*row)
+		if row == n {
+			return b.task(work(5))
+		}
+		var ops []Op
+		ops = append(ops, work(checkWork))
+		children := 0
+		for col := int8(0); col < int8(n); col++ {
+			ok := true
+			for r, c := range board {
+				d := int8(row - r)
+				if c == col || c == col-d || c == col+d {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			board = append(board, col)
+			child := rec()
+			board = board[:len(board)-1]
+			ops = append(ops, work(10), spawn(child)) // board copy + spawn
+			children++
+		}
+		if children > 0 {
+			ops = append(ops, syncOp(), work(int64(4+children*2)))
+		}
+		return b.task(ops...)
+	}
+	return b.finish("nqueens", rec())
+}
+
+// --- knapsack -----------------------------------------------------------
+
+// KnapsackDAG is a seeded, heavily skewed binary branch-and-bound
+// surrogate tree. The paper's order-dependent pruning cannot be captured
+// by a static DAG (documented in EXPERIMENTS.md); the surrogate preserves
+// the extreme irregularity and tiny strand sizes.
+func KnapsackDAG(sc WorkScale) *DAG {
+	maxDepth := 40
+	budget := 50_000
+	if sc == SimTest {
+		maxDepth = 12
+		budget = 600
+	}
+	b := &builder{}
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var rec func(d int) *Task
+	rec = func(d int) *Task {
+		budget--
+		level := maxDepth - d
+		// Pruning probability grows with depth: most branches die early,
+		// a few run deep (the B&B signature). The first levels always
+		// branch so the tree cannot degenerate.
+		prune := uint64(30 + level/2)
+		if prune > 55 {
+			prune = 55
+		}
+		if d == 0 || budget <= 0 || (level > 5 && next()%100 < prune) {
+			return b.task(work(int64(10 + next()%20)))
+		}
+		inc := rec(d - 1)
+		exc := rec(d - 1)
+		return b.task(
+			work(12), // bound computation
+			spawn(inc),
+			work(3),
+			call(exc),
+			syncOp(),
+		)
+	}
+	return b.finish("knapsack", rec(maxDepth))
+}
+
+// --- quicksort ----------------------------------------------------------
+
+// QuicksortDAG is the recursion tree over a 4M-element sort: partition
+// work is linear in the segment (and on the critical path), which caps the
+// parallelism — quicksort's famously flat speedup curve.
+func QuicksortDAG(sc WorkScale) *DAG {
+	n := int64(4_000_000)
+	if sc == SimTest {
+		n = 40_000
+	}
+	const cutoff = 8192
+	const perElem = 1 // ns of partition work per element
+	b := &builder{}
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var rec func(sz int64) *Task
+	rec = func(sz int64) *Task {
+		if sz <= cutoff {
+			// Serial base sort ~ sz·log2(sz) with a memory-bound share.
+			w := sz * perElem * 11
+			return b.task(memWork(w*3/4, w/4))
+		}
+		// Median-of-three split with mild imbalance.
+		frac := 40 + next()%20 // 40–59 %
+		left := sz * int64(frac) / 100
+		right := sz - left - 1
+		lt, rt := rec(left), rec(right)
+		part := sz * perElem
+		return b.task(
+			memWork(part*2/3, part/3), // partition pass over the segment
+			spawn(lt),
+			call(rt),
+			syncOp(),
+		)
+	}
+	return b.finish("quicksort", rec(n))
+}
+
+// --- heat ---------------------------------------------------------------
+
+// HeatDAG is timestep-iterated row-block parallelism: each of the steps
+// is a balanced spawn tree over row blocks whose leaf work is strongly
+// memory-bound, giving the bandwidth-limited plateau of the paper.
+func HeatDAG(sc WorkScale) *DAG {
+	steps, leaves := 40, 512
+	leafWork := int64(11_000)
+	if sc == SimTest {
+		steps, leaves = 5, 32
+		leafWork = 2_000
+	}
+	b := &builder{}
+	var block func(nl int) *Task
+	block = func(nl int) *Task {
+		if nl == 1 {
+			return b.task(memWork(leafWork/5, leafWork*4/5))
+		}
+		l, r := block(nl/2), block(nl-nl/2)
+		return b.task(work(12), spawn(l), call(r), syncOp())
+	}
+	var ops []Op
+	for s := 0; s < steps; s++ {
+		ops = append(ops, work(40), call(block(leaves)))
+	}
+	root := b.task(ops...)
+	return b.finish("heat", root)
+}
+
+// --- dense linear algebra ----------------------------------------------
+
+// mulDAG builds the divide-and-conquer multiply tree for an m×n×k
+// product: the two m/n splits spawn, the k split is sequential.
+func mulDAG(b *builder, m, n, k, cutoff int64) *Task {
+	if m <= cutoff && n <= cutoff && k <= cutoff {
+		w := m * n * k / 2 // ~0.5 ns per fused multiply-add block
+		return b.task(memWork(w*9/10, w/10))
+	}
+	switch {
+	case m >= n && m >= k:
+		l, r := mulDAG(b, m/2, n, k, cutoff), mulDAG(b, m-m/2, n, k, cutoff)
+		return b.task(work(25), spawn(l), call(r), syncOp())
+	case n >= k:
+		l, r := mulDAG(b, m, n/2, k, cutoff), mulDAG(b, m, n-n/2, k, cutoff)
+		return b.task(work(25), spawn(l), call(r), syncOp())
+	default:
+		l, r := mulDAG(b, m, n, k/2, cutoff), mulDAG(b, m, n, k-k/2, cutoff)
+		return b.task(work(25), call(l), call(r))
+	}
+}
+
+// MatmulDAG is the square multiply.
+func MatmulDAG(sc WorkScale) *DAG {
+	sz := int64(512)
+	if sc == SimTest {
+		sz = 128
+	}
+	b := &builder{}
+	return b.finish("matmul", mulDAG(b, sz, sz, sz, 16))
+}
+
+// RectmulDAG is the rectangular multiply.
+func RectmulDAG(sc WorkScale) *DAG {
+	sz := int64(448)
+	if sc == SimTest {
+		sz = 96
+	}
+	b := &builder{}
+	return b.finish("rectmul", mulDAG(b, sz, sz, 2*sz, 16))
+}
+
+// StrassenDAG is the seven-way Strassen recursion.
+func StrassenDAG(sc WorkScale) *DAG {
+	sz := int64(2048)
+	if sc == SimTest {
+		sz = 256
+	}
+	b := &builder{}
+	var rec func(n int64) *Task
+	rec = func(n int64) *Task {
+		if n <= 64 {
+			w := n * n * n / 2
+			return b.task(memWork(w*9/10, w/10))
+		}
+		h := n / 2
+		addW := h * h / 2 // submatrix additions per product
+		// The operand additions happen inside each spawned product task,
+		// so they run in parallel (as in the real kernel).
+		wrap := func(p *Task) *Task {
+			return b.task(memWork(addW/2, addW/2), call(p))
+		}
+		var ops []Op
+		for i := 0; i < 6; i++ {
+			ops = append(ops, work(10), spawn(wrap(rec(h))))
+		}
+		ops = append(ops, call(wrap(rec(h))), syncOp())
+		combW := h * h * 2
+		ops = append(ops, memWork(combW/2, combW/2))
+		return b.task(ops...)
+	}
+	return b.finish("strassen", rec(sz))
+}
+
+// triDAG models a triangular solve sweep over rows/cols blocks: split in
+// two, both halves parallel, work quadratic in the block.
+func triDAG(b *builder, rows, k, cutoff int64) *Task {
+	if rows <= cutoff {
+		w := rows * k * k / 4
+		return b.task(memWork(w*4/5, w/5))
+	}
+	l, r := triDAG(b, rows/2, k, cutoff), triDAG(b, rows-rows/2, k, cutoff)
+	return b.task(work(20), spawn(l), call(r), syncOp())
+}
+
+// LUDAG is the recursive blocked LU: lu(A00); two parallel triangular
+// solves; Schur multiply; lu(A11) — a strongly sequential spine with
+// parallel phases, like the original.
+func LUDAG(sc WorkScale) *DAG {
+	sz := int64(2048)
+	cutoff := int64(32)
+	if sc == SimTest {
+		sz = 128
+	}
+	b := &builder{}
+	var rec func(n int64) *Task
+	rec = func(n int64) *Task {
+		if n <= cutoff {
+			w := n * n * n / 3
+			return b.task(memWork(w*4/5, w/5))
+		}
+		h := n / 2
+		a00 := rec(h)
+		lsolve := triDAG(b, h, h, 16)
+		usolve := triDAG(b, h, h, 16)
+		schur := mulDAG(b, h, h, h, 32)
+		a11 := rec(n - h)
+		return b.task(
+			work(20),
+			call(a00),
+			spawn(lsolve),
+			call(usolve),
+			syncOp(),
+			call(schur),
+			call(a11),
+		)
+	}
+	return b.finish("lu", rec(sz))
+}
+
+// CholeskyDAG mirrors LU's structure with the §V-A stress property: the
+// recursion suspends often, recirculating stacks through the global pool.
+func CholeskyDAG(sc WorkScale) *DAG {
+	sz := int64(1536)
+	cutoff := int64(24)
+	if sc == SimTest {
+		sz = 96
+	}
+	b := &builder{}
+	var rec func(n int64) *Task
+	rec = func(n int64) *Task {
+		if n <= cutoff {
+			w := n * n * n / 6
+			return b.task(memWork(w*4/5, w/5))
+		}
+		h := n / 2
+		a00 := rec(h)
+		solve := triDAG(b, n-h, h, 8)
+		syrk := mulDAG(b, n-h, n-h, h, 28)
+		a11 := rec(n - h)
+		return b.task(
+			work(20),
+			call(a00),
+			spawn(solve),
+			work(15),
+			syncOp(),
+			call(syrk),
+			call(a11),
+		)
+	}
+	return b.finish("cholesky", rec(sz))
+}
+
+// --- fft ----------------------------------------------------------------
+
+// FFTDAG is the radix-2 recursion: two spawned halves plus a combine pass
+// that is partly memory-bound.
+func FFTDAG(sc WorkScale) *DAG {
+	n := int64(1 << 20)
+	if sc == SimTest {
+		n = 1 << 12
+	}
+	const cutoff = 2048
+	b := &builder{}
+	// pass is a parallel sweep over sz elements with per-element cost c
+	// (deinterleave / butterfly loops, parallelised as in the kernel).
+	var pass func(sz, c int64) *Task
+	pass = func(sz, c int64) *Task {
+		if sz <= cutoff {
+			w := sz * c
+			return b.task(memWork(w*3/4, w/4))
+		}
+		h := sz / 2
+		l, r := pass(h, c), pass(sz-h, c)
+		return b.task(work(15), spawn(l), call(r), syncOp())
+	}
+	var rec func(sz int64) *Task
+	rec = func(sz int64) *Task {
+		if sz <= cutoff {
+			w := sz * 10 // ~n·log n serial base
+			return b.task(memWork(w*7/8, w/8))
+		}
+		h := sz / 2
+		l, r := rec(h), rec(h)
+		return b.task(
+			call(pass(sz, 1)), // deinterleave
+			spawn(l),
+			call(r),
+			syncOp(),
+			call(pass(sz, 3)), // butterflies
+		)
+	}
+	return b.finish("fft", rec(n))
+}

@@ -1,0 +1,142 @@
+package sim
+
+import "testing"
+
+// TestWorkloadShapes pins the structural properties each benchmark DAG
+// must have for its Figure 7 curve to mean anything: enough parallelism
+// for the scalable kernels, little for the plateau kernels, and stable
+// task counts (the builders are deterministic).
+func TestWorkloadShapes(t *testing.T) {
+	type want struct {
+		minTasks, maxTasks int
+		minPar, maxPar     float64
+	}
+	wants := map[string]want{
+		"cholesky":  {10_000, 200_000, 60, 400},
+		"fft":       {5_000, 100_000, 100, 2000},
+		"fib":       {30_000, 120_000, 1000, 20_000},
+		"heat":      {20_000, 100_000, 100, 2000},
+		"integrate": {30_000, 150_000, 1000, 20_000},
+		"knapsack":  {20_000, 120_000, 200, 20_000},
+		"lu":        {30_000, 200_000, 60, 500},
+		"matmul":    {30_000, 150_000, 400, 4000},
+		"nqueens":   {100_000, 400_000, 2000, 40_000},
+		"quicksort": {500, 10_000, 4, 25},
+		"rectmul":   {60_000, 300_000, 400, 4000},
+		"strassen":  {20_000, 100_000, 200, 4000},
+	}
+	for _, name := range WorkloadNames() {
+		w, ok := wants[name]
+		if !ok {
+			t.Fatalf("no shape expectation for %s", name)
+		}
+		dag, err := Workload(name, SimFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dag.Tasks < w.minTasks || dag.Tasks > w.maxTasks {
+			t.Errorf("%s: %d tasks, want [%d, %d]", name, dag.Tasks, w.minTasks, w.maxTasks)
+		}
+		if p := dag.Parallelism(); p < w.minPar || p > w.maxPar {
+			t.Errorf("%s: parallelism %.1f, want [%g, %g]", name, p, w.minPar, w.maxPar)
+		}
+		if dag.Name != name {
+			t.Errorf("%s: DAG named %q", name, dag.Name)
+		}
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		a, _ := Workload(name, SimFull)
+		b, _ := Workload(name, SimFull)
+		if a.Tasks != b.Tasks || a.T1 != b.T1 || a.TInf != b.TInf {
+			t.Errorf("%s: rebuild differs (%d/%d tasks, %d/%d T1)", name, a.Tasks, b.Tasks, a.T1, b.T1)
+		}
+	}
+}
+
+func TestTestScaleSmaller(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		small, _ := Workload(name, SimTest)
+		full, _ := Workload(name, SimFull)
+		if small.Tasks >= full.Tasks {
+			t.Errorf("%s: SimTest (%d tasks) not smaller than SimFull (%d)", name, small.Tasks, full.Tasks)
+		}
+	}
+}
+
+// TestQuicksortPlateauIsStructural verifies that quicksort's flat Figure 7
+// curve is a property of the DAG (§V: the partition chain is on the
+// critical path), so it cannot exceed ~T1/T∞ on ANY runtime.
+func TestQuicksortPlateauIsStructural(t *testing.T) {
+	dag, _ := Workload("quicksort", SimFull)
+	ceiling := dag.Parallelism()
+	r := Run(dag, Nowa(), 256, DefaultCosts(), 1)
+	if r.Speedup > ceiling {
+		t.Errorf("speedup %.1f exceeds the structural ceiling %.1f", r.Speedup, ceiling)
+	}
+	if ceiling > 25 {
+		t.Errorf("quicksort ceiling %.1f too high to reproduce the paper's plateau", ceiling)
+	}
+}
+
+// TestHeatIsMemoryBound checks the bandwidth model binds heat: doubling
+// the memory channels must raise its 256-thread speedup noticeably, while
+// fib (no memory ops) must be indifferent.
+func TestHeatIsMemoryBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-worker simulations in -short mode")
+	}
+	base := DefaultCosts()
+	wide := base
+	wide.MemChannels = base.MemChannels * 4
+
+	heat, _ := Workload("heat", SimFull)
+	h1 := Run(heat, Nowa(), 256, base, 1).Speedup
+	h2 := Run(heat, Nowa(), 256, wide, 1).Speedup
+	if h2 < h1*1.3 {
+		t.Errorf("heat speedup %.1f→%.1f with 4x channels: not memory-bound", h1, h2)
+	}
+
+	fib, _ := Workload("fib", SimFull)
+	f1 := Run(fib, Nowa(), 256, base, 1).Speedup
+	f2 := Run(fib, Nowa(), 256, wide, 1).Speedup
+	if f2 > f1*1.2 || f2 < f1*0.8 {
+		t.Errorf("fib speedup %.1f→%.1f changed with memory channels: should be compute-bound", f1, f2)
+	}
+}
+
+// TestNQueensTreeIsExact rebuilds the nqueens DAG and compares the leaf
+// count with the known solution count for the configured board size.
+func TestNQueensTreeIsExact(t *testing.T) {
+	dag, _ := Workload("nqueens", SimFull) // n = 11
+	// Count leaf tasks at full depth: tasks with a single work op at
+	// row == n are exactly the solutions (2680 for n=11).
+	var leaves int
+	var walk func(*Task)
+	seen := map[*Task]bool{}
+	// Solution leaves are the row == n tasks (work(5)); dead ends are
+	// also single-op tasks but carry the row-dependent check cost (>= 8).
+	countLeaf := func(tk *Task) bool {
+		return len(tk.Ops) == 1 && tk.Ops[0].Kind == OpWork && tk.Ops[0].D == 5
+	}
+	walk = func(tk *Task) {
+		if seen[tk] {
+			return
+		}
+		seen[tk] = true
+		if countLeaf(tk) {
+			leaves++
+		}
+		for _, op := range tk.Ops {
+			if op.Child != nil {
+				walk(op.Child)
+			}
+		}
+	}
+	walk(dag.Root)
+	if leaves != 2680 {
+		t.Errorf("nqueens(11) solution leaves = %d, want 2680", leaves)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import "math"
+
+// t95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1-30); beyond 30 the normal approximation 1.96 is used.
+var t95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% t value for n samples.
+func tCritical95(n int) float64 {
+	df := n - 1
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(t95) {
+		return t95[df]
+	}
+	return 1.96
+}
+
+// CI95 is a 95% confidence interval for a mean.
+type CI95 struct {
+	Mean, Low, High float64
+	N               int
+}
+
+// HalfWidth returns the interval's half width.
+func (c CI95) Half() float64 { return (c.High - c.Low) / 2 }
+
+// Contains reports whether x lies in the interval.
+func (c CI95) Contains(x float64) bool { return x >= c.Low && x <= c.High }
+
+// MeanCI95 computes the Student-t 95% confidence interval of the mean.
+func MeanCI95(xs []float64) CI95 {
+	n := len(xs)
+	m := Mean(xs)
+	if n < 2 {
+		return CI95{Mean: m, Low: m, High: m, N: n}
+	}
+	h := tCritical95(n) * StdDev(xs) / math.Sqrt(float64(n))
+	return CI95{Mean: m, Low: m - h, High: m + h, N: n}
+}
+
+// GeoMeanCI95 computes the 95% confidence interval of the geometric mean
+// (a t interval in log space, exponentiated). All inputs must be
+// positive.
+func GeoMeanCI95(xs []float64) CI95 {
+	n := len(xs)
+	if n == 0 {
+		return CI95{Mean: math.NaN(), Low: math.NaN(), High: math.NaN()}
+	}
+	logs := make([]float64, n)
+	for i, x := range xs {
+		if x <= 0 {
+			return CI95{Mean: math.NaN(), Low: math.NaN(), High: math.NaN(), N: n}
+		}
+		logs[i] = math.Log(x)
+	}
+	ci := MeanCI95(logs)
+	return CI95{
+		Mean: math.Exp(ci.Mean),
+		Low:  math.Exp(ci.Low),
+		High: math.Exp(ci.High),
+		N:    n,
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanCI95KnownValues(t *testing.T) {
+	// n=5, mean=10, sd=1: half width = 2.776/sqrt(5) ≈ 1.2415.
+	xs := []float64{9, 9.5, 10, 10.5, 11}
+	ci := MeanCI95(xs)
+	if ci.Mean != 10 || ci.N != 5 {
+		t.Fatalf("ci = %+v", ci)
+	}
+	sd := StdDev(xs)
+	wantHalf := 2.776 * sd / math.Sqrt(5)
+	if !approx(ci.Half(), wantHalf, 1e-9) {
+		t.Errorf("half = %g, want %g", ci.Half(), wantHalf)
+	}
+	if !ci.Contains(10) || ci.Contains(20) {
+		t.Error("containment")
+	}
+}
+
+func TestMeanCI95Degenerate(t *testing.T) {
+	ci := MeanCI95([]float64{7})
+	if ci.Mean != 7 || ci.Low != 7 || ci.High != 7 {
+		t.Errorf("single sample CI = %+v", ci)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical95(2) != 12.706 {
+		t.Error("df=1")
+	}
+	if tCritical95(31) != 2.042 {
+		t.Error("df=30")
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Error("large df")
+	}
+	if !math.IsNaN(tCritical95(1)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestGeoMeanCI95(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	ci := GeoMeanCI95(xs)
+	want := GeoMean(xs)
+	if !approx(ci.Mean, want, 1e-12) {
+		t.Errorf("geo mean %g, want %g", ci.Mean, want)
+	}
+	if ci.Low >= ci.Mean || ci.High <= ci.Mean {
+		t.Errorf("interval %+v not around the mean", ci)
+	}
+	bad := GeoMeanCI95([]float64{1, -1})
+	if !math.IsNaN(bad.Mean) {
+		t.Error("negative input accepted")
+	}
+	empty := GeoMeanCI95(nil)
+	if !math.IsNaN(empty.Mean) {
+		t.Error("empty input accepted")
+	}
+}
+
+// Property: the CI always contains the sample mean, and widening the
+// sample (same values repeated) narrows the interval.
+func TestQuickCIProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 1
+		}
+		ci := MeanCI95(xs)
+		if !ci.Contains(ci.Mean) {
+			return false
+		}
+		// Doubling the sample with the same values must not widen the CI.
+		doubled := append(append([]float64(nil), xs...), xs...)
+		ci2 := MeanCI95(doubled)
+		return ci2.Half() <= ci.Half()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package trace provides low-overhead per-worker event counters for the
+// scheduler. Each worker mutates only its own padded counter block, so
+// counting adds no cache-line contention of its own; Aggregate folds the
+// blocks into a snapshot.
+package trace
+
+// Counters is one worker's event tally. Fields are plain integers mutated
+// only by the owning worker; read them only through Recorder.Aggregate.
+type Counters struct {
+	Spawns          int64 // Spawn calls executed on this worker
+	LocalResumes    int64 // popBottom hits: continuation not stolen
+	Steals          int64 // successful popTop operations
+	FailedSteals    int64 // empty or lost-race popTop operations
+	ImplicitSyncs   int64 // popBottom misses: continuation was stolen
+	ExplicitSyncs   int64 // Sync calls
+	Suspensions     int64 // parent parked at an explicit sync point
+	VesselDispatch  int64 // strand vessels activated for children
+	StackLocalGets  int64 // stacks served from the per-worker buffer
+	StackGlobalGets int64 // stacks served from the global pool
+}
+
+// pad separates counter blocks by a cache line to avoid false sharing.
+type paddedCounters struct {
+	Counters
+	_ [48]byte
+}
+
+// Recorder holds one counter block per worker.
+type Recorder struct {
+	blocks []paddedCounters
+}
+
+// NewRecorder creates a recorder for n workers.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{blocks: make([]paddedCounters, n)}
+}
+
+// Worker returns worker w's counter block for direct mutation.
+func (r *Recorder) Worker(w int) *Counters {
+	return &r.blocks[w].Counters
+}
+
+// Aggregate sums all worker blocks. Call only when workers are quiescent
+// for an exact result; otherwise the snapshot is approximate.
+func (r *Recorder) Aggregate() Counters {
+	var c Counters
+	for i := range r.blocks {
+		b := &r.blocks[i].Counters
+		c.Spawns += b.Spawns
+		c.LocalResumes += b.LocalResumes
+		c.Steals += b.Steals
+		c.FailedSteals += b.FailedSteals
+		c.ImplicitSyncs += b.ImplicitSyncs
+		c.ExplicitSyncs += b.ExplicitSyncs
+		c.Suspensions += b.Suspensions
+		c.VesselDispatch += b.VesselDispatch
+		c.StackLocalGets += b.StackLocalGets
+		c.StackGlobalGets += b.StackGlobalGets
+	}
+	return c
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestAggregateSums(t *testing.T) {
+	r := NewRecorder(3)
+	r.Worker(0).Spawns = 5
+	r.Worker(1).Spawns = 7
+	r.Worker(2).Steals = 2
+	r.Worker(0).FailedSteals = 1
+	r.Worker(2).Suspensions = 4
+	c := r.Aggregate()
+	if c.Spawns != 12 || c.Steals != 2 || c.FailedSteals != 1 || c.Suspensions != 4 {
+		t.Errorf("aggregate = %+v", c)
+	}
+}
+
+func TestAggregateAllFields(t *testing.T) {
+	r := NewRecorder(1)
+	w := r.Worker(0)
+	w.Spawns = 1
+	w.LocalResumes = 2
+	w.Steals = 3
+	w.FailedSteals = 4
+	w.ImplicitSyncs = 5
+	w.ExplicitSyncs = 6
+	w.Suspensions = 7
+	w.VesselDispatch = 8
+	w.StackLocalGets = 9
+	w.StackGlobalGets = 10
+	c := r.Aggregate()
+	want := Counters{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if c != want {
+		t.Errorf("aggregate = %+v, want %+v", c, want)
+	}
+}
+
+func TestWorkerBlocksAreCacheLinePadded(t *testing.T) {
+	// Adjacent workers' counters must not share a 64-byte cache line.
+	r := NewRecorder(2)
+	a := uintptr(unsafe.Pointer(r.Worker(0)))
+	b := uintptr(unsafe.Pointer(r.Worker(1)))
+	if b-a < 64 {
+		t.Errorf("counter blocks %d bytes apart, want >= 64", b-a)
+	}
+}
+
+func TestConcurrentDisjointWorkers(t *testing.T) {
+	// Each worker mutating its own block is race-free by design.
+	r := NewRecorder(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Worker(w)
+			for i := 0; i < 10_000; i++ {
+				c.Spawns++
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Aggregate().Spawns; got != 40_000 {
+		t.Errorf("spawns = %d, want 40000", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package tracelog converts scheduler event logs into the Chrome trace
+// event format (the JSON consumed by chrome://tracing and Perfetto), so a
+// real run's strand-to-worker mapping — the paper's Figure 4 pictures —
+// can be inspected visually.
+package tracelog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nowa/internal/sched"
+)
+
+// chromeEvent is one entry of the Chrome trace "traceEvents" array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace converts the events to Chrome trace JSON. Strand
+// executions appear as duration slices per worker row; steals,
+// suspensions and resumes appear as instant events.
+func WriteChromeTrace(w io.Writer, events []sched.Event) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ns"
+	// Strands may end on a different worker than they started on (worker
+	// tokens migrate with stolen continuations), so per-row B/E pairs are
+	// kept balanced with a depth counter: an end with no open slice on
+	// its row renders as an instant "strand-end (migrated)".
+	depth := map[int32]int{}
+	var last float64
+	for _, e := range events {
+		ts := float64(e.T.Nanoseconds()) / 1e3
+		last = ts
+		switch e.Kind {
+		case sched.EvStrandStart:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "strand", Phase: "B", TS: ts, PID: 1, TID: int(e.Worker),
+			})
+			depth[e.Worker]++
+		case sched.EvStrandEnd:
+			if depth[e.Worker] > 0 {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "strand", Phase: "E", TS: ts, PID: 1, TID: int(e.Worker),
+				})
+				depth[e.Worker]--
+			} else {
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "strand-end (migrated)", Phase: "i", TS: ts, PID: 1, TID: int(e.Worker),
+				})
+			}
+		case sched.EvSteal:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "steal", Phase: "i", TS: ts, PID: 1, TID: int(e.Worker),
+				Args: map[string]any{"victim": e.Aux},
+			})
+		default:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Kind.String(), Phase: "i", TS: ts, PID: 1, TID: int(e.Worker),
+			})
+		}
+	}
+	// Close slices whose ends happened on other rows.
+	for wk, d := range depth {
+		for ; d > 0; d-- {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "strand", Phase: "E", TS: last, PID: 1, TID: int(wk),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary aggregates an event stream into per-kind counts.
+func Summary(events []sched.Event) map[string]int {
+	m := map[string]int{}
+	for _, e := range events {
+		m[e.Kind.String()]++
+	}
+	return m
+}
+
+// FormatSummary renders the summary deterministically.
+func FormatSummary(events []sched.Event) string {
+	m := Summary(events)
+	order := []string{
+		"spawn", "local-resume", "steal", "implicit-sync",
+		"suspend", "sync-resume", "strand-start", "strand-end",
+	}
+	s := ""
+	for _, k := range order {
+		s += fmt.Sprintf("%-14s %8d\n", k, m[k])
+	}
+	return s
+}

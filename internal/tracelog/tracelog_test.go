@@ -1,0 +1,157 @@
+package tracelog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/sched"
+)
+
+func fib(c api.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a int
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) { a = fib(c, n-1) })
+	b := fib(c, n-2)
+	s.Sync()
+	return a + b
+}
+
+// runTraced executes fib under an event log and returns the events.
+func runTraced(t *testing.T, workers, n int) []sched.Event {
+	t.Helper()
+	log := sched.NewEventLog(workers)
+	rt := sched.MustNew(sched.Config{Workers: workers, Events: log})
+	defer rt.Close()
+	var got int
+	rt.Run(func(c api.Ctx) { got = fib(c, n) })
+	if got == 0 {
+		t.Fatal("fib returned 0")
+	}
+	return log.Drain()
+}
+
+func TestEventsConsistentWithCounters(t *testing.T) {
+	log := sched.NewEventLog(4)
+	rt := sched.MustNew(sched.Config{Workers: 4, Events: log})
+	defer rt.Close()
+	rt.Run(func(c api.Ctx) { _ = fib(c, 14) })
+	events := log.Drain()
+	cnt := rt.Counters()
+	sum := Summary(events)
+	if int64(sum["spawn"]) != cnt.Spawns {
+		t.Errorf("spawn events %d != counter %d", sum["spawn"], cnt.Spawns)
+	}
+	if int64(sum["steal"]) != cnt.Steals {
+		t.Errorf("steal events %d != counter %d", sum["steal"], cnt.Steals)
+	}
+	if int64(sum["suspend"]) != cnt.Suspensions {
+		t.Errorf("suspend events %d != counter %d", sum["suspend"], cnt.Suspensions)
+	}
+	if sum["suspend"] != sum["sync-resume"] {
+		t.Errorf("suspends %d != sync-resumes %d", sum["suspend"], sum["sync-resume"])
+	}
+}
+
+func TestDrainOrdered(t *testing.T) {
+	events := runTraced(t, 4, 14)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Fatalf("events out of order at %d: %v > %v", i, events[i-1].T, events[i].T)
+		}
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	events := runTraced(t, 4, 12)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Every B (begin) must be balanced by an E (end) per worker row.
+	depth := map[int]int{}
+	for _, e := range parsed.TraceEvents {
+		switch e.Phase {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("worker %d has unbalanced strand slices (%d)", tid, d)
+		}
+	}
+}
+
+func TestSummaryAndFormat(t *testing.T) {
+	evs := []sched.Event{
+		{T: time.Millisecond, Worker: 0, Kind: sched.EvSpawn},
+		{T: 2 * time.Millisecond, Worker: 1, Kind: sched.EvSteal, Aux: 0},
+		{T: 3 * time.Millisecond, Worker: 0, Kind: sched.EvSpawn},
+	}
+	m := Summary(evs)
+	if m["spawn"] != 2 || m["steal"] != 1 {
+		t.Errorf("summary = %v", m)
+	}
+	s := FormatSummary(evs)
+	if !strings.Contains(s, "spawn") || !strings.Contains(s, "2") {
+		t.Errorf("formatted: %q", s)
+	}
+}
+
+func TestEventLogReusedAcrossRuns(t *testing.T) {
+	log := sched.NewEventLog(2)
+	rt := sched.MustNew(sched.Config{Workers: 2, Events: log})
+	defer rt.Close()
+	rt.Run(func(c api.Ctx) { _ = fib(c, 10) })
+	first := len(log.Drain())
+	rt.Run(func(c api.Ctx) { _ = fib(c, 5) })
+	second := len(log.Drain())
+	if second >= first {
+		t.Errorf("second (smaller) run recorded %d events, first %d — log not reset", second, first)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []sched.EventKind{
+		sched.EvSpawn, sched.EvLocalResume, sched.EvSteal, sched.EvImplicitSync,
+		sched.EvSuspend, sched.EvSyncResume, sched.EvStrandStart, sched.EvStrandEnd,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d: bad name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if sched.EventKind(99).String() != "unknown" {
+		t.Error("unknown kind stringer")
+	}
+}

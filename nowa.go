@@ -1,0 +1,142 @@
+// Package nowa is a fork/join concurrency platform for Go with a
+// wait-free continuation-stealing-style scheduler, reproducing the runtime
+// system of "Nowa: A Wait-Free Continuation-Stealing Concurrency Platform"
+// (Schmaus et al., IPDPS 2021).
+//
+// The programming model mirrors the paper's spawn/sync keywords:
+//
+//	func fib(c nowa.Ctx, n int) int {
+//		if n < 2 {
+//			return n
+//		}
+//		var a int
+//		s := c.Scope()
+//		s.Spawn(func(c nowa.Ctx) { a = fib(c, n-1) })
+//		b := fib(c, n-2)
+//		s.Sync()
+//		return a + b
+//	}
+//
+//	rt := nowa.New(nowa.VariantNowa, runtime.NumCPU())
+//	defer nowa.Close(rt)
+//	var result int
+//	rt.Run(func(c nowa.Ctx) { result = fib(c, 35) })
+//
+// Besides the flagship wait-free runtime, the package exposes every
+// comparator evaluated in the paper — the lock-based Fibril protocol, a
+// Cilk Plus-like bounded-stack variant, a TBB-like child-stealing runtime
+// and two OpenMP-like runtimes — all running the same programs, which is
+// the basis of the reproduction benchmarks in bench_test.go.
+package nowa
+
+import (
+	"fmt"
+
+	"nowa/internal/api"
+	"nowa/internal/childsteal"
+	"nowa/internal/omp"
+	"nowa/internal/sched"
+)
+
+// Ctx is the execution context passed to every strand.
+type Ctx = api.Ctx
+
+// Scope coordinates the spawned children of one function instance; it
+// must be Synced before the function that created it returns.
+type Scope = api.Scope
+
+// Runtime executes fork/join computations.
+type Runtime = api.Runtime
+
+// Variant selects one of the runtime systems evaluated in the paper.
+type Variant int
+
+const (
+	// VariantNowa is the wait-free join protocol with the lock-free
+	// Chase–Lev deque — the paper's contribution.
+	VariantNowa Variant = iota
+	// VariantNowaTHE is the wait-free protocol on the Cilk-5 THE deque
+	// (the §V-C ablation).
+	VariantNowaTHE
+	// VariantFibril is the lock-based baseline (coupled deque and frame
+	// locks).
+	VariantFibril
+	// VariantCilkPlus is VariantFibril with a bounded stack pool.
+	VariantCilkPlus
+	// VariantTBB is the child-stealing comparator.
+	VariantTBB
+	// VariantLibGOMP is the central-queue OpenMP-like comparator.
+	VariantLibGOMP
+	// VariantLibOMPUntied is the work-stealing OpenMP-like comparator
+	// with untied tasks.
+	VariantLibOMPUntied
+	// VariantLibOMPTied is the same with tied tasks.
+	VariantLibOMPTied
+)
+
+// String returns the variant's report name.
+func (v Variant) String() string {
+	switch v {
+	case VariantNowa:
+		return "nowa"
+	case VariantNowaTHE:
+		return "nowa-the"
+	case VariantFibril:
+		return "fibril"
+	case VariantCilkPlus:
+		return "cilkplus"
+	case VariantTBB:
+		return "tbb"
+	case VariantLibGOMP:
+		return "libgomp"
+	case VariantLibOMPUntied:
+		return "libomp-untied"
+	case VariantLibOMPTied:
+		return "libomp-tied"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists every runtime variant in evaluation order.
+func Variants() []Variant {
+	return []Variant{
+		VariantNowa, VariantNowaTHE, VariantFibril, VariantCilkPlus,
+		VariantTBB, VariantLibGOMP, VariantLibOMPUntied, VariantLibOMPTied,
+	}
+}
+
+// New creates a runtime of the given variant with the given worker count.
+func New(v Variant, workers int) Runtime {
+	switch v {
+	case VariantNowa:
+		return sched.NewNowa(workers)
+	case VariantNowaTHE:
+		return sched.NewNowaTHE(workers)
+	case VariantFibril:
+		return sched.NewFibril(workers)
+	case VariantCilkPlus:
+		return sched.NewCilkPlus(workers)
+	case VariantTBB:
+		return childsteal.NewTBB(workers)
+	case VariantLibGOMP:
+		return omp.NewGOMP(workers)
+	case VariantLibOMPUntied:
+		return omp.NewOMP(workers, omp.Untied)
+	case VariantLibOMPTied:
+		return omp.NewOMP(workers, omp.Tied)
+	}
+	panic("nowa: unknown variant " + v.String())
+}
+
+// Serial returns the serial elision: Spawn calls inline, Sync is a no-op.
+// It defines the T_s baseline of every speedup measurement.
+func Serial() Runtime { return api.Serial{} }
+
+// Close releases a runtime's resources when it has one of those to
+// release (the continuation-stealing runtimes pool goroutine vessels).
+// Safe to call on any Runtime.
+func Close(rt Runtime) {
+	if c, ok := rt.(interface{ Close() }); ok {
+		c.Close()
+	}
+}

@@ -1,0 +1,159 @@
+package nowa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nowa/internal/api"
+)
+
+// recoverPanic runs f and returns the recovered StrandPanic, if any.
+func recoverPanic(f func()) (sp *api.StrandPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if sp, ok = r.(*api.StrandPanic); !ok {
+				panic(r)
+			}
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestPanicInChildPropagates(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := New(v, 4)
+			defer Close(rt)
+			sp := recoverPanic(func() {
+				rt.Run(func(c Ctx) {
+					s := c.Scope()
+					s.Spawn(func(Ctx) { panic("boom in child") })
+					s.Spawn(func(Ctx) {}) // sibling still joins
+					s.Sync()
+				})
+			})
+			if sp == nil {
+				t.Fatal("child panic did not propagate out of Run")
+			}
+			if sp.Value != "boom in child" {
+				t.Errorf("panic value = %v", sp.Value)
+			}
+			if len(sp.Stack) == 0 {
+				t.Error("no stack captured")
+			}
+			if !strings.Contains(sp.String(), "boom in child") {
+				t.Errorf("formatted panic: %s", sp)
+			}
+		})
+	}
+}
+
+func TestPanicInRootPropagates(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := New(v, 2)
+			defer Close(rt)
+			sp := recoverPanic(func() {
+				rt.Run(func(c Ctx) { panic("boom in root") })
+			})
+			if sp == nil {
+				t.Fatal("root panic did not propagate")
+			}
+		})
+	}
+}
+
+func TestRuntimeUsableAfterPanic(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := New(v, 4)
+			defer Close(rt)
+			if recoverPanic(func() {
+				rt.Run(func(c Ctx) {
+					s := c.Scope()
+					s.Spawn(func(Ctx) { panic("first run dies") })
+					s.Sync()
+				})
+			}) == nil {
+				t.Fatal("panic lost")
+			}
+			// The runtime must be fully functional afterwards.
+			var got int
+			rt.Run(func(c Ctx) { got = fib(c, 14) })
+			if got != 377 {
+				t.Fatalf("post-panic fib(14) = %d, want 377", got)
+			}
+		})
+	}
+}
+
+func TestDeepStrandPanic(t *testing.T) {
+	rt := New(VariantNowa, 4)
+	defer Close(rt)
+	var deep func(c Ctx, d int)
+	deep = func(c Ctx, d int) {
+		if d == 0 {
+			panic(errors.New("deep failure"))
+		}
+		s := c.Scope()
+		s.Spawn(func(c Ctx) { deep(c, d-1) })
+		s.Sync()
+	}
+	sp := recoverPanic(func() {
+		rt.Run(func(c Ctx) { deep(c, 20) })
+	})
+	if sp == nil {
+		t.Fatal("deep panic lost")
+	}
+	// The error value must be unwrappable.
+	if err := sp.Unwrap(); err == nil || err.Error() != "deep failure" {
+		t.Errorf("Unwrap = %v", err)
+	}
+	if !errors.Is(sp, sp.Unwrap()) && sp.Unwrap() != nil {
+		// errors.Is via Unwrap chain: sp wraps the original error.
+		if !errors.Is(error(sp), sp.Unwrap()) {
+			t.Error("errors.Is does not traverse the StrandPanic")
+		}
+	}
+}
+
+func TestPanicWhileSiblingsRunEverywhere(t *testing.T) {
+	// A panicking strand must not strand its siblings: all of them finish
+	// and the computation drains.
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := New(v, 4)
+			defer Close(rt)
+			done := make([]bool, 8)
+			sp := recoverPanic(func() {
+				rt.Run(func(c Ctx) {
+					s := c.Scope()
+					for i := range done {
+						i := i
+						s.Spawn(func(c Ctx) {
+							_ = fib(c, 10)
+							done[i] = true
+						})
+					}
+					s.Spawn(func(Ctx) { panic("middle child") })
+					s.Sync()
+				})
+			})
+			if sp == nil {
+				t.Fatal("panic lost")
+			}
+			for i, d := range done {
+				if !d {
+					t.Errorf("sibling %d did not complete", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package nowa
+
+import "sort"
+
+// Sort sorts data in parallel with the fork/join quicksort of the
+// benchmark suite: spawn the left partition, recurse on the right, fall
+// back to the standard library below the grain size. less must be a
+// strict weak ordering. The sort is not stable.
+func Sort[T any](c Ctx, data []T, less func(a, b T) bool) {
+	const grain = 2048
+	psort(c, data, less, grain)
+}
+
+// SortOrdered sorts a slice of an ordered type in parallel.
+func SortOrdered[T ordered](c Ctx, data []T) {
+	Sort(c, data, func(a, b T) bool { return a < b })
+}
+
+// ordered covers the built-in ordered types (the constraint of
+// SortOrdered, stdlib-only so spelled out here).
+type ordered interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64 | ~string
+}
+
+func psort[T any](c Ctx, data []T, less func(a, b T) bool, grain int) {
+	for len(data) > grain {
+		p := partition(data, less)
+		left := data[:p]
+		data = data[p+1:]
+		if len(left) == 0 {
+			continue
+		}
+		s := c.Scope()
+		s.Spawn(func(c Ctx) { psort(c, left, less, grain) })
+		psort(c, data, less, grain)
+		s.Sync()
+		return
+	}
+	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+}
+
+// partition performs a median-of-three Hoare-style partition and returns
+// the pivot's final index.
+func partition[T any](data []T, less func(a, b T) bool) int {
+	n := len(data)
+	mid := n / 2
+	if less(data[mid], data[0]) {
+		data[0], data[mid] = data[mid], data[0]
+	}
+	if less(data[n-1], data[0]) {
+		data[0], data[n-1] = data[n-1], data[0]
+	}
+	if less(data[n-1], data[mid]) {
+		data[mid], data[n-1] = data[n-1], data[mid]
+	}
+	pivot := data[mid]
+	data[mid], data[n-2] = data[n-2], data[mid]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if less(data[j], pivot) {
+			data[i], data[j] = data[j], data[i]
+			i++
+		}
+	}
+	data[i], data[n-2] = data[n-2], data[i]
+	return i
+}
+
+// IsSorted reports whether data is sorted under less.
+func IsSorted[T any](data []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(data); i++ {
+		if less(data[i], data[i-1]) {
+			return false
+		}
+	}
+	return true
+}

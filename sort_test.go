@@ -1,0 +1,122 @@
+package nowa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSortOrdered(t *testing.T) {
+	rt := New(VariantNowa, 4)
+	defer Close(rt)
+	const n = 100_000
+	data := make([]int64, n)
+	x := uint64(7)
+	var sum int64
+	for i := range data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		data[i] = int64(x >> 1)
+		sum += data[i]
+	}
+	rt.Run(func(c Ctx) { SortOrdered(c, data) })
+	if !IsSorted(data, func(a, b int64) bool { return a < b }) {
+		t.Fatal("output not sorted")
+	}
+	var got int64
+	for _, v := range data {
+		got += v
+	}
+	if got != sum {
+		t.Fatal("checksum changed: elements lost or duplicated")
+	}
+}
+
+func TestSortCustomLess(t *testing.T) {
+	rt := New(VariantNowa, 4)
+	defer Close(rt)
+	type rec struct {
+		key  int
+		name string
+	}
+	data := []rec{{3, "c"}, {1, "a"}, {2, "b"}, {1, "a2"}, {0, "z"}}
+	rt.Run(func(c Ctx) {
+		Sort(c, data, func(a, b rec) bool { return a.key > b.key }) // descending
+	})
+	for i := 1; i < len(data); i++ {
+		if data[i].key > data[i-1].key {
+			t.Fatalf("not descending at %d: %v", i, data)
+		}
+	}
+}
+
+func TestSortEdgeCases(t *testing.T) {
+	rt := New(VariantNowa, 2)
+	defer Close(rt)
+	rt.Run(func(c Ctx) {
+		SortOrdered(c, []int{})  // empty
+		SortOrdered(c, []int{1}) // single
+		two := []int{2, 1}
+		SortOrdered(c, two) // pair
+		if two[0] != 1 || two[1] != 2 {
+			t.Error("pair not sorted")
+		}
+		same := []int{5, 5, 5, 5}
+		SortOrdered(c, same) // all equal
+	})
+}
+
+func TestSortStrings(t *testing.T) {
+	rt := New(VariantNowa, 2)
+	defer Close(rt)
+	words := []string{"pear", "apple", "fig", "banana", "apple"}
+	rt.Run(func(c Ctx) { SortOrdered(c, words) })
+	want := []string{"apple", "apple", "banana", "fig", "pear"}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("words = %v", words)
+		}
+	}
+}
+
+func TestQuickSortPermutation(t *testing.T) {
+	rt := New(VariantNowa, 4)
+	defer Close(rt)
+	f := func(raw []int32) bool {
+		data := make([]int32, len(raw))
+		copy(data, raw)
+		counts := map[int32]int{}
+		for _, v := range data {
+			counts[v]++
+		}
+		rt.Run(func(c Ctx) { SortOrdered(c, data) })
+		if !IsSorted(data, func(a, b int32) bool { return a < b }) {
+			return false
+		}
+		for _, v := range data {
+			counts[v]--
+		}
+		for _, n := range counts {
+			if n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	lt := func(a, b int) bool { return a < b }
+	if !IsSorted([]int{1, 2, 2, 3}, lt) {
+		t.Error("sorted reported unsorted")
+	}
+	if IsSorted([]int{2, 1}, lt) {
+		t.Error("unsorted reported sorted")
+	}
+	if !IsSorted([]int{}, lt) || !IsSorted([]int{1}, lt) {
+		t.Error("degenerate cases")
+	}
+}
