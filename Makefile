@@ -1,0 +1,37 @@
+# Developer entry points. `make verify` is the full pre-merge gate: it
+# fails on unformatted files, then builds, vets and tests everything,
+# including the race-enabled chaos/cancellation/misuse stress subset.
+
+GO ?= go
+
+.PHONY: verify fmt build vet test race bench
+
+verify:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+
+fmt:
+	gofmt -w .
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

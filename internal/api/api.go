@@ -26,6 +26,8 @@
 // across Spawn and Sync even though the underlying worker may change.
 package api
 
+import "context"
+
 // Ctx is the execution context of the current strand.
 type Ctx interface {
 	// Scope opens a new spawning-function scope. Call it once per
@@ -34,6 +36,14 @@ type Ctx interface {
 	// Workers reports the configured worker count, for grain-size
 	// decisions in kernels.
 	Workers() int
+	// Done returns a channel that is closed when the enclosing RunCtx's
+	// context is cancelled, or nil when the Run is not cancellable.
+	// Cancellation is cooperative: long-running strand bodies should poll
+	// Done (or Err) and return early; the runtime never aborts a strand.
+	Done() <-chan struct{}
+	// Err returns the enclosing context's error once it is cancelled and
+	// nil otherwise (always nil under a plain Run).
+	Err() error
 }
 
 // Scope coordinates the spawned children of one function instance.
@@ -54,6 +64,15 @@ type Runtime interface {
 	// Run executes root to completion, including all transitively spawned
 	// strands.
 	Run(root func(Ctx))
+	// RunCtx executes root under ctx. If ctx is already cancelled, root
+	// does not run and the context error is returned immediately. A
+	// cancellation that arrives mid-run is cooperative and fully strict:
+	// every strand that already started still runs to completion, Spawn
+	// degrades to inline (serial-elision) execution so no new parallelism
+	// unfolds, and the computation drains before RunCtx returns the
+	// context's error. The runtime remains reusable afterwards. A nil
+	// error means root completed before any cancellation.
+	RunCtx(ctx context.Context, root func(Ctx)) error
 	// Workers reports the worker count.
 	Workers() int
 }

@@ -1,0 +1,88 @@
+package api
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// CancelState is the per-Run cancellation state shared by every runtime
+// family. A runtime embeds one, calls Begin at the top of each run (with
+// the RunCtx context, or nil for a plain Run) and the returned stop
+// function after the computation drained, and consults Cancelled on the
+// paths that degrade under cancellation (Spawn, steal loops).
+//
+// Off-path cost when no context is attached: Cancelled is one atomic bool
+// load plus one atomic pointer load; Done and Err return nil likewise.
+type CancelState struct {
+	ctx       atomic.Pointer[context.Context]
+	cancelled atomic.Bool
+}
+
+// Begin installs ctx as the current run's context (nil for a plain,
+// non-cancellable run) and resets the cancelled latch. When wake is
+// non-nil a watcher goroutine invokes it once on cancellation, so
+// runtimes can rouse parked workers; the watcher exits when the returned
+// stop function runs. stop also detaches the context, so Done/Err revert
+// to nil between runs. Begin/stop must bracket the run on the caller's
+// goroutine.
+func (cs *CancelState) Begin(ctx context.Context, wake func()) (stop func()) {
+	cs.cancelled.Store(false)
+	if ctx == nil {
+		cs.ctx.Store(nil)
+		return func() {}
+	}
+	cs.ctx.Store(&ctx)
+	if wake == nil {
+		return func() { cs.ctx.Store(nil) }
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cs.cancelled.Store(true)
+			wake()
+		case <-stopCh:
+		}
+	}()
+	return func() {
+		close(stopCh)
+		cs.ctx.Store(nil)
+	}
+}
+
+// Cancelled reports whether the current run's context has been cancelled.
+// The first observation latches, so later calls are a single atomic load.
+func (cs *CancelState) Cancelled() bool {
+	if cs.cancelled.Load() {
+		return true
+	}
+	p := cs.ctx.Load()
+	if p == nil {
+		return false
+	}
+	select {
+	case <-(*p).Done():
+		cs.cancelled.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns the current run context's Done channel, or nil when the
+// run is not cancellable.
+func (cs *CancelState) Done() <-chan struct{} {
+	if p := cs.ctx.Load(); p != nil {
+		return (*p).Done()
+	}
+	return nil
+}
+
+// Err returns the current run context's error, or nil when the run is
+// not cancellable.
+func (cs *CancelState) Err() error {
+	if p := cs.ctx.Load(); p != nil {
+		return (*p).Err()
+	}
+	return nil
+}

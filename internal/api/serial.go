@@ -1,5 +1,7 @@
 package api
 
+import "context"
+
 // Serial is the serial elision (§V of the paper): Spawn calls the child
 // inline and Sync is a no-op. It defines the T_s baseline every speedup is
 // computed against, and doubles as the semantics oracle in tests: any
@@ -15,14 +17,42 @@ func (Serial) Workers() int { return 1 }
 // Run implements Runtime by calling root inline.
 func (Serial) Run(root func(Ctx)) { root(serialCtx{}) }
 
-type serialCtx struct{}
+// RunCtx implements Runtime. Spawn is inline regardless, so cancellation
+// reduces to the entry check plus whatever cooperation root itself does
+// via Ctx.Done/Err (the combinators early-exit on it).
+func (Serial) RunCtx(ctx context.Context, root func(Ctx)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	root(serialCtx{ctx: ctx})
+	return ctx.Err()
+}
 
-func (serialCtx) Scope() Scope { return serialScope{} }
-func (serialCtx) Workers() int { return 1 }
+type serialCtx struct{ ctx context.Context }
 
-type serialScope struct{}
+func (c serialCtx) Scope() Scope { return serialScope{c: c} }
+func (c serialCtx) Workers() int { return 1 }
 
-func (serialScope) Spawn(fn func(Ctx)) { fn(serialCtx{}) }
-func (serialScope) Sync()              {}
+func (c serialCtx) Done() <-chan struct{} {
+	if c.ctx != nil {
+		return c.ctx.Done()
+	}
+	return nil
+}
+
+func (c serialCtx) Err() error {
+	if c.ctx != nil {
+		return c.ctx.Err()
+	}
+	return nil
+}
+
+type serialScope struct{ c serialCtx }
+
+func (s serialScope) Spawn(fn func(Ctx)) { fn(s.c) }
+func (s serialScope) Sync()              {}
 
 var _ Runtime = Serial{}

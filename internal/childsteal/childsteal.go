@@ -17,6 +17,7 @@
 package childsteal
 
 import (
+	"context"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -38,6 +39,25 @@ type Config struct {
 	Deque deque.Algorithm
 	// Seed seeds victim selection (default 1).
 	Seed int64
+	// Chaos, if non-nil, enables seeded fault injection on the steal
+	// path (see Chaos). Costs one pointer check per steal when nil.
+	Chaos *Chaos
+}
+
+// Chaos configures seeded fault injection for the child-stealing
+// runtime: sound perturbations (delays and abandoned steal attempts)
+// driven by a dedicated per-worker RNG stream, mirroring the
+// continuation-stealing runtime's chaos hook. Rates are in units of
+// 1/1024 per steal attempt.
+type Chaos struct {
+	// Seed seeds the chaos streams (0: inherit Config.Seed).
+	Seed int64
+	// StealDelay delays a thief before its popTop attempt.
+	StealDelay int
+	// StealFail abandons a steal attempt as a failed steal.
+	StealFail int
+	// DelaySpins is the number of yields per injected delay (default 16).
+	DelaySpins int
 }
 
 func (c *Config) fill() {
@@ -50,6 +70,16 @@ func (c *Config) fill() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Chaos != nil {
+		cc := *c.Chaos
+		if cc.Seed == 0 {
+			cc.Seed = c.Seed
+		}
+		if cc.DelaySpins <= 0 {
+			cc.DelaySpins = 16
+		}
+		c.Chaos = &cc
+	}
 }
 
 // task is one spawned child; heap-allocated per spawn by design.
@@ -60,13 +90,15 @@ type task struct {
 
 // Runtime is a child-stealing fork/join runtime.
 type Runtime struct {
-	cfg    Config
-	deques []deque.Deque[task]
-	ctxs   []ctx
-	rngs   []uint64
-	rec    *trace.Recorder
-	done   atomic.Bool
-	run    atomic.Bool
+	cfg       Config
+	deques    []deque.Deque[task]
+	ctxs      []ctx
+	rngs      []uint64
+	chaosRngs []uint64
+	rec       *trace.Recorder
+	done      atomic.Bool
+	run       atomic.Bool
+	cancel    api.CancelState
 
 	panicMu  sync.Mutex
 	panicked *api.StrandPanic
@@ -86,6 +118,12 @@ func New(cfg Config) *Runtime {
 		rt.deques[w] = deque.New[task](cfg.Deque, 256)
 		rt.ctxs[w] = ctx{rt: rt, worker: w}
 		rt.rngs[w] = uint64(cfg.Seed) + uint64(w)*0x9e3779b97f4a7c15 + 1
+	}
+	if cfg.Chaos != nil {
+		rt.chaosRngs = make([]uint64, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			rt.chaosRngs[w] = uint64(cfg.Chaos.Seed)*0xbf58476d1ce4e5b9 + uint64(w) + 1
+		}
 	}
 	return rt
 }
@@ -107,11 +145,30 @@ func (rt *Runtime) Counters() trace.Counters { return rt.rec.Aggregate() }
 // Run implements api.Runtime. The root strand executes on worker 0; the
 // remaining workers steal until the computation completes.
 func (rt *Runtime) Run(root func(api.Ctx)) {
+	_ = rt.runInternal(nil, root)
+}
+
+// RunCtx implements api.Runtime. On cancellation, Spawn degrades to
+// inline execution; already-published tasks drain through the worker
+// loops and Sync helping, so the computation remains fully strict.
+func (rt *Runtime) RunCtx(ctx context.Context, root func(api.Ctx)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return rt.runInternal(ctx, root)
+}
+
+func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	if !rt.run.CompareAndSwap(false, true) {
 		panic("childsteal: concurrent Run on the same Runtime")
 	}
 	defer rt.run.Store(false)
 	rt.done.Store(false)
+	stop := rt.cancel.Begin(ctx, nil)
+	defer stop()
 	var wg sync.WaitGroup
 	for w := 1; w < rt.cfg.Workers; w++ {
 		wg.Add(1)
@@ -135,6 +192,10 @@ func (rt *Runtime) Run(root func(api.Ctx)) {
 	if p != nil {
 		panic(p)
 	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // containPanic records the first panic of the current Run; deferred
@@ -162,17 +223,43 @@ func (rt *Runtime) workerLoop(w int) {
 	}
 }
 
-// stealOnce picks a random victim and attempts one popTop.
+// stealOnce picks a random victim and attempts one popTop, first passing
+// through the chaos window when fault injection is configured.
 func (rt *Runtime) stealOnce(w int) (*task, bool) {
+	rec := rt.rec.Worker(w)
+	if ch := rt.cfg.Chaos; ch != nil {
+		if rt.chaosRoll(w, ch.StealFail) {
+			rec.FailedSteals.Add(1)
+			return nil, false
+		}
+		if rt.chaosRoll(w, ch.StealDelay) {
+			for i := 0; i < ch.DelaySpins; i++ {
+				runtime.Gosched()
+			}
+		}
+	}
 	victim := int(rt.nextRand(w) % uint64(rt.cfg.Workers))
 	t, ok := rt.deques[victim].PopTop()
-	rec := rt.rec.Worker(w)
 	if ok {
-		rec.Steals++
+		rec.Steals.Add(1)
 	} else {
-		rec.FailedSteals++
+		rec.FailedSteals.Add(1)
 	}
 	return t, ok
+}
+
+// chaosRoll draws from worker w's chaos stream (owner-only, like the
+// victim RNG) and reports whether a rate/1024 injection fires.
+func (rt *Runtime) chaosRoll(w, rate int) bool {
+	if rate <= 0 {
+		return false
+	}
+	x := rt.chaosRngs[w]
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	rt.chaosRngs[w] = x
+	return int(x&1023) < rate
 }
 
 func (rt *Runtime) nextRand(w int) uint64 {
@@ -212,6 +299,12 @@ type ctx struct {
 // Workers implements api.Ctx.
 func (c *ctx) Workers() int { return c.rt.cfg.Workers }
 
+// Done implements api.Ctx.
+func (c *ctx) Done() <-chan struct{} { return c.rt.cancel.Done() }
+
+// Err implements api.Ctx.
+func (c *ctx) Err() error { return c.rt.cancel.Err() }
+
 // Scope implements api.Ctx.
 func (c *ctx) Scope() api.Scope { return &scope{c: c} }
 
@@ -223,11 +316,22 @@ type scope struct {
 }
 
 // Spawn allocates the child task and publishes it on the current worker's
-// deque; the parent continues immediately.
+// deque; the parent continues immediately. Once the run is cancelled it
+// degrades to inline execution (no task allocation, no publication) with
+// the usual strand-panic containment.
 func (s *scope) Spawn(fn func(api.Ctx)) {
+	rt := s.c.rt
+	if rt.cancel.Cancelled() {
+		rt.rec.Worker(s.c.worker).InlineSpawns.Add(1)
+		func() {
+			defer rt.containPanic()
+			fn(s.c)
+		}()
+		return
+	}
 	s.pending.Add(1)
-	s.c.rt.rec.Worker(s.c.worker).Spawns++
-	s.c.rt.deques[s.c.worker].PushBottom(&task{fn: fn, sc: s})
+	rt.rec.Worker(s.c.worker).Spawns.Add(1)
+	rt.deques[s.c.worker].PushBottom(&task{fn: fn, sc: s})
 }
 
 // Sync blocks until all children joined, helping by executing local tasks
@@ -236,11 +340,11 @@ func (s *scope) Sync() {
 	rt := s.c.rt
 	w := s.c.worker
 	rec := rt.rec.Worker(w)
-	rec.ExplicitSyncs++
+	rec.ExplicitSyncs.Add(1)
 	fails := 0
 	for s.pending.Load() != 0 {
 		if t, ok := rt.deques[w].PopBottom(); ok {
-			rec.LocalResumes++
+			rec.LocalResumes.Add(1)
 			rt.execute(t, w)
 			fails = 0
 			continue

@@ -97,6 +97,12 @@ func (c *profCtx) flush() {
 // Workers implements api.Ctx: profiling runs serially.
 func (c *profCtx) Workers() int { return 1 }
 
+// Done implements api.Ctx: profiling runs are not cancellable.
+func (c *profCtx) Done() <-chan struct{} { return nil }
+
+// Err implements api.Ctx.
+func (c *profCtx) Err() error { return nil }
+
 // Scope implements api.Ctx.
 func (c *profCtx) Scope() api.Scope { return &profScope{c: c} }
 

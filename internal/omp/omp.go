@@ -17,6 +17,7 @@
 package omp
 
 import (
+	"context"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -62,12 +63,25 @@ type ctx struct {
 	worker int
 }
 
-func (c *ctx) Workers() int     { return c.rt.workers() }
-func (c *ctx) Scope() api.Scope { return &scope{c: c} }
+func (c *ctx) Workers() int          { return c.rt.workers() }
+func (c *ctx) Scope() api.Scope      { return &scope{c: c} }
+func (c *ctx) Done() <-chan struct{} { return c.rt.cancelState().Done() }
+func (c *ctx) Err() error            { return c.rt.cancelState().Err() }
 
 func (s *scope) Spawn(fn func(api.Ctx)) {
+	rt := s.c.rt
+	if rt.cancelState().Cancelled() {
+		// Cancelled run: degrade to inline execution with the usual
+		// strand-panic containment; no task is allocated or queued.
+		rt.recorder().Worker(s.c.worker).InlineSpawns.Add(1)
+		func() {
+			defer rt.panicBox().contain()
+			fn(s.c)
+		}()
+		return
+	}
 	s.pending.Add(1)
-	s.c.rt.spawn(&task{fn: fn, sc: s}, s.c.worker)
+	rt.spawn(&task{fn: fn, sc: s}, s.c.worker)
 }
 
 func (s *scope) Sync() { s.c.rt.taskwait(s) }
@@ -79,6 +93,8 @@ type runtimeIface interface {
 	spawn(t *task, worker int)
 	taskwait(s *scope)
 	panicBox() *panicBox
+	cancelState() *api.CancelState
+	recorder() *trace.Recorder
 }
 
 // panicBox collects the first strand panic of a Run for re-raising.
@@ -138,6 +154,7 @@ type GOMP struct {
 	rec      *trace.Recorder
 	done     atomic.Bool
 	running  atomic.Bool
+	cancel   api.CancelState
 	panics   panicBox
 }
 
@@ -163,11 +180,13 @@ func (rt *GOMP) Workers() int { return rt.nworkers }
 // Counters aggregates event counters.
 func (rt *GOMP) Counters() trace.Counters { return rt.rec.Aggregate() }
 
-func (rt *GOMP) workers() int        { return rt.nworkers }
-func (rt *GOMP) panicBox() *panicBox { return &rt.panics }
+func (rt *GOMP) workers() int                  { return rt.nworkers }
+func (rt *GOMP) panicBox() *panicBox           { return &rt.panics }
+func (rt *GOMP) cancelState() *api.CancelState { return &rt.cancel }
+func (rt *GOMP) recorder() *trace.Recorder     { return rt.rec }
 
 func (rt *GOMP) spawn(t *task, worker int) {
-	rt.rec.Worker(worker).Spawns++
+	rt.rec.Worker(worker).Spawns.Add(1)
 	rt.mu.Lock()
 	rt.queue = append(rt.queue, t)
 	rt.mu.Unlock()
@@ -178,20 +197,20 @@ func (rt *GOMP) take(worker int) (*task, bool) {
 	n := len(rt.queue)
 	if n == 0 {
 		rt.mu.Unlock()
-		rt.rec.Worker(worker).FailedSteals++
+		rt.rec.Worker(worker).FailedSteals.Add(1)
 		return nil, false
 	}
 	t := rt.queue[n-1]
 	rt.queue[n-1] = nil
 	rt.queue = rt.queue[:n-1]
 	rt.mu.Unlock()
-	rt.rec.Worker(worker).Steals++
+	rt.rec.Worker(worker).Steals.Add(1)
 	return t, true
 }
 
 func (rt *GOMP) taskwait(s *scope) {
 	w := s.c.worker
-	rt.rec.Worker(w).ExplicitSyncs++
+	rt.rec.Worker(w).ExplicitSyncs.Add(1)
 	fails := 0
 	for s.pending.Load() != 0 {
 		if t, ok := rt.take(w); ok {
@@ -206,11 +225,29 @@ func (rt *GOMP) taskwait(s *scope) {
 
 // Run implements api.Runtime.
 func (rt *GOMP) Run(root func(api.Ctx)) {
+	_ = rt.runInternal(nil, root)
+}
+
+// RunCtx implements api.Runtime; see the interface contract for the
+// cooperative drain semantics.
+func (rt *GOMP) RunCtx(ctx context.Context, root func(api.Ctx)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return rt.runInternal(ctx, root)
+}
+
+func (rt *GOMP) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	if !rt.running.CompareAndSwap(false, true) {
 		panic("omp: concurrent Run on the same GOMP runtime")
 	}
 	defer rt.running.Store(false)
 	rt.done.Store(false)
+	stop := rt.cancel.Begin(ctx, nil)
+	defer stop()
 	var wg sync.WaitGroup
 	for w := 1; w < rt.nworkers; w++ {
 		wg.Add(1)
@@ -235,6 +272,10 @@ func (rt *GOMP) Run(root func(api.Ctx)) {
 	rt.done.Store(true)
 	wg.Wait()
 	rt.panics.rethrow()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -250,6 +291,7 @@ type OMP struct {
 	rec      *trace.Recorder
 	done     atomic.Bool
 	running  atomic.Bool
+	cancel   api.CancelState
 	panics   panicBox
 }
 
@@ -288,11 +330,13 @@ func (rt *OMP) Counters() trace.Counters { return rt.rec.Aggregate() }
 // Mode reports the task mode.
 func (rt *OMP) Mode() Mode { return rt.mode }
 
-func (rt *OMP) workers() int        { return rt.nworkers }
-func (rt *OMP) panicBox() *panicBox { return &rt.panics }
+func (rt *OMP) workers() int                  { return rt.nworkers }
+func (rt *OMP) panicBox() *panicBox           { return &rt.panics }
+func (rt *OMP) cancelState() *api.CancelState { return &rt.cancel }
+func (rt *OMP) recorder() *trace.Recorder     { return rt.rec }
 
 func (rt *OMP) spawn(t *task, worker int) {
-	rt.rec.Worker(worker).Spawns++
+	rt.rec.Worker(worker).Spawns.Add(1)
 	rt.deques[worker].PushBottom(t)
 }
 
@@ -309,9 +353,9 @@ func (rt *OMP) stealOnce(w int) (*task, bool) {
 	victim := int(rt.nextRand(w) % uint64(rt.nworkers))
 	t, ok := rt.deques[victim].PopTop()
 	if ok {
-		rt.rec.Worker(w).Steals++
+		rt.rec.Worker(w).Steals.Add(1)
 	} else {
-		rt.rec.Worker(w).FailedSteals++
+		rt.rec.Worker(w).FailedSteals.Add(1)
 	}
 	return t, ok
 }
@@ -322,11 +366,11 @@ func (rt *OMP) stealOnce(w int) (*task, bool) {
 func (rt *OMP) taskwait(s *scope) {
 	w := s.c.worker
 	rec := rt.rec.Worker(w)
-	rec.ExplicitSyncs++
+	rec.ExplicitSyncs.Add(1)
 	fails := 0
 	for s.pending.Load() != 0 {
 		if t, ok := rt.deques[w].PopBottom(); ok {
-			rec.LocalResumes++
+			rec.LocalResumes.Add(1)
 			execute(rt, t, rt.ctxs, w)
 			fails = 0
 			continue
@@ -345,11 +389,29 @@ func (rt *OMP) taskwait(s *scope) {
 
 // Run implements api.Runtime.
 func (rt *OMP) Run(root func(api.Ctx)) {
+	_ = rt.runInternal(nil, root)
+}
+
+// RunCtx implements api.Runtime; see the interface contract for the
+// cooperative drain semantics.
+func (rt *OMP) RunCtx(ctx context.Context, root func(api.Ctx)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return rt.runInternal(ctx, root)
+}
+
+func (rt *OMP) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	if !rt.running.CompareAndSwap(false, true) {
 		panic("omp: concurrent Run on the same OMP runtime")
 	}
 	defer rt.running.Store(false)
 	rt.done.Store(false)
+	stop := rt.cancel.Begin(ctx, nil)
+	defer stop()
 	var wg sync.WaitGroup
 	for w := 1; w < rt.nworkers; w++ {
 		wg.Add(1)
@@ -360,7 +422,7 @@ func (rt *OMP) Run(root func(api.Ctx)) {
 				// Idle workers steal in both modes; tied-ness only
 				// restricts threads waiting inside a taskwait.
 				if t, ok := rt.deques[w].PopBottom(); ok {
-					rt.rec.Worker(w).LocalResumes++
+					rt.rec.Worker(w).LocalResumes.Add(1)
 					execute(rt, t, rt.ctxs, w)
 					fails = 0
 					continue
@@ -382,6 +444,10 @@ func (rt *OMP) Run(root func(api.Ctx)) {
 	rt.done.Store(true)
 	wg.Wait()
 	rt.panics.rethrow()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 var (

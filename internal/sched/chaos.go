@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"runtime"
+	"time"
+)
+
+// Chaos configures seeded, deterministic fault injection at the
+// protocol's race windows — the §III-C hazard analysis turned into a
+// stress harness. Every perturbation is *sound*: it only delays a strand
+// or abandons a steal attempt, both of which the protocol must tolerate
+// anyway, so any invariant violation the chaos suite surfaces is a real
+// scheduler bug, not an artifact of the injection.
+//
+// Rates are probabilities in units of 1/1024 per pass through the
+// corresponding window; the draws come from a dedicated per-worker
+// xorshift64 stream seeded from Seed, so chaos never perturbs victim
+// selection and a given (Seed, schedule) is reproducible modulo the OS
+// scheduler.
+type Chaos struct {
+	// Seed seeds the per-worker chaos RNG streams (0: inherit Config.Seed).
+	Seed int64
+	// StealDelay delays a thief between victim selection eligibility and
+	// its popTop attempt, stretching the steal/pop race window.
+	StealDelay int
+	// StealFail abandons a steal attempt outright (counted as a failed
+	// steal), modelling lost CAS races and empty-victim misses.
+	StealFail int
+	// PopBottomDelay delays a finishing strand just before its popBottom,
+	// widening the window in which a thief can turn the would-be hit into
+	// a genuine miss — the exact §III-C hazardous interleaving.
+	PopBottomDelay int
+	// SyncDelay delays a parent just before the explicit-sync counter
+	// restore, racing it against late-joining children (Eq. 5's window).
+	SyncDelay int
+	// DelaySpins is the number of scheduler yields per injected delay
+	// (default 16).
+	DelaySpins int
+	// SyncStall, if positive, injects a one-shot sleep of this duration
+	// at the first explicit-sync window of a Run — the artificial stall
+	// the watchdog tests detect. It re-arms on the next Run.
+	SyncStall time.Duration
+}
+
+// enabled reports whether any perturbation is configured.
+func (ch *Chaos) enabled() bool { return ch != nil }
+
+// chaosRoll draws from worker w's chaos stream and reports whether an
+// injection with probability rate/1024 fires. Only the strand holding
+// token w calls this, so the stream needs no synchronisation (the token
+// handoff provides the happens-before edge, as with the victim RNGs).
+func (rt *Runtime) chaosRoll(w, rate int) bool {
+	if rate <= 0 {
+		return false
+	}
+	return int(rt.chaosRngs[w].next()&1023) < rate
+}
+
+// chaosDelay yields the strand DelaySpins times, long enough for a
+// concurrently running thief or joiner to win the disputed race.
+func (rt *Runtime) chaosDelay() {
+	for i := 0; i < rt.cfg.Chaos.DelaySpins; i++ {
+		runtime.Gosched()
+	}
+}
+
+// chaosPreSteal runs the thief-side injections; it reports true when the
+// steal attempt must be abandoned as a forced failure.
+func (rt *Runtime) chaosPreSteal(w int) bool {
+	ch := rt.cfg.Chaos
+	if rt.chaosRoll(w, ch.StealFail) {
+		return true
+	}
+	if rt.chaosRoll(w, ch.StealDelay) {
+		rt.chaosDelay()
+	}
+	return false
+}
+
+// chaosPrePopBottom runs the finish-path injection before popBottom.
+func (rt *Runtime) chaosPrePopBottom(w int) {
+	if rt.chaosRoll(w, rt.cfg.Chaos.PopBottomDelay) {
+		rt.chaosDelay()
+	}
+}
+
+// chaosPreSync runs the explicit-sync injections: the one-shot stall
+// (first sync window of the run only) and the counter-restore delay.
+func (rt *Runtime) chaosPreSync(w int) {
+	ch := rt.cfg.Chaos
+	if ch.SyncStall > 0 && rt.chaosStalled.CompareAndSwap(false, true) {
+		time.Sleep(ch.SyncStall)
+	}
+	if rt.chaosRoll(w, ch.SyncDelay) {
+		rt.chaosDelay()
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"nowa/internal/apps"
+	"nowa/internal/deque"
+)
+
+// chaosVariants are the configurations the chaos suite stresses: the
+// flagship wait-free+CL pairing, the wait-free+THE ablation, and the
+// lock-based Fibril baseline.
+func chaosVariants(seed int64) []Config {
+	ch := &Chaos{
+		Seed:           seed,
+		StealDelay:     64,
+		StealFail:      64,
+		PopBottomDelay: 64,
+		SyncDelay:      64,
+		DelaySpins:     8,
+	}
+	return []Config{
+		{Name: "nowa", Workers: 4, Deque: deque.CL, Join: WaitFree, Chaos: ch},
+		{Name: "nowa-the", Workers: 4, Deque: deque.THE, Join: WaitFree, Chaos: ch},
+		{Name: "fibril", Workers: 4, Deque: deque.THE, Join: LockedFibril, Chaos: ch},
+	}
+}
+
+// TestChaosStressVariants runs real fork/join kernels under seeded fault
+// injection and checks the protocol invariants afterwards. The injected
+// perturbations (delays and abandoned steals) are always legal schedules,
+// so any violation here is a genuine protocol bug — this is the suite
+// meant to run under -race (see the Makefile verify target).
+func TestChaosStressVariants(t *testing.T) {
+	workloads := []apps.Benchmark{
+		apps.NewFib(apps.Test),
+		apps.NewNQueens(apps.Test),
+		apps.NewQuicksort(apps.Test),
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, cfg := range chaosVariants(seed) {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/seed=%d", cfg.Name, seed), func(t *testing.T) {
+				rt := MustNew(cfg)
+				defer rt.Close()
+				runs := 0
+				for _, app := range workloads {
+					app.Prepare()
+					rt.Run(app.Run)
+					runs++
+					if err := app.Verify(); err != nil {
+						t.Fatalf("%s: %v", app.Name(), err)
+					}
+				}
+				c := rt.Counters()
+				// Invariant: every spawned continuation is either resumed
+				// locally or stolen, exactly once.
+				if c.LocalResumes+c.Steals != c.Spawns {
+					t.Fatalf("LocalResumes(%d)+Steals(%d) != Spawns(%d)",
+						c.LocalResumes, c.Steals, c.Spawns)
+				}
+				// Invariant: a popBottom miss (implicit sync) happens for
+				// every steal, plus once per run for the root's final pop
+				// of its empty deque.
+				if c.ImplicitSyncs != c.Steals+int64(runs) {
+					t.Fatalf("ImplicitSyncs(%d) != Steals(%d)+runs(%d)",
+						c.ImplicitSyncs, c.Steals, runs)
+				}
+				// Invariant: token conservation — all worker tokens retired.
+				if left := rt.DebugTokensLeft(); left != 0 {
+					t.Fatalf("tokensLeft = %d, want 0", left)
+				}
+				// Invariant: no continuation left behind.
+				for w := 0; w < cfg.Workers; w++ {
+					if n := rt.DebugDequeSize(w); n != 0 {
+						t.Fatalf("deque[%d] size = %d after runs, want 0", w, n)
+					}
+				}
+			})
+		}
+	}
+}

@@ -101,6 +101,15 @@ type Config struct {
 	// Events, if non-nil, records scheduler events for tracing (see
 	// EventLog and cmd/nowa-trace). Create it with NewEventLog(Workers).
 	Events *EventLog
+	// ParkAfter is the failed-steal count after which an idle thief stops
+	// polling and parks until a Spawn publishes new work (or the run ends
+	// or is cancelled). 0 selects the default (512); negative disables
+	// parking entirely (pure spin-then-sleep, the pre-parking behaviour).
+	ParkAfter int
+	// Chaos, if non-nil, enables seeded fault injection at the protocol's
+	// race windows (see Chaos). The only cost when nil is one pointer
+	// check per injection point.
+	Chaos *Chaos
 }
 
 func (c *Config) fill() error {
@@ -119,6 +128,20 @@ func (c *Config) fill() error {
 	c.Stacks.Workers = c.Workers
 	if c.Stacks.StackBytes <= 0 {
 		c.Stacks.StackBytes = 16 << 10
+	}
+	if c.ParkAfter == 0 {
+		c.ParkAfter = 512
+	}
+	if c.Chaos != nil {
+		// Copy so normalisation never mutates the caller's struct.
+		cc := *c.Chaos
+		if cc.Seed == 0 {
+			cc.Seed = c.Seed
+		}
+		if cc.DelaySpins <= 0 {
+			cc.DelaySpins = 16
+		}
+		c.Chaos = &cc
 	}
 	if c.Name == "" {
 		c.Name = fmt.Sprintf("%s+%s", c.Join, c.Deque)

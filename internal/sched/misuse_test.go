@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"nowa/internal/api"
+)
+
+// mustPanicContaining runs f and asserts it panics with a message (or
+// error) containing want.
+func mustPanicContaining(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", want)
+		}
+		var msg string
+		switch v := r.(type) {
+		case string:
+			msg = v
+		case error:
+			msg = v.Error()
+		default:
+			t.Fatalf("panic value %T (%v); want string containing %q", r, r, want)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	f()
+}
+
+// TestPanicRunAfterClose: using a Runtime after Close is a programming
+// error and must fail loudly at the Run call, not hang or corrupt state.
+func TestPanicRunAfterClose(t *testing.T) {
+	rt := NewNowa(2)
+	var got int
+	rt.Run(func(c api.Ctx) { got = 1 + 1 })
+	if got != 2 {
+		t.Fatalf("warm-up run failed")
+	}
+	rt.Close()
+	mustPanicContaining(t, "Run on closed Runtime", func() {
+		rt.Run(func(api.Ctx) {})
+	})
+}
+
+// TestPanicCloseDuringRun: closing a Runtime while a Run is live must
+// panic explicitly instead of tearing vessels out from under the
+// computation.
+func TestPanicCloseDuringRun(t *testing.T) {
+	rt := NewNowa(2)
+	defer rt.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		rt.Run(func(c api.Ctx) {
+			close(started)
+			<-release
+		})
+	}()
+	<-started
+	mustPanicContaining(t, "Close during Run", rt.Close)
+	close(release)
+	<-finished
+}

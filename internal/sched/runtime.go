@@ -1,20 +1,25 @@
 package sched
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nowa/internal/api"
 	"nowa/internal/cactus"
 	"nowa/internal/deque"
 	"nowa/internal/trace"
+	"nowa/internal/watchdog"
 )
 
 // Runtime is a continuation-stealing fork/join runtime instance. Create it
-// with New or a variant constructor, execute computations with Run, and
-// Close it when done to stop the vessel goroutines. A Runtime is reusable
-// across Run calls but supports only one Run at a time.
+// with New or a variant constructor, execute computations with Run or
+// RunCtx, and Close it when done to stop the vessel goroutines. A Runtime
+// is reusable across Run calls but supports only one Run at a time.
 type Runtime struct {
 	cfg       Config
 	deques    []deque.Deque[cont]
@@ -35,8 +40,24 @@ type Runtime struct {
 	tokensLeft atomic.Int64
 	finished   chan struct{}
 
+	cancel api.CancelState
+	idle   idleParker
+
+	chaosRngs    []rngState
+	chaosStalled atomic.Bool
+
 	panicMu  sync.Mutex
 	panicked *api.StrandPanic
+}
+
+// idleParker blocks idle thieves past the fail threshold so they stop
+// polling; Spawn (and run completion/cancellation) broadcast a wakeup.
+// The waiters count is read on the spawn hot path, so the no-waiter case
+// costs one uncontended atomic load.
+type idleParker struct {
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
 }
 
 // rngState is a per-worker xorshift64 generator for victim selection,
@@ -68,6 +89,7 @@ func New(cfg Config) (*Runtime, error) {
 		rngs:   make([]rngState, cfg.Workers),
 		vlocal: make([]vesselFreeList, cfg.Workers),
 	}
+	rt.idle.cond = sync.NewCond(&rt.idle.mu)
 	if cfg.Deque == deque.THE {
 		rt.theDeques = make([]*deque.THEDeque[cont], cfg.Workers)
 	}
@@ -78,6 +100,12 @@ func New(cfg Config) (*Runtime, error) {
 			rt.theDeques[w] = d.(*deque.THEDeque[cont])
 		}
 		rt.rngs[w].s = uint64(cfg.Seed) + uint64(w)*0x9e3779b97f4a7c15 + 1
+	}
+	if cfg.Chaos != nil {
+		rt.chaosRngs = make([]rngState, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			rt.chaosRngs[w].s = uint64(cfg.Chaos.Seed)*0xbf58476d1ce4e5b9 + uint64(w) + 1
+		}
 	}
 	return rt, nil
 }
@@ -101,7 +129,7 @@ func (rt *Runtime) Workers() int { return rt.cfg.Workers }
 func (rt *Runtime) Config() Config { return rt.cfg }
 
 // Counters aggregates the scheduler event counters. Exact when no Run is
-// in progress.
+// in progress; a race-free approximate snapshot otherwise.
 func (rt *Runtime) Counters() trace.Counters { return rt.rec.Aggregate() }
 
 // StackStats returns the cactus stack pool accounting.
@@ -110,17 +138,46 @@ func (rt *Runtime) StackStats() cactus.Stats { return rt.pool.Stats() }
 // Run implements api.Runtime: it executes root and all transitively
 // spawned strands to completion.
 func (rt *Runtime) Run(root func(api.Ctx)) {
+	_ = rt.runInternal(nil, root)
+}
+
+// RunCtx implements api.Runtime: Run under a context. An already-cancelled
+// context returns its error without executing root. A mid-flight
+// cancellation drains cooperatively — every started strand completes,
+// Spawn degrades to inline execution, idle thieves retire their tokens —
+// and RunCtx then returns the context's error with the runtime fully
+// reusable.
+func (rt *Runtime) RunCtx(ctx context.Context, root func(api.Ctx)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return rt.runInternal(ctx, root)
+}
+
+func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
+	rt.allMu.Lock()
+	closed := rt.closed
+	rt.allMu.Unlock()
+	if closed {
+		panic("sched: Run on closed Runtime")
+	}
 	if !rt.running.CompareAndSwap(false, true) {
 		panic("sched: concurrent Run on the same Runtime")
 	}
 	defer rt.running.Store(false)
 
 	rt.done.Store(false)
+	rt.chaosStalled.Store(false)
 	rt.tokensLeft.Store(int64(rt.cfg.Workers))
 	rt.finished = make(chan struct{})
 	if rt.cfg.Events != nil {
 		rt.cfg.Events.reset()
 	}
+	stop := rt.cancel.Begin(ctx, rt.wakeThieves)
+	defer stop()
 
 	// Token 0 carries the root strand; each stack the root's frame chain
 	// pins is accounted against the pool like any stolen frame's stack.
@@ -147,6 +204,10 @@ func (rt *Runtime) Run(root func(api.Ctx)) {
 	if p != nil {
 		panic(p)
 	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // recordPanic keeps the first strand panic of the current Run.
@@ -166,9 +227,58 @@ func (rt *Runtime) retireToken() {
 	}
 }
 
-// Close stops all pooled vessel goroutines. The runtime must be idle; Run
+// wakeThieves rouses every parked thief. Called after each Spawn
+// publication (cheap no-waiter fast path), when the root strand finishes,
+// and when the run's context is cancelled.
+func (rt *Runtime) wakeThieves() {
+	if rt.idle.waiters.Load() == 0 {
+		return
+	}
+	rt.idle.mu.Lock()
+	rt.idle.cond.Broadcast()
+	rt.idle.mu.Unlock()
+}
+
+// parkThief blocks an idle thief until new work is published or the run
+// completes or cancels; it reports whether it actually parked. The
+// waiters increment happens before the re-check of the deques, pairing
+// with Spawn's publish-then-load-waiters order, so a wakeup cannot be
+// lost: either the spawner sees the waiter and broadcasts, or the thief
+// sees the published item and declines to park.
+func (rt *Runtime) parkThief(w int) bool {
+	ip := &rt.idle
+	ip.mu.Lock()
+	ip.waiters.Add(1)
+	if rt.done.Load() || rt.cancel.Cancelled() || rt.anyDequeNonEmpty() {
+		ip.waiters.Add(-1)
+		ip.mu.Unlock()
+		return false
+	}
+	rt.rec.Worker(w).ThiefParks.Add(1)
+	ip.cond.Wait()
+	ip.waiters.Add(-1)
+	ip.mu.Unlock()
+	rt.rec.Worker(w).ThiefWakeups.Add(1)
+	return true
+}
+
+// anyDequeNonEmpty scans all worker deques (best-effort sizes).
+func (rt *Runtime) anyDequeNonEmpty() bool {
+	for _, d := range rt.deques {
+		if d.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops all pooled vessel goroutines. The runtime must be idle: a
+// Close during a live Run panics (it would corrupt vessel state), and Run
 // must not be called afterwards.
 func (rt *Runtime) Close() {
+	if rt.running.Load() {
+		panic("sched: Close during Run")
+	}
 	rt.allMu.Lock()
 	defer rt.allMu.Unlock()
 	if rt.closed {
@@ -187,3 +297,59 @@ func (rt *Runtime) DebugTokensLeft() int64 { return rt.tokensLeft.Load() }
 
 // DebugDequeSize exposes a deque's size for diagnostics.
 func (rt *Runtime) DebugDequeSize(w int) int { return rt.deques[w].Size() }
+
+// progressSum folds every forward-progress signal into one monotonic
+// scalar for stall detection: the trace counters (minus failed steals)
+// plus the number of retired worker tokens.
+func (rt *Runtime) progressSum() uint64 {
+	s := rt.rec.Aggregate().ProgressSum()
+	s += int64(rt.cfg.Workers) - rt.tokensLeft.Load()
+	return uint64(s)
+}
+
+// DumpState writes a human-readable diagnostic snapshot: token count,
+// per-worker deque sizes, vessel accounting, parked thieves and the
+// aggregated trace counters. Safe to call mid-run (values are
+// best-effort); this is what the stall watchdog emits.
+func (rt *Runtime) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "sched runtime %q: workers=%d tokensLeft=%d running=%v cancelled=%v\n",
+		rt.cfg.Name, rt.cfg.Workers, rt.DebugTokensLeft(), rt.running.Load(), rt.cancel.Cancelled())
+	for i := range rt.deques {
+		fmt.Fprintf(w, "  worker %d: deque size %d\n", i, rt.DebugDequeSize(i))
+	}
+	rt.allMu.Lock()
+	total := len(rt.allVessels)
+	rt.allMu.Unlock()
+	idle := 0
+	for i := range rt.vlocal {
+		lf := &rt.vlocal[i]
+		lf.mu.Lock()
+		idle += len(lf.free)
+		lf.mu.Unlock()
+	}
+	rt.vglobal.mu.Lock()
+	idle += len(rt.vglobal.free)
+	rt.vglobal.mu.Unlock()
+	fmt.Fprintf(w, "  vessels: %d created, %d idle, %d live\n", total, idle, total-idle)
+	fmt.Fprintf(w, "  parked thieves: %d\n", rt.idle.waiters.Load())
+	fmt.Fprintf(w, "  counters: %+v\n", rt.rec.Aggregate())
+	fmt.Fprintf(w, "  stacks: %+v\n", rt.pool.Stats())
+}
+
+// StartWatchdog attaches a stall watchdog to the runtime: every tick it
+// samples the progress counters, and after stallTicks consecutive ticks
+// without progress during a live Run it calls onStall (nil: log to
+// stderr) with a diagnostic report including DumpState. Stop the returned
+// watchdog when done; the runtime itself pays nothing for it beyond the
+// sampling reads.
+func (rt *Runtime) StartWatchdog(tick time.Duration, stallTicks int, onStall func(watchdog.Report)) (*watchdog.Watchdog, error) {
+	return watchdog.Start(watchdog.Config{
+		Name:       rt.cfg.Name,
+		Tick:       tick,
+		StallTicks: stallTicks,
+		Progress:   rt.progressSum,
+		Active:     rt.running.Load,
+		Dump:       rt.DumpState,
+		OnStall:    onStall,
+	})
+}

@@ -17,6 +17,13 @@ type Proc struct {
 // Workers implements api.Ctx.
 func (p *Proc) Workers() int { return p.rt.cfg.Workers }
 
+// Done implements api.Ctx: the enclosing RunCtx context's Done channel,
+// nil under a plain Run.
+func (p *Proc) Done() <-chan struct{} { return p.rt.cancel.Done() }
+
+// Err implements api.Ctx: the enclosing RunCtx context's error.
+func (p *Proc) Err() error { return p.rt.cancel.Err() }
+
 // Scope implements api.Ctx: it opens a spawning-function scope backed by
 // the configured join protocol.
 func (p *Proc) Scope() api.Scope {
@@ -44,11 +51,20 @@ type scope struct {
 // returns, the strand may hold a different worker token (a thief resumed
 // the continuation) exactly as in the paper's strand-to-worker mappings
 // (Figure 4).
+//
+// Once the run's context is cancelled, Spawn degrades to the serial
+// elision: the child executes inline on the caller's strand, nothing is
+// published and the join protocol is not engaged, so the cancelled
+// computation winds down with full strictness but no new parallelism.
 func (s *scope) Spawn(fn func(api.Ctx)) {
 	p := s.p
 	rt := p.rt
+	if rt.cancel.Cancelled() {
+		rt.runInline(p, fn)
+		return
+	}
 	w := p.worker
-	rt.rec.Worker(w).Spawns++
+	rt.rec.Worker(w).Spawns.Add(1)
 
 	// Publish the continuation: this vessel, parked below, resumable by a
 	// thief (popTop) or by the child's return (popBottom hit).
@@ -58,15 +74,30 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 	if rt.cfg.Events != nil {
 		rt.cfg.Events.record(w, EvSpawn, 0)
 	}
+	rt.wakeThieves()
 
 	// The child executes next on this worker: hand over the token.
 	cv := rt.getVessel(w)
-	rt.rec.Worker(w).VesselDispatch++
+	rt.rec.Worker(w).VesselDispatch.Add(1)
 	cv.start <- dispatch{fn: fn, parent: s, worker: w}
 
 	// Park until the continuation is resumed.
 	tok := <-v.park
 	p.worker = tok.worker
+}
+
+// runInline executes a spawned function on the caller's strand (the
+// cancelled-run degradation of Spawn). The child's panic is contained
+// exactly like a strand panic, so an inline child cannot unwind the
+// parent's frame past its un-synced scopes.
+func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
+	rt.rec.Worker(p.worker).InlineSpawns.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			rt.recordPanic(r)
+		}
+	}()
+	fn(p)
 }
 
 // Sync implements the explicit sync point: restore the sync-condition
@@ -75,7 +106,10 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 func (s *scope) Sync() {
 	p := s.p
 	rt := p.rt
-	rt.rec.Worker(p.worker).ExplicitSyncs++
+	if rt.cfg.Chaos != nil {
+		rt.chaosPreSync(p.worker)
+	}
+	rt.rec.Worker(p.worker).ExplicitSyncs.Add(1)
 	if s.join.SyncBegin() {
 		s.join.Rearm()
 		return
@@ -83,7 +117,7 @@ func (s *scope) Sync() {
 	// The sync condition does not hold: suspend this frame. The worker
 	// itself must not idle with it — it "goes over to steal work"
 	// (Figure 5), so hand the token to a thief strand before parking.
-	rt.rec.Worker(p.worker).Suspensions++
+	rt.rec.Worker(p.worker).Suspensions.Add(1)
 	if rt.cfg.Events != nil {
 		rt.cfg.Events.record(p.worker, EvSuspend, 0)
 	}

@@ -10,7 +10,11 @@ import (
 
 // stealLoop is the quest for work: the strand holding token p.worker picks
 // random victims until it steals a continuation (which it resumes, ending
-// this strand) or the runtime finishes.
+// this strand) or the runtime finishes. A cancelled run retires the token
+// instead: no new continuations appear once Spawn degrades to inline
+// execution, and already-published ones drain through the owner's
+// popBottom, so thieves are pure overhead while the computation winds
+// down.
 func (rt *Runtime) stealLoop(p *Proc) {
 	w := p.worker
 	rec := rt.rec.Worker(w)
@@ -19,9 +23,17 @@ func (rt *Runtime) stealLoop(p *Proc) {
 	fails := 0
 	rr := w // round-robin cursor
 	for {
-		if rt.done.Load() {
+		if rt.done.Load() || rt.cancel.Cancelled() {
 			rt.retireToken()
 			return
+		}
+
+		if rt.cfg.Chaos != nil && rt.chaosPreSteal(w) {
+			// Forced failed steal: abandon the attempt outright.
+			rec.FailedSteals.Add(1)
+			fails++
+			rt.stealBackoff(w, &fails)
+			continue
 		}
 
 		// Cilk Plus mode: a thief must hold a stack before it may steal;
@@ -31,7 +43,7 @@ func (rt *Runtime) stealLoop(p *Proc) {
 			s, ok := rt.pool.Get(w)
 			if !ok {
 				fails++
-				stealBackoff(fails)
+				rt.stealBackoff(w, &fails)
 				continue
 			}
 			preStack = s
@@ -49,12 +61,12 @@ func (rt *Runtime) stealLoop(p *Proc) {
 			if preStack != nil {
 				rt.pool.Put(w, preStack)
 			}
-			rec.FailedSteals++
+			rec.FailedSteals.Add(1)
 			fails++
-			stealBackoff(fails)
+			rt.stealBackoff(w, &fails)
 			continue
 		}
-		rec.Steals++
+		rec.Steals.Add(1)
 		if rt.cfg.Events != nil {
 			rt.cfg.Events.record(w, EvSteal, int32(victim))
 		}
@@ -117,14 +129,24 @@ func (rt *Runtime) popTopSteal(victim int) (*cont, bool) {
 
 // stealBackoff yields progressively: spin-yield first for low latency,
 // then sleep so idle thieves do not starve working strands — essential on
-// hosts with fewer CPUs than worker tokens.
-func stealBackoff(fails int) {
+// hosts with fewer CPUs than worker tokens. Past the configured ParkAfter
+// threshold the thief parks outright on the idle parker (woken by Spawn,
+// completion or cancellation) instead of polling at 50µs forever; a
+// successful park resets the ladder since a wakeup implies fresh work.
+func (rt *Runtime) stealBackoff(w int, fails *int) {
+	f := *fails
 	switch {
-	case fails < 64:
+	case f < 64:
 		runtime.Gosched()
-	case fails < 256:
+	case f < 256:
 		time.Sleep(time.Microsecond)
-	default:
+	case rt.cfg.ParkAfter < 0 || f < rt.cfg.ParkAfter:
 		time.Sleep(50 * time.Microsecond)
+	default:
+		if rt.parkThief(w) {
+			*fails = 0
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
 }

@@ -164,21 +164,26 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 	w := p.worker
 	rec := rt.rec.Worker(w)
 	rt.releaseStacks(v, w)
+	if rt.cfg.Chaos != nil {
+		rt.chaosPrePopBottom(w)
+	}
 	if c, ok := rt.deques[w].PopBottom(); ok {
-		rec.LocalResumes++
+		rec.LocalResumes.Add(1)
 		if rt.cfg.Events != nil {
 			rt.cfg.Events.record(w, EvLocalResume, 0)
 		}
 		c.v.park <- token{worker: w}
 		return
 	}
-	rec.ImplicitSyncs++
+	rec.ImplicitSyncs.Add(1)
 	if rt.cfg.Events != nil {
 		rt.cfg.Events.record(w, EvImplicitSync, 0)
 	}
 	if parent == nil {
-		// The root strand finished: the whole computation is done.
+		// The root strand finished: the whole computation is done. Wake
+		// any parked thieves so they observe done and retire.
 		rt.done.Store(true)
+		rt.wakeThieves()
 		rt.retireToken()
 		return
 	}

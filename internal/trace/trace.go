@@ -1,28 +1,77 @@
 // Package trace provides low-overhead per-worker event counters for the
 // scheduler. Each worker mutates only its own padded counter block, so
 // counting adds no cache-line contention of its own; Aggregate folds the
-// blocks into a snapshot.
+// blocks into a snapshot. The fields are atomics — still uncontended on
+// the write side because each block has exactly one writer — so that
+// diagnostic readers (the stall watchdog) may snapshot mid-run without a
+// data race.
 package trace
 
-// Counters is one worker's event tally. Fields are plain integers mutated
-// only by the owning worker; read them only through Recorder.Aggregate.
+import "sync/atomic"
+
+// Counters is a plain snapshot of event tallies, as returned by
+// Aggregate or WorkerCounters.Snapshot.
 type Counters struct {
 	Spawns          int64 // Spawn calls executed on this worker
+	InlineSpawns    int64 // Spawns degraded to inline execution (cancelled run)
 	LocalResumes    int64 // popBottom hits: continuation not stolen
 	Steals          int64 // successful popTop operations
-	FailedSteals    int64 // empty or lost-race popTop operations
+	FailedSteals    int64 // empty, lost-race or chaos-failed popTop operations
 	ImplicitSyncs   int64 // popBottom misses: continuation was stolen
 	ExplicitSyncs   int64 // Sync calls
 	Suspensions     int64 // parent parked at an explicit sync point
 	VesselDispatch  int64 // strand vessels activated for children
 	StackLocalGets  int64 // stacks served from the per-worker buffer
 	StackGlobalGets int64 // stacks served from the global pool
+	ThiefParks      int64 // idle thieves parked after the fail threshold
+	ThiefWakeups    int64 // parked thieves woken by a spawn, finish or cancel
 }
 
-// pad separates counter blocks by a cache line to avoid false sharing.
+// WorkerCounters is one worker's live tally block. Each field is mutated
+// only by the strand holding that worker's token, so the atomic adds are
+// uncontended; atomicity exists for concurrent diagnostic readers.
+type WorkerCounters struct {
+	Spawns          atomic.Int64
+	InlineSpawns    atomic.Int64
+	LocalResumes    atomic.Int64
+	Steals          atomic.Int64
+	FailedSteals    atomic.Int64
+	ImplicitSyncs   atomic.Int64
+	ExplicitSyncs   atomic.Int64
+	Suspensions     atomic.Int64
+	VesselDispatch  atomic.Int64
+	StackLocalGets  atomic.Int64
+	StackGlobalGets atomic.Int64
+	ThiefParks      atomic.Int64
+	ThiefWakeups    atomic.Int64
+}
+
+// Snapshot reads the block atomically field by field. The result is a
+// consistent tally only when the worker is quiescent; mid-run it is a
+// best-effort monotonic sample, which is all stall detection needs.
+func (w *WorkerCounters) Snapshot() Counters {
+	return Counters{
+		Spawns:          w.Spawns.Load(),
+		InlineSpawns:    w.InlineSpawns.Load(),
+		LocalResumes:    w.LocalResumes.Load(),
+		Steals:          w.Steals.Load(),
+		FailedSteals:    w.FailedSteals.Load(),
+		ImplicitSyncs:   w.ImplicitSyncs.Load(),
+		ExplicitSyncs:   w.ExplicitSyncs.Load(),
+		Suspensions:     w.Suspensions.Load(),
+		VesselDispatch:  w.VesselDispatch.Load(),
+		StackLocalGets:  w.StackLocalGets.Load(),
+		StackGlobalGets: w.StackGlobalGets.Load(),
+		ThiefParks:      w.ThiefParks.Load(),
+		ThiefWakeups:    w.ThiefWakeups.Load(),
+	}
+}
+
+// pad separates counter blocks by a cache line to avoid false sharing
+// (13 × 8 = 104 B of counters, padded to 128 B).
 type paddedCounters struct {
-	Counters
-	_ [48]byte
+	WorkerCounters
+	_ [24]byte
 }
 
 // Recorder holds one counter block per worker.
@@ -36,17 +85,18 @@ func NewRecorder(n int) *Recorder {
 }
 
 // Worker returns worker w's counter block for direct mutation.
-func (r *Recorder) Worker(w int) *Counters {
-	return &r.blocks[w].Counters
+func (r *Recorder) Worker(w int) *WorkerCounters {
+	return &r.blocks[w].WorkerCounters
 }
 
-// Aggregate sums all worker blocks. Call only when workers are quiescent
-// for an exact result; otherwise the snapshot is approximate.
+// Aggregate sums all worker blocks. The sum is exact when workers are
+// quiescent and a race-free approximate snapshot otherwise.
 func (r *Recorder) Aggregate() Counters {
 	var c Counters
 	for i := range r.blocks {
-		b := &r.blocks[i].Counters
+		b := r.blocks[i].Snapshot()
 		c.Spawns += b.Spawns
+		c.InlineSpawns += b.InlineSpawns
 		c.LocalResumes += b.LocalResumes
 		c.Steals += b.Steals
 		c.FailedSteals += b.FailedSteals
@@ -56,6 +106,18 @@ func (r *Recorder) Aggregate() Counters {
 		c.VesselDispatch += b.VesselDispatch
 		c.StackLocalGets += b.StackLocalGets
 		c.StackGlobalGets += b.StackGlobalGets
+		c.ThiefParks += b.ThiefParks
+		c.ThiefWakeups += b.ThiefWakeups
 	}
 	return c
+}
+
+// ProgressSum folds a snapshot into one scalar that advances whenever the
+// scheduler makes forward progress. FailedSteals is deliberately
+// excluded: an idle or stuck thief fails steals forever without the
+// computation advancing, and the watchdog must tell those apart.
+func (c Counters) ProgressSum() int64 {
+	return c.Spawns + c.InlineSpawns + c.LocalResumes + c.Steals +
+		c.ImplicitSyncs + c.ExplicitSyncs + c.Suspensions +
+		c.VesselDispatch + c.ThiefParks + c.ThiefWakeups
 }

@@ -8,11 +8,11 @@ import (
 
 func TestAggregateSums(t *testing.T) {
 	r := NewRecorder(3)
-	r.Worker(0).Spawns = 5
-	r.Worker(1).Spawns = 7
-	r.Worker(2).Steals = 2
-	r.Worker(0).FailedSteals = 1
-	r.Worker(2).Suspensions = 4
+	r.Worker(0).Spawns.Store(5)
+	r.Worker(1).Spawns.Store(7)
+	r.Worker(2).Steals.Store(2)
+	r.Worker(0).FailedSteals.Store(1)
+	r.Worker(2).Suspensions.Store(4)
 	c := r.Aggregate()
 	if c.Spawns != 12 || c.Steals != 2 || c.FailedSteals != 1 || c.Suspensions != 4 {
 		t.Errorf("aggregate = %+v", c)
@@ -22,20 +22,38 @@ func TestAggregateSums(t *testing.T) {
 func TestAggregateAllFields(t *testing.T) {
 	r := NewRecorder(1)
 	w := r.Worker(0)
-	w.Spawns = 1
-	w.LocalResumes = 2
-	w.Steals = 3
-	w.FailedSteals = 4
-	w.ImplicitSyncs = 5
-	w.ExplicitSyncs = 6
-	w.Suspensions = 7
-	w.VesselDispatch = 8
-	w.StackLocalGets = 9
-	w.StackGlobalGets = 10
+	w.Spawns.Store(1)
+	w.InlineSpawns.Store(2)
+	w.LocalResumes.Store(3)
+	w.Steals.Store(4)
+	w.FailedSteals.Store(5)
+	w.ImplicitSyncs.Store(6)
+	w.ExplicitSyncs.Store(7)
+	w.Suspensions.Store(8)
+	w.VesselDispatch.Store(9)
+	w.StackLocalGets.Store(10)
+	w.StackGlobalGets.Store(11)
+	w.ThiefParks.Store(12)
+	w.ThiefWakeups.Store(13)
 	c := r.Aggregate()
-	want := Counters{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	want := Counters{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
 	if c != want {
 		t.Errorf("aggregate = %+v, want %+v", c, want)
+	}
+	if c != w.Snapshot() {
+		t.Errorf("snapshot = %+v, want %+v", w.Snapshot(), want)
+	}
+}
+
+func TestProgressSumExcludesFailedSteals(t *testing.T) {
+	a := Counters{Spawns: 3, Steals: 2, FailedSteals: 100}
+	b := Counters{Spawns: 3, Steals: 2, FailedSteals: 9999}
+	if a.ProgressSum() != b.ProgressSum() {
+		t.Errorf("FailedSteals leaked into ProgressSum: %d vs %d",
+			a.ProgressSum(), b.ProgressSum())
+	}
+	if a.ProgressSum() != 5 {
+		t.Errorf("ProgressSum = %d, want 5", a.ProgressSum())
 	}
 }
 
@@ -50,8 +68,23 @@ func TestWorkerBlocksAreCacheLinePadded(t *testing.T) {
 }
 
 func TestConcurrentDisjointWorkers(t *testing.T) {
-	// Each worker mutating its own block is race-free by design.
+	// Each worker mutating its own block is race-free by design; a reader
+	// aggregating mid-run is race-free because the fields are atomic.
 	r := NewRecorder(4)
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Aggregate()
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		w := w
@@ -60,11 +93,13 @@ func TestConcurrentDisjointWorkers(t *testing.T) {
 			defer wg.Done()
 			c := r.Worker(w)
 			for i := 0; i < 10_000; i++ {
-				c.Spawns++
+				c.Spawns.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	close(stop)
+	rd.Wait()
 	if got := r.Aggregate().Spawns; got != 40_000 {
 		t.Errorf("spawns = %d, want 40000", got)
 	}

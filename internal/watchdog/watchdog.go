@@ -1,0 +1,160 @@
+// Package watchdog detects stalled computations: it samples a monotonic
+// progress counter on a configurable tick and, after N consecutive ticks
+// without progress while the observed system is active, emits a
+// diagnostic report through a pluggable OnStall hook (default: stderr).
+// A hung run thereby becomes explainable — the report carries whatever
+// state dump the observed runtime provides (deque sizes, token counts,
+// trace counters) — instead of silent.
+//
+// The package is runtime-agnostic: it knows nothing about schedulers,
+// only three closures (Progress, Active, Dump). The observed system pays
+// nothing beyond executing those closures once per tick.
+package watchdog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterises a Watchdog.
+type Config struct {
+	// Name labels the observed system in reports.
+	Name string
+	// Tick is the sampling interval (default 100ms).
+	Tick time.Duration
+	// StallTicks is the number of consecutive no-progress ticks that
+	// constitute a stall (default 5).
+	StallTicks int
+	// Progress samples a scalar that increases whenever the observed
+	// system makes forward progress. Required. It must be safe to call
+	// from the watchdog goroutine at any time.
+	Progress func() uint64
+	// Active, if non-nil, gates detection: ticks sampled while Active
+	// reports false are ignored (an idle runtime between runs is not
+	// stalled). Must be watchdog-goroutine safe.
+	Active func() bool
+	// Dump, if non-nil, writes the diagnostic state snapshot included in
+	// stall reports. Must be watchdog-goroutine safe.
+	Dump func(io.Writer)
+	// OnStall receives stall reports. Default: write Report.String to
+	// stderr. It fires once per stall episode — after a report, progress
+	// must resume before another report can fire.
+	OnStall func(Report)
+}
+
+// Report is one detected stall.
+type Report struct {
+	// Name echoes Config.Name.
+	Name string
+	// Ticks is the number of consecutive no-progress ticks observed.
+	Ticks int
+	// Stalled is the corresponding wall-clock duration (Ticks × Tick).
+	Stalled time.Duration
+	// Progress is the stuck progress-counter value.
+	Progress uint64
+	// Dump is the diagnostic state snapshot ("" when Config.Dump is nil).
+	Dump string
+}
+
+// String formats the report for logs.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: %q stalled for %v (%d ticks) at progress=%d\n",
+		r.Name, r.Stalled, r.Ticks, r.Progress)
+	if r.Dump != "" {
+		b.WriteString(r.Dump)
+	}
+	return b.String()
+}
+
+// Watchdog is a running stall detector. Stop it when done.
+type Watchdog struct {
+	cfg   Config
+	stop  chan struct{}
+	done  chan struct{}
+	fired atomic.Int64
+}
+
+// Start validates cfg, applies defaults and launches the sampling
+// goroutine.
+func Start(cfg Config) (*Watchdog, error) {
+	if cfg.Progress == nil {
+		return nil, errors.New("watchdog: Config.Progress is required")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.StallTicks <= 0 {
+		cfg.StallTicks = 5
+	}
+	if cfg.OnStall == nil {
+		cfg.OnStall = func(r Report) { fmt.Fprint(os.Stderr, r.String()) }
+	}
+	wd := &Watchdog{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	go wd.loop()
+	return wd, nil
+}
+
+// Stop terminates the sampling goroutine and waits for it to exit.
+func (wd *Watchdog) Stop() {
+	select {
+	case <-wd.stop:
+	default:
+		close(wd.stop)
+	}
+	<-wd.done
+}
+
+// Fired reports how many stall reports have been emitted.
+func (wd *Watchdog) Fired() int64 { return wd.fired.Load() }
+
+func (wd *Watchdog) loop() {
+	defer close(wd.done)
+	ticker := time.NewTicker(wd.cfg.Tick)
+	defer ticker.Stop()
+	last := wd.cfg.Progress()
+	stalled := 0
+	reported := false
+	for {
+		select {
+		case <-wd.stop:
+			return
+		case <-ticker.C:
+		}
+		if wd.cfg.Active != nil && !wd.cfg.Active() {
+			last = wd.cfg.Progress()
+			stalled = 0
+			reported = false
+			continue
+		}
+		cur := wd.cfg.Progress()
+		if cur != last {
+			last = cur
+			stalled = 0
+			reported = false
+			continue
+		}
+		stalled++
+		if stalled >= wd.cfg.StallTicks && !reported {
+			reported = true
+			wd.fired.Add(1)
+			r := Report{
+				Name:     wd.cfg.Name,
+				Ticks:    stalled,
+				Stalled:  time.Duration(stalled) * wd.cfg.Tick,
+				Progress: cur,
+			}
+			if wd.cfg.Dump != nil {
+				var b strings.Builder
+				wd.cfg.Dump(&b)
+				r.Dump = b.String()
+			}
+			wd.cfg.OnStall(r)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package watchdog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector is a mutex-protected OnStall sink.
+type collector struct {
+	mu      sync.Mutex
+	reports []Report
+}
+
+func (c *collector) hook(r Report) {
+	c.mu.Lock()
+	c.reports = append(c.reports, r)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.reports)
+}
+
+func (c *collector) first() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reports[0]
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestStartRequiresProgress(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("Start accepted a nil Progress")
+	}
+}
+
+func TestStallFiresAfterStallTicks(t *testing.T) {
+	var c collector
+	wd, err := Start(Config{
+		Name:       "static",
+		Tick:       2 * time.Millisecond,
+		StallTicks: 3,
+		Progress:   func() uint64 { return 42 },
+		Dump:       func(w io.Writer) { fmt.Fprintln(w, "dump-line") },
+		OnStall:    c.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Stop()
+	waitFor(t, func() bool { return c.count() >= 1 }, "stall report")
+	r := c.first()
+	if r.Name != "static" {
+		t.Errorf("report name = %q", r.Name)
+	}
+	if r.Ticks < 3 {
+		t.Errorf("ticks = %d, want >= 3", r.Ticks)
+	}
+	if r.Progress != 42 {
+		t.Errorf("progress = %d, want 42", r.Progress)
+	}
+	if !strings.Contains(r.Dump, "dump-line") {
+		t.Errorf("dump = %q, missing Dump output", r.Dump)
+	}
+	if !strings.Contains(r.String(), "stalled for") {
+		t.Errorf("String() = %q", r.String())
+	}
+	if wd.Fired() < 1 {
+		t.Errorf("Fired() = %d", wd.Fired())
+	}
+}
+
+func TestNoFireWhileProgressing(t *testing.T) {
+	var c collector
+	var p atomic.Uint64
+	stopTicking := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopTicking:
+				return
+			default:
+				p.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer close(stopTicking)
+	wd, err := Start(Config{
+		Tick:       2 * time.Millisecond,
+		StallTicks: 3,
+		Progress:   p.Load,
+		OnStall:    c.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	wd.Stop()
+	if n := c.count(); n != 0 {
+		t.Fatalf("fired %d times while progressing", n)
+	}
+}
+
+func TestActiveGatesDetection(t *testing.T) {
+	var c collector
+	wd, err := Start(Config{
+		Tick:       2 * time.Millisecond,
+		StallTicks: 3,
+		Progress:   func() uint64 { return 7 }, // static, would stall if active
+		Active:     func() bool { return false },
+		OnStall:    c.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	wd.Stop()
+	if n := c.count(); n != 0 {
+		t.Fatalf("fired %d times while inactive", n)
+	}
+}
+
+// TestOncePerEpisode: a continuing stall emits exactly one report;
+// resumed progress re-arms the detector for the next stall.
+func TestOncePerEpisode(t *testing.T) {
+	var c collector
+	var p atomic.Uint64
+	wd, err := Start(Config{
+		Tick:       2 * time.Millisecond,
+		StallTicks: 2,
+		Progress:   p.Load,
+		OnStall:    c.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wd.Stop()
+	waitFor(t, func() bool { return c.count() >= 1 }, "first episode")
+	time.Sleep(20 * time.Millisecond) // stall continues: must not re-fire
+	if n := c.count(); n != 1 {
+		t.Fatalf("stall episode reported %d times, want 1", n)
+	}
+	p.Add(1) // progress resumes, re-arming the detector
+	waitFor(t, func() bool { return c.count() >= 2 }, "second episode")
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	wd, err := Start(Config{Progress: func() uint64 { return 0 }, OnStall: func(Report) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd.Stop()
+	wd.Stop()
+}

@@ -30,7 +30,9 @@
 package nowa
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"nowa/internal/api"
 	"nowa/internal/childsteal"
@@ -131,6 +133,17 @@ func New(v Variant, workers int) Runtime {
 // Serial returns the serial elision: Spawn calls inline, Sync is a no-op.
 // It defines the T_s baseline of every speedup measurement.
 func Serial() Runtime { return api.Serial{} }
+
+// RunTimeout runs root with a deadline: a convenience wrapper around
+// Runtime.RunCtx and context.WithTimeout. Cancellation is cooperative —
+// strands observe it through Ctx.Err/Ctx.Done and Spawn degrading to
+// inline execution — so the call returns once the already-started work
+// has drained, with context.DeadlineExceeded if the deadline fired.
+func RunTimeout(rt Runtime, timeout time.Duration, root func(Ctx)) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return rt.RunCtx(ctx, root)
+}
 
 // Close releases a runtime's resources when it has one of those to
 // release (the continuation-stealing runtimes pool goroutine vessels).

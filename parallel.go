@@ -2,10 +2,19 @@ package nowa
 
 // Structured-parallelism combinators built on the spawn/sync primitives,
 // the convenience layer a downstream user reaches for first.
+//
+// Under a cancelled RunCtx every combinator exits early: subranges not
+// yet started are skipped (For/Map) or fold to the identity (Reduce), so
+// a cancelled run winds down in O(started work) rather than finishing
+// the whole iteration space inline.
 
 // Invoke runs the given functions as parallel siblings and returns when
-// all have finished (a k-ary fork/join).
+// all have finished (a k-ary fork/join). Under a cancelled run no
+// function is started.
 func Invoke(c Ctx, fns ...func(Ctx)) {
+	if c.Err() != nil {
+		return
+	}
 	switch len(fns) {
 	case 0:
 		return
@@ -38,6 +47,9 @@ func For(c Ctx, lo, hi, grain int, body func(c Ctx, i int)) {
 }
 
 func forRange(c Ctx, lo, hi, grain int, body func(c Ctx, i int)) {
+	if c.Err() != nil {
+		return
+	}
 	for hi-lo > grain {
 		mid := lo + (hi-lo)/2
 		s := c.Scope()
@@ -70,6 +82,9 @@ func Reduce[T any](c Ctx, lo, hi, grain int, identity T, mapf func(c Ctx, i int)
 }
 
 func reduceRange[T any](c Ctx, lo, hi, grain int, identity T, mapf func(c Ctx, i int) T, combine func(a, b T) T) T {
+	if c.Err() != nil {
+		return identity
+	}
 	if hi-lo <= grain {
 		acc := identity
 		for i := lo; i < hi; i++ {

@@ -25,6 +25,11 @@ type ordered interface {
 }
 
 func psort[T any](c Ctx, data []T, less func(a, b T) bool, grain int) {
+	// Under a cancelled run, leave the remaining subrange unsorted and
+	// unwind; Sort's callers observe the cancellation via RunCtx's error.
+	if c.Err() != nil {
+		return
+	}
 	for len(data) > grain {
 		p := partition(data, less)
 		left := data[:p]
