@@ -1,10 +1,12 @@
 # Developer entry points. `make verify` is the full pre-merge gate: it
 # fails on unformatted files, then builds, vets and tests everything,
-# including the race-enabled chaos/cancellation/misuse stress subset.
+# including the race-enabled chaos/cancellation/misuse stress subset and
+# a smoke run of the spawn-overhead benchmark (catches fast-path
+# breakage that only -bench exercises).
 
 GO ?= go
 
-.PHONY: verify fmt build vet test race bench
+.PHONY: verify fmt build vet test race bench bench-all
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -17,6 +19,7 @@ verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+	$(GO) test -run '^$$' -bench SpawnOverhead -benchtime 10x .
 
 fmt:
 	gofmt -w .
@@ -33,5 +36,13 @@ test:
 race:
 	$(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
 
+# bench regenerates the scheduler fast-path numbers: the spawn/sync
+# microbenchmarks, then nowa-bench's micro mode (spawn/sync per variant
+# plus the fib/nqueens/quicksort kernels), rewriting BENCH_sched.json.
 bench:
+	$(GO) test -run '^$$' -bench 'SpawnOverhead|SyncOverhead' -benchtime 100000x .
+	$(GO) run ./cmd/nowa-bench -micro -runs 3 -scale test -json BENCH_sched.json
+
+# bench-all runs the full paper benchmark suite once through.
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

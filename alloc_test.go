@@ -1,0 +1,113 @@
+// Allocation regression tests for the scheduler fast path.
+//
+// The tentpole property of the fast-path engineering work (DESIGN.md §9)
+// is that a steady-state Spawn/Sync round trip performs zero heap
+// allocations: the continuation slot, the scope (with inline join
+// storage for both protocols), the child's vessel and the park/resume
+// rendezvous are all recycled per-worker state. These tests lock that
+// property in with testing.AllocsPerRun so any future allocation on the
+// hot path fails CI rather than silently costing a GC cycle per spawn.
+package nowa_test
+
+import (
+	"testing"
+
+	"nowa"
+)
+
+// allocVariants are the vessel-model runtimes whose fast path is subject
+// to the zero-allocation guarantee. The wait-free and the lock-based
+// protocols both store their join inline in the scope slot, so the bound
+// is zero for all four; the child-stealing and OpenMP-like comparators
+// allocate a task per spawn by design and are excluded.
+var allocVariants = []struct {
+	v     nowa.Variant
+	bound float64 // max allocations per steady-state round trip
+}{
+	{nowa.VariantNowa, 0},
+	{nowa.VariantNowaTHE, 0},
+	{nowa.VariantFibril, 0},
+	{nowa.VariantCilkPlus, 0},
+}
+
+// TestSpawnAllocs asserts the steady-state allocation bound of one
+// Spawn/Sync round trip on a single worker (the popBottom-hit path).
+// The warm-up loop populates the vessel free list, the scope ring and
+// the deque ring so the measurement sees only the recycled state.
+func TestSpawnAllocs(t *testing.T) {
+	for _, tc := range allocVariants {
+		tc := tc
+		t.Run(tc.v.String(), func(t *testing.T) {
+			rt := nowa.New(tc.v, 1)
+			defer nowa.Close(rt)
+			var avg float64
+			rt.Run(func(c nowa.Ctx) {
+				for i := 0; i < 64; i++ {
+					s := c.Scope()
+					s.Spawn(func(nowa.Ctx) {})
+					s.Sync()
+				}
+				avg = testing.AllocsPerRun(100, func() {
+					s := c.Scope()
+					s.Spawn(func(nowa.Ctx) {})
+					s.Sync()
+				})
+			})
+			if avg > tc.bound {
+				t.Errorf("%s: %.2f allocs per spawn/sync round trip, want <= %.0f",
+					tc.v, avg, tc.bound)
+			}
+		})
+	}
+}
+
+// TestSyncAllocs asserts that an explicit Sync on a scope with no stolen
+// children allocates nothing — the no-steal sync is the paper's free
+// case and must stay a handful of loads.
+func TestSyncAllocs(t *testing.T) {
+	for _, tc := range allocVariants {
+		tc := tc
+		t.Run(tc.v.String(), func(t *testing.T) {
+			rt := nowa.New(tc.v, 1)
+			defer nowa.Close(rt)
+			var avg float64
+			rt.Run(func(c nowa.Ctx) {
+				s := c.Scope()
+				s.Sync()
+				avg = testing.AllocsPerRun(100, func() {
+					s.Sync()
+				})
+			})
+			if avg > tc.bound {
+				t.Errorf("%s: %.2f allocs per empty Sync, want <= %.0f",
+					tc.v, avg, tc.bound)
+			}
+		})
+	}
+}
+
+// TestSpawnAllocsNested runs the measurement with a non-trivial serial
+// spine: nested scopes exercise the ring beyond slot zero and the
+// cascade in release, which must also be allocation-free.
+func TestSpawnAllocsNested(t *testing.T) {
+	rt := nowa.New(nowa.VariantNowa, 1)
+	defer nowa.Close(rt)
+	var avg float64
+	round := func(c nowa.Ctx) {
+		s1 := c.Scope()
+		s1.Spawn(func(nowa.Ctx) {})
+		s2 := c.Scope()
+		s2.Spawn(func(nowa.Ctx) {})
+		s2.Sync()
+		s1.Sync()
+	}
+	rt.Run(func(c nowa.Ctx) {
+		for i := 0; i < 64; i++ {
+			round(c)
+		}
+		avg = testing.AllocsPerRun(100, func() { round(c) })
+	})
+	if avg > 0 {
+		t.Errorf("nowa: %.2f allocs per nested round, want 0", avg)
+	}
+}

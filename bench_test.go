@@ -350,6 +350,29 @@ func BenchmarkSpawnOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkSyncOverhead measures one explicit Sync on a scope with no
+// outstanding children — the no-steal sync fast path, which the paper's
+// wait-free protocol makes nearly free (no atomic on the Nowa variants,
+// a mutex round trip on the Fibril ones). The scope handle is reused
+// across iterations, which the Scope contract permits as long as no new
+// scope is opened on the strand in between.
+func BenchmarkSyncOverhead(b *testing.B) {
+	for _, v := range realVariants {
+		v := v
+		b.Run(v.String(), func(b *testing.B) {
+			rt := nowa.New(v, 1)
+			defer nowa.Close(rt)
+			b.ResetTimer()
+			rt.Run(func(c nowa.Ctx) {
+				s := c.Scope()
+				for i := 0; i < b.N; i++ {
+					s.Sync()
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkParallelFor measures the combinator layer.
 func BenchmarkParallelFor(b *testing.B) {
 	rt := nowa.New(nowa.VariantNowa, benchWorkers())

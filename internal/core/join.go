@@ -90,6 +90,18 @@ func (j *WaitFreeJoin) Rearm() {
 // Forked reports α for the current round.
 func (j *WaitFreeJoin) Forked() int64 { return j.alpha }
 
+// Quiescent reports whether no strand will touch this join again: every
+// stolen continuation's child has joined (counter == I_max − ω with
+// ω == α during phase 1, or I_max after a completed sync round rearmed
+// it with α == 0). The scheduler uses this to decide whether a scope
+// slot whose owning strand ended without a completed sync — a panic
+// unwound past it — may be recycled. Callers must guarantee no
+// concurrent OnSteal (true once the owning strand has ended, since its
+// continuation slot has been consumed); concurrent OnChildJoin calls
+// only move the counter toward the quiescent value, so a true result is
+// stable.
+func (j *WaitFreeJoin) Quiescent() bool { return j.counter.Load() == IMax-j.alpha }
+
 // Phase1Value exposes the raw counter for tests: I_max − ω before restore.
 func (j *WaitFreeJoin) Phase1Value() int64 { return j.counter.Load() }
 

@@ -82,6 +82,16 @@ func (j *LockedJoin) Rearm() {
 	j.mu.Unlock()
 }
 
+// Quiescent reports whether no strand will touch this join again: all
+// stolen children have joined and no parent is suspended on it. Used by
+// the scheduler's scope-slot recycling, mirroring WaitFreeJoin.Quiescent.
+func (j *LockedJoin) Quiescent() bool {
+	j.mu.Lock()
+	q := j.count == 0 && !j.syncing
+	j.mu.Unlock()
+	return q
+}
+
 // Forked reports the number of steals this round.
 func (j *LockedJoin) Forked() int64 {
 	j.mu.Lock()

@@ -18,9 +18,9 @@ import (
 // persist; Overflowed reports when it caused a push to fail.
 type ABPDeque[T any] struct {
 	age      atomic.Uint64 // packed (tag<<32 | top)
-	_        [7]int64
+	_        [15]int64     // pad to 128 B: separate cache-line PAIRS (adjacent-line prefetcher)
 	bot      atomic.Int64
-	_        [7]int64
+	_        [15]int64
 	slots    []atomic.Pointer[T]
 	overflow atomic.Int64
 }

@@ -15,9 +15,9 @@ import "sync/atomic"
 // ring can still read its slots; its subsequent CAS on top fails.
 type CLDeque[T any] struct {
 	top    atomic.Int64 // next index thieves steal from
-	_      [7]int64     // keep top and bottom on separate cache lines
+	_      [15]int64    // pad to 128 B: separate cache-line PAIRS (adjacent-line prefetcher)
 	bottom atomic.Int64 // next index the owner pushes at
-	_      [7]int64
+	_      [15]int64
 	ring   atomic.Pointer[clRing[T]]
 }
 

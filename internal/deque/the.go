@@ -19,9 +19,9 @@ import (
 // full, standing in for Cilk-5's fixed-size deque with overflow abort.
 type THEDeque[T any] struct {
 	head  atomic.Int64 // H: next index thieves steal from
-	_     [7]int64
+	_     [15]int64    // pad to 128 B: separate cache-line PAIRS (adjacent-line prefetcher)
 	tail  atomic.Int64 // T: next index the owner pushes at
-	_     [7]int64
+	_     [15]int64
 	mu    sync.Mutex
 	slots atomic.Pointer[[]atomic.Pointer[T]]
 }

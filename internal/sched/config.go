@@ -110,6 +110,13 @@ type Config struct {
 	// race windows (see Chaos). The only cost when nil is one pointer
 	// check per injection point.
 	Chaos *Chaos
+	// DisableCounters turns off the per-worker trace counters, removing
+	// the last few atomic adds from the spawn/sync fast path. Intended
+	// for microbenchmarks that measure the substrate floor; Counters()
+	// then reports zeros and StartWatchdog refuses to arm (no progress
+	// signal to sample). The flag is cached on the Runtime at New, so
+	// the hot paths pay one predictable branch either way.
+	DisableCounters bool
 }
 
 func (c *Config) fill() error {

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -21,15 +22,25 @@ import (
 // RunCtx, and Close it when done to stop the vessel goroutines. A Runtime
 // is reusable across Run calls but supports only one Run at a time.
 type Runtime struct {
-	cfg       Config
+	cfg Config
+
+	// Cached fast-path flags, derived from cfg once in New so the hot
+	// paths test a packed bool instead of chasing config pointers.
+	countersOn bool // trace counters enabled (!cfg.DisableCounters)
+	eventsOn   bool // cfg.Events != nil
+	chaosOn    bool // cfg.Chaos != nil
+	waitFree   bool // cfg.Join == WaitFree
+
 	deques    []deque.Deque[cont]
+	clDeques  []*deque.CLDeque[cont]  // non-nil iff cfg.Deque == CL: devirtualised hot path
 	theDeques []*deque.THEDeque[cont] // non-nil per worker iff cfg.Deque == THE
 	pool      *cactus.Pool
 	rec       *trace.Recorder
 	rngs      []rngState
 
-	vlocal  []vesselFreeList
-	vglobal vesselFreeList
+	vlocal    []vesselFreeList
+	vglobal   vesselGlobalList
+	scopePool sync.Pool
 
 	allMu      sync.Mutex
 	allVessels []*vessel
@@ -61,10 +72,11 @@ type idleParker struct {
 }
 
 // rngState is a per-worker xorshift64 generator for victim selection,
-// padded against false sharing.
+// padded to 128 bytes against false sharing (two cache lines, covering
+// the adjacent-line prefetcher).
 type rngState struct {
 	s uint64
-	_ [56]byte
+	_ [120]byte
 }
 
 func (r *rngState) next() uint64 {
@@ -82,16 +94,31 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{
-		cfg:    cfg,
-		deques: make([]deque.Deque[cont], cfg.Workers),
-		pool:   cactus.NewPool(cfg.Stacks),
-		rec:    trace.NewRecorder(cfg.Workers),
-		rngs:   make([]rngState, cfg.Workers),
-		vlocal: make([]vesselFreeList, cfg.Workers),
+		cfg:        cfg,
+		countersOn: !cfg.DisableCounters,
+		eventsOn:   cfg.Events != nil,
+		chaosOn:    cfg.Chaos != nil,
+		waitFree:   cfg.Join == WaitFree,
+		deques:     make([]deque.Deque[cont], cfg.Workers),
+		pool:       cactus.NewPool(cfg.Stacks),
+		rec:        trace.NewRecorder(cfg.Workers),
+		rngs:       make([]rngState, cfg.Workers),
+		vlocal:     make([]vesselFreeList, cfg.Workers),
+	}
+	rt.scopePool.New = func() any {
+		// Pooled scopes rest armed, like ring slots (see Proc.Scope). The
+		// locked join's zero value is already armed; the wait-free one
+		// needs its counter raised to I_max.
+		s := &scope{}
+		s.wf.Rearm()
+		return s
 	}
 	rt.idle.cond = sync.NewCond(&rt.idle.mu)
 	if cfg.Deque == deque.THE {
 		rt.theDeques = make([]*deque.THEDeque[cont], cfg.Workers)
+	}
+	if cfg.Deque == deque.CL {
+		rt.clDeques = make([]*deque.CLDeque[cont], cfg.Workers)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		d := deque.New[cont](cfg.Deque, cfg.DequeCap)
@@ -99,7 +126,13 @@ func New(cfg Config) (*Runtime, error) {
 		if rt.theDeques != nil {
 			rt.theDeques[w] = d.(*deque.THEDeque[cont])
 		}
+		if rt.clDeques != nil {
+			rt.clDeques[w] = d.(*deque.CLDeque[cont])
+		}
 		rt.rngs[w].s = uint64(cfg.Seed) + uint64(w)*0x9e3779b97f4a7c15 + 1
+		// Pre-size the owner-local vessel caches so steady-state frees
+		// never grow the slice (keeps the spawn path allocation-free).
+		rt.vlocal[w].free = make([]*vessel, 0, perWorkerVesselCap)
 	}
 	if cfg.Chaos != nil {
 		rt.chaosRngs = make([]rngState, cfg.Workers)
@@ -129,7 +162,8 @@ func (rt *Runtime) Workers() int { return rt.cfg.Workers }
 func (rt *Runtime) Config() Config { return rt.cfg }
 
 // Counters aggregates the scheduler event counters. Exact when no Run is
-// in progress; a race-free approximate snapshot otherwise.
+// in progress; a race-free approximate snapshot otherwise. All zero when
+// the runtime was configured with DisableCounters.
 func (rt *Runtime) Counters() trace.Counters { return rt.rec.Aggregate() }
 
 // StackStats returns the cactus stack pool accounting.
@@ -185,12 +219,14 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	if s, ok := rt.pool.Get(0); ok {
 		rv.stacks = append(rv.stacks, s)
 	}
-	rv.start <- dispatch{fn: root, worker: 0}
+	rv.disp = dispatch{fn: root, worker: 0}
+	rv.pk.deliver()
 
 	// The remaining tokens begin life as thieves.
 	for w := 1; w < rt.cfg.Workers; w++ {
 		v := rt.getVessel(w)
-		v.start <- dispatch{worker: w}
+		v.disp = dispatch{worker: w}
+		v.pk.deliver()
 	}
 	<-rt.finished
 
@@ -254,11 +290,15 @@ func (rt *Runtime) parkThief(w int) bool {
 		ip.mu.Unlock()
 		return false
 	}
-	rt.rec.Worker(w).ThiefParks.Add(1)
+	if rt.countersOn {
+		rt.rec.Worker(w).ThiefParks.Add(1)
+	}
 	ip.cond.Wait()
 	ip.waiters.Add(-1)
 	ip.mu.Unlock()
-	rt.rec.Worker(w).ThiefWakeups.Add(1)
+	if rt.countersOn {
+		rt.rec.Worker(w).ThiefWakeups.Add(1)
+	}
 	return true
 }
 
@@ -286,7 +326,8 @@ func (rt *Runtime) Close() {
 	}
 	rt.closed = true
 	for _, v := range rt.allVessels {
-		close(v.start)
+		v.disp = dispatch{stop: true}
+		v.pk.deliver()
 	}
 }
 
@@ -310,7 +351,9 @@ func (rt *Runtime) progressSum() uint64 {
 // DumpState writes a human-readable diagnostic snapshot: token count,
 // per-worker deque sizes, vessel accounting, parked thieves and the
 // aggregated trace counters. Safe to call mid-run (values are
-// best-effort); this is what the stall watchdog emits.
+// best-effort); this is what the stall watchdog emits. The owner-local
+// vessel caches are owner-only and deliberately not read here — only
+// the mutex-guarded global pool and the created total are reported.
 func (rt *Runtime) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "sched runtime %q: workers=%d tokensLeft=%d running=%v cancelled=%v\n",
 		rt.cfg.Name, rt.cfg.Workers, rt.DebugTokensLeft(), rt.running.Load(), rt.cancel.Cancelled())
@@ -320,17 +363,10 @@ func (rt *Runtime) DumpState(w io.Writer) {
 	rt.allMu.Lock()
 	total := len(rt.allVessels)
 	rt.allMu.Unlock()
-	idle := 0
-	for i := range rt.vlocal {
-		lf := &rt.vlocal[i]
-		lf.mu.Lock()
-		idle += len(lf.free)
-		lf.mu.Unlock()
-	}
 	rt.vglobal.mu.Lock()
-	idle += len(rt.vglobal.free)
+	pooled := len(rt.vglobal.free)
 	rt.vglobal.mu.Unlock()
-	fmt.Fprintf(w, "  vessels: %d created, %d idle, %d live\n", total, idle, total-idle)
+	fmt.Fprintf(w, "  vessels: %d created, %d pooled globally (owner-local caches not shown)\n", total, pooled)
 	fmt.Fprintf(w, "  parked thieves: %d\n", rt.idle.waiters.Load())
 	fmt.Fprintf(w, "  counters: %+v\n", rt.rec.Aggregate())
 	fmt.Fprintf(w, "  stacks: %+v\n", rt.pool.Stats())
@@ -341,8 +377,13 @@ func (rt *Runtime) DumpState(w io.Writer) {
 // without progress during a live Run it calls onStall (nil: log to
 // stderr) with a diagnostic report including DumpState. Stop the returned
 // watchdog when done; the runtime itself pays nothing for it beyond the
-// sampling reads.
+// sampling reads. Requires the trace counters: a runtime built with
+// DisableCounters has no progress signal to sample, and StartWatchdog
+// refuses to arm a watchdog that could only report false stalls.
 func (rt *Runtime) StartWatchdog(tick time.Duration, stallTicks int, onStall func(watchdog.Report)) (*watchdog.Watchdog, error) {
+	if !rt.countersOn {
+		return nil, errors.New("sched: StartWatchdog requires trace counters (runtime configured with DisableCounters)")
+	}
 	return watchdog.Start(watchdog.Config{
 		Name:       rt.cfg.Name,
 		Tick:       tick,

@@ -24,26 +24,129 @@ func (p *Proc) Done() <-chan struct{} { return p.rt.cancel.Done() }
 // Err implements api.Ctx: the enclosing RunCtx context's error.
 func (p *Proc) Err() error { return p.rt.cancel.Err() }
 
-// Scope implements api.Ctx: it opens a spawning-function scope backed by
-// the configured join protocol.
+// Scope implements api.Ctx. It is allocation-free on the fast path: the
+// paper's "stack object for every called spawning function" lives in a
+// small LIFO ring embedded in the vessel — scopes on one strand nest
+// like the frames that own them — with overflow to a sync.Pool for
+// strands whose serial spine runs deeper than the ring.
+//
+// A slot is reclaimed when the scope completes a Sync while being the
+// innermost live scope of its strand (see release), or at strand end.
+// Consequently a scope handle may host another spawn round after Sync —
+// the documented reuse — only as long as no new Scope was opened on the
+// same strand in between; all fully-strict fork/join code has this
+// shape, since a function syncs the scopes it opened in LIFO order
+// before returning.
+// Scope relies on the armed-at-rest invariant: every slot not currently
+// hosting a spawn round holds an armed join (α == 0, counter == I_max),
+// so opening a scope is two plain stores — no atomic operation at all.
+// The invariant is established at vessel construction and in the pool's
+// New, and maintained by every path that retires a slot (Sync re-arms
+// before release when the round left the counter dirty; resetScopes
+// re-arms reclaimed slots on the panic path).
 func (p *Proc) Scope() api.Scope {
-	s := &scope{p: p}
-	if p.rt.cfg.Join == WaitFree {
-		s.wf.Rearm()
-		s.join = &s.wf
-	} else {
-		s.join = core.NewLockedJoin()
+	v := p.v
+	if v.scopeTop < scopeRingCap {
+		s := &v.scopes[v.scopeTop]
+		v.scopeTop++
+		s.done = false
+		return s
 	}
+	return p.scopeSlow()
+}
+
+// scopeSlow is the ring-overflow path: draw a scope from the pool and
+// track it so release and strand end can hand it back. Pooled scopes are
+// armed at rest like ring slots.
+func (p *Proc) scopeSlow() api.Scope {
+	v := p.v
+	s := p.rt.scopePool.Get().(*scope)
+	s.p = p
+	s.wfMode = p.rt.waitFree
+	s.done = false
+	v.overflow = append(v.overflow, s)
+	v.scopeTop++
 	return s
 }
 
+// scopeRingCap is the number of scope slots embedded in each vessel. It
+// covers the nesting depth of typical divide-and-conquer serial spines
+// between spawns; deeper strands spill to the pool.
+const scopeRingCap = 8
+
 // scope is the per-spawning-function state: the paper's "stack object for
 // every called spawning function" holding α and the sync-condition counter
-// (wait-free mode) or the mutex-protected count (Fibril mode).
+// (wait-free mode) or the mutex-protected count (Fibril mode). Both join
+// protocols have inline storage here, so opening a scope allocates
+// nothing in either mode; wfMode selects which one is live, letting the
+// hot paths call the concrete protocol directly instead of through an
+// interface.
 type scope struct {
-	p    *Proc
-	join core.Join
-	wf   core.WaitFreeJoin // inline storage for the wait-free protocol
+	p      *Proc
+	wfMode bool
+	done   bool // completed a Sync; slot reclaimable once it is the ring top
+	wf     core.WaitFreeJoin
+	lj     core.LockedJoin
+}
+
+// rearm readies the inline join for a fresh spawn/sync round.
+func (s *scope) rearm() {
+	if s.wfMode {
+		s.wf.Rearm()
+	} else {
+		s.lj.Rearm()
+	}
+}
+
+// syncBegin is Join.SyncBegin devirtualised.
+func (s *scope) syncBegin() bool {
+	if s.wfMode {
+		return s.wf.SyncBegin()
+	}
+	return s.lj.SyncBegin()
+}
+
+// onChildJoin is Join.OnChildJoin devirtualised.
+func (s *scope) onChildJoin() bool {
+	if s.wfMode {
+		return s.wf.OnChildJoin()
+	}
+	return s.lj.OnChildJoin()
+}
+
+// quiescent reports whether no strand will touch this scope's join again;
+// valid only once the owning strand has ended (no concurrent steals).
+func (s *scope) quiescent() bool {
+	if s.wfMode {
+		return s.wf.Quiescent()
+	}
+	return s.lj.Quiescent()
+}
+
+// release marks the scope's sync round complete and pops every reclaimable
+// slot off the top of the vessel's ring. The cascade handles the
+// off-contract case of scopes synced out of creation order: an inner
+// scope marked done stays pinned until the scopes above it release.
+func (s *scope) release() {
+	s.done = true
+	v := s.p.v
+	for v.scopeTop > 0 {
+		if n := v.scopeTop - scopeRingCap; n > 0 {
+			top := v.overflow[n-1]
+			if !top.done {
+				return
+			}
+			v.overflow[n-1] = nil
+			v.overflow = v.overflow[:n-1]
+			v.scopeTop--
+			s.p.rt.scopePool.Put(top)
+			continue
+		}
+		if !v.scopes[v.scopeTop-1].done {
+			return
+		}
+		v.scopeTop--
+	}
 }
 
 // Spawn implements lines 1–3 of Figure 5: push the continuation, then call
@@ -51,6 +154,11 @@ type scope struct {
 // returns, the strand may hold a different worker token (a thief resumed
 // the continuation) exactly as in the paper's strand-to-worker mappings
 // (Figure 4).
+//
+// The steady-state fast path performs no heap allocation and no channel
+// operation: the continuation slot lives in the vessel, the child's
+// vessel comes off the owner-local free list, and both the dispatch and
+// the park/resume rendezvous go through the atomic-state parker.
 //
 // Once the run's context is cancelled, Spawn degrades to the serial
 // elision: the child executes inline on the caller's strand, nothing is
@@ -64,26 +172,31 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 		return
 	}
 	w := p.worker
-	rt.rec.Worker(w).Spawns.Add(1)
+	v := p.v
+	if rt.countersOn {
+		// Batched: folded into the worker blocks at strand end (see
+		// vessel.pend), keeping the per-spawn cost to plain increments.
+		v.pend.Spawns++
+		v.pend.VesselDispatch++
+	}
 
 	// Publish the continuation: this vessel, parked below, resumable by a
 	// thief (popTop) or by the child's return (popBottom hit).
-	v := p.v
 	v.cont.scope = s
-	rt.deques[w].PushBottom(&v.cont)
-	if rt.cfg.Events != nil {
+	rt.pushBottom(w, &v.cont)
+	if rt.eventsOn {
 		rt.cfg.Events.record(w, EvSpawn, 0)
 	}
 	rt.wakeThieves()
 
 	// The child executes next on this worker: hand over the token.
 	cv := rt.getVessel(w)
-	rt.rec.Worker(w).VesselDispatch.Add(1)
-	cv.start <- dispatch{fn: fn, parent: s, worker: w}
+	cv.disp = dispatch{fn: fn, parent: s, worker: w}
+	cv.pk.deliver()
 
 	// Park until the continuation is resumed.
-	tok := <-v.park
-	p.worker = tok.worker
+	v.pk.await()
+	p.worker = v.resumeTok.worker
 }
 
 // runInline executes a spawned function on the caller's strand (the
@@ -91,7 +204,9 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 // exactly like a strand panic, so an inline child cannot unwind the
 // parent's frame past its un-synced scopes.
 func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
-	rt.rec.Worker(p.worker).InlineSpawns.Add(1)
+	if rt.countersOn {
+		p.v.pend.InlineSpawns++
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			rt.recordPanic(r)
@@ -106,29 +221,46 @@ func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
 func (s *scope) Sync() {
 	p := s.p
 	rt := p.rt
-	if rt.cfg.Chaos != nil {
+	if rt.chaosOn {
 		rt.chaosPreSync(p.worker)
 	}
-	rt.rec.Worker(p.worker).ExplicitSyncs.Add(1)
-	if s.join.SyncBegin() {
-		s.join.Rearm()
+	if rt.countersOn {
+		p.v.pend.ExplicitSyncs++
+	}
+	if s.wfMode && s.wf.Forked() == 0 {
+		// No continuation of this round was stolen, so no strand ever
+		// touched the counter (OnChildJoin runs only after a steal): the
+		// sync condition holds and the join is still armed. α is a plain
+		// read — with zero steals there is no writer to race with, and
+		// with any steal the thief's α increment is ordered before the
+		// resume that let this strand reach Sync.
+		s.release()
+		return
+	}
+	if s.syncBegin() {
+		s.rearm()
+		s.release()
 		return
 	}
 	// The sync condition does not hold: suspend this frame. The worker
 	// itself must not idle with it — it "goes over to steal work"
 	// (Figure 5), so hand the token to a thief strand before parking.
-	rt.rec.Worker(p.worker).Suspensions.Add(1)
-	if rt.cfg.Events != nil {
+	if rt.countersOn {
+		p.v.pend.Suspensions++
+	}
+	if rt.eventsOn {
 		rt.cfg.Events.record(p.worker, EvSuspend, 0)
 	}
 	tv := rt.getVessel(p.worker)
-	tv.start <- dispatch{worker: p.worker}
-	tok := <-p.v.park
-	p.worker = tok.worker
-	if rt.cfg.Events != nil {
+	tv.disp = dispatch{worker: p.worker}
+	tv.pk.deliver()
+	p.v.pk.await()
+	p.worker = p.v.resumeTok.worker
+	if rt.eventsOn {
 		rt.cfg.Events.record(p.worker, EvSyncResume, 0)
 	}
-	s.join.Rearm()
+	s.rearm()
+	s.release()
 }
 
 var (

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"nowa/internal/cactus"
-	"nowa/internal/core"
 )
 
 // stealLoop is the quest for work: the strand holding token p.worker picks
@@ -24,13 +23,18 @@ func (rt *Runtime) stealLoop(p *Proc) {
 	rr := w // round-robin cursor
 	for {
 		if rt.done.Load() || rt.cancel.Cancelled() {
+			// Free the vessel before retiring: the token is still ours
+			// here, which keeps the local free list owner-only.
+			rt.freeVessel(p.v, w)
 			rt.retireToken()
 			return
 		}
 
-		if rt.cfg.Chaos != nil && rt.chaosPreSteal(w) {
+		if rt.chaosOn && rt.chaosPreSteal(w) {
 			// Forced failed steal: abandon the attempt outright.
-			rec.FailedSteals.Add(1)
+			if rt.countersOn {
+				rec.FailedSteals.Add(1)
+			}
 			fails++
 			rt.stealBackoff(w, &fails)
 			continue
@@ -61,13 +65,17 @@ func (rt *Runtime) stealLoop(p *Proc) {
 			if preStack != nil {
 				rt.pool.Put(w, preStack)
 			}
-			rec.FailedSteals.Add(1)
+			if rt.countersOn {
+				rec.FailedSteals.Add(1)
+			}
 			fails++
 			rt.stealBackoff(w, &fails)
 			continue
 		}
-		rec.Steals.Add(1)
-		if rt.cfg.Events != nil {
+		if rt.countersOn {
+			rec.Steals.Add(1)
+		}
+		if rt.eventsOn {
 			rt.cfg.Events.record(w, EvSteal, int32(victim))
 		}
 
@@ -86,8 +94,11 @@ func (rt *Runtime) stealLoop(p *Proc) {
 
 		// run(): the thief becomes the main path — increment α (already
 		// done inside popTopSteal) and resume the continuation with this
-		// token.
-		c.v.park <- token{worker: w}
+		// token. This vessel is done: free it while the token is still
+		// ours, then hand the token over through the parker.
+		rt.freeVessel(p.v, w)
+		c.v.resumeTok = token{worker: w}
+		c.v.pk.deliver()
 		return
 	}
 }
@@ -112,7 +123,7 @@ func (rt *Runtime) popTopSteal(victim int) (*cont, bool) {
 			d.Unlock()
 			return nil, false
 		}
-		lj := c.scope.join.(*core.LockedJoin)
+		lj := &c.scope.lj
 		lj.Lock()
 		d.Unlock()
 		lj.OnStealLocked()
@@ -123,7 +134,7 @@ func (rt *Runtime) popTopSteal(victim int) (*cont, bool) {
 	if !ok {
 		return nil, false
 	}
-	c.scope.join.OnSteal()
+	c.scope.wf.OnSteal()
 	return c, true
 }
 

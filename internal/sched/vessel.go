@@ -2,9 +2,11 @@ package sched
 
 import (
 	"sync"
+	"unsafe"
 
 	"nowa/internal/api"
 	"nowa/internal/cactus"
+	"nowa/internal/trace"
 )
 
 // token is ownership of one worker: the strand holding token w *is* worker
@@ -14,11 +16,13 @@ type token struct {
 }
 
 // dispatch activates a vessel: run fn as a child of parent on the given
-// worker. A nil fn dispatches an initial thief (idle token at Run start).
+// worker. A nil fn dispatches an initial thief (idle token at Run start);
+// stop retires the vessel goroutine (Close).
 type dispatch struct {
 	fn     func(api.Ctx)
 	parent *scope // nil for the root strand and for initial thieves
 	worker int
+	stop   bool
 }
 
 // cont is the stealable continuation of a parked vessel. Each vessel owns
@@ -32,37 +36,127 @@ type cont struct {
 // vessel is a pooled goroutine that executes strands. It stands in for a
 // linear stack of the original runtime; its cactus.Stack payloads carry
 // the RSS accounting.
+//
+// All rendezvous goes through pk: the vessel awaits a dispatch (disp
+// payload) between strands and a resume (resumeTok payload) while its
+// strand is parked at a spawn or sync point. The two waits alternate on
+// the vessel goroutine and each has exactly one deliverer, so one parker
+// serves both.
 type vessel struct {
-	rt    *Runtime
-	park  chan token    // resume channel; buffered so resume-before-park is safe
-	start chan dispatch // next strand to execute
-	proc  Proc
-	cont  cont
+	rt        *Runtime
+	pk        parker
+	resumeTok token    // payload of a park/resume delivery
+	disp      dispatch // payload of a dispatch delivery
+	proc      Proc
+	cont      cont
+	// scopes is the strand-local LIFO ring backing Proc.Scope, with
+	// overflow spilling to the runtime's scope pool (see scope.go).
+	scopes   [scopeRingCap]scope
+	scopeTop int
+	overflow []*scope
 	// stacks accumulates the pool stacks charged to this vessel's frame
 	// chain (one per steal of its continuations); released when the
 	// strand finishes.
 	stacks []*cactus.Stack
+	// pend batches this strand's trace-counter increments as plain adds;
+	// flushCounters folds the nonzero fields into the worker block with
+	// one atomic add each. Only the vessel's own goroutine touches pend —
+	// a strand runs nowhere else — so the batching is race-free, and
+	// flushing before every token handoff or steal-loop entry keeps the
+	// aggregate monotonic for the watchdog's mid-run sampling.
+	pend trace.Counters
 }
 
-// vesselFreeList is a mutex-protected vessel stack; the per-worker lists
-// are effectively uncontended because a worker token is held by one strand
-// at a time.
+// flushCounters folds the strand's batched tallies into worker w's block.
+func (v *vessel) flushCounters(w int) {
+	wc := v.rt.rec.Worker(w)
+	if v.pend.Spawns != 0 {
+		wc.Spawns.Add(v.pend.Spawns)
+	}
+	if v.pend.InlineSpawns != 0 {
+		wc.InlineSpawns.Add(v.pend.InlineSpawns)
+	}
+	if v.pend.LocalResumes != 0 {
+		wc.LocalResumes.Add(v.pend.LocalResumes)
+	}
+	if v.pend.ImplicitSyncs != 0 {
+		wc.ImplicitSyncs.Add(v.pend.ImplicitSyncs)
+	}
+	if v.pend.ExplicitSyncs != 0 {
+		wc.ExplicitSyncs.Add(v.pend.ExplicitSyncs)
+	}
+	if v.pend.Suspensions != 0 {
+		wc.Suspensions.Add(v.pend.Suspensions)
+	}
+	if v.pend.VesselDispatch != 0 {
+		wc.VesselDispatch.Add(v.pend.VesselDispatch)
+	}
+	v.pend = trace.Counters{}
+}
+
+// vesselFreeList is one worker's vessel cache. It is owner-local like the
+// victim RNG: only the strand currently holding the worker's token pushes
+// or pops, so the slice needs no lock or atomics — a vessel frees itself
+// into the list of the token it holds *before* handing that token away,
+// and the next holder's accesses are ordered behind that handoff.
+// Diagnostic readers (DumpState) must not touch the slice; they report
+// the global pool and total-created counts instead.
+//
+// The pad keeps adjacent workers' lists — mutated on every spawn — on
+// separate cache-line pairs (128 B covers the adjacent-line prefetcher).
 type vesselFreeList struct {
+	free []*vessel
+	_    [128 - 24]byte
+}
+
+// vesselGlobalList is the shared overflow list behind the owner-local
+// caches; the mutex is only taken when a local list misses or overflows.
+type vesselGlobalList struct {
 	mu   sync.Mutex
 	free []*vessel
-	_    [32]byte
 }
+
+// Compile-time guards: the per-worker hot structs must stay padded to a
+// multiple of 128 bytes, or adjacent workers false-share.
+const (
+	_ uintptr = unsafe.Sizeof(vesselFreeList{}) - 128
+	_ uintptr = 128 - unsafe.Sizeof(vesselFreeList{})
+	_ uintptr = unsafe.Sizeof(rngState{}) - 128
+	_ uintptr = 128 - unsafe.Sizeof(rngState{})
+)
 
 const perWorkerVesselCap = 8
 
-func (rt *Runtime) newVessel() *vessel {
-	v := &vessel{
-		rt:    rt,
-		park:  make(chan token, 1),
-		start: make(chan dispatch, 1),
+// pushBottom and popBottom route the owner-side deque operations through
+// the concrete Chase–Lev type when that is the configured algorithm, so
+// the compiler can inline the lock-free fast paths instead of emitting an
+// interface call per spawn. Other algorithms keep the interface path.
+func (rt *Runtime) pushBottom(w int, c *cont) {
+	if rt.clDeques != nil {
+		rt.clDeques[w].PushBottom(c)
+		return
 	}
+	rt.deques[w].PushBottom(c)
+}
+
+func (rt *Runtime) popBottom(w int) (*cont, bool) {
+	if rt.clDeques != nil {
+		return rt.clDeques[w].PopBottom()
+	}
+	return rt.deques[w].PopBottom()
+}
+
+func (rt *Runtime) newVessel() *vessel {
+	v := &vessel{rt: rt}
+	v.pk.init()
 	v.proc = Proc{rt: rt, v: v}
 	v.cont.v = v
+	for i := range v.scopes {
+		v.scopes[i].p = &v.proc
+		v.scopes[i].wfMode = rt.waitFree
+		// Establish the armed-at-rest invariant Scope relies on.
+		v.scopes[i].rearm()
+	}
 	rt.allMu.Lock()
 	if rt.closed {
 		rt.allMu.Unlock()
@@ -74,18 +168,16 @@ func (rt *Runtime) newVessel() *vessel {
 	return v
 }
 
-// getVessel obtains a vessel: worker-local list, then global, then fresh.
+// getVessel obtains a vessel: worker-local list (owner-only, lock-free),
+// then the global list, then fresh.
 func (rt *Runtime) getVessel(w int) *vessel {
 	lf := &rt.vlocal[w]
-	lf.mu.Lock()
 	if n := len(lf.free); n > 0 {
 		v := lf.free[n-1]
 		lf.free[n-1] = nil
 		lf.free = lf.free[:n-1]
-		lf.mu.Unlock()
 		return v
 	}
-	lf.mu.Unlock()
 	rt.vglobal.mu.Lock()
 	if n := len(rt.vglobal.free); n > 0 {
 		v := rt.vglobal.free[n-1]
@@ -98,30 +190,34 @@ func (rt *Runtime) getVessel(w int) *vessel {
 	return rt.newVessel()
 }
 
-// putVessel returns a finished vessel to the pool of the worker it ended
-// on, overflowing to the global list.
-func (rt *Runtime) putVessel(v *vessel) {
-	w := v.proc.worker
-	if w < 0 || w >= len(rt.vlocal) {
-		w = 0
-	}
+// freeVessel returns a finished vessel to the pool of worker w. The
+// caller must still hold token w: freeing happens immediately *before*
+// the resume or retirement that gives the token away, which is what
+// makes the local list owner-only. The vessel goroutine itself touches
+// nothing but its own parker afterwards, so a new owner may dispatch it
+// right away.
+func (rt *Runtime) freeVessel(v *vessel, w int) {
 	lf := &rt.vlocal[w]
-	lf.mu.Lock()
 	if len(lf.free) < perWorkerVesselCap {
 		lf.free = append(lf.free, v)
-		lf.mu.Unlock()
 		return
 	}
-	lf.mu.Unlock()
 	rt.vglobal.mu.Lock()
 	rt.vglobal.free = append(rt.vglobal.free, v)
 	rt.vglobal.mu.Unlock()
 }
 
 // loop is the vessel goroutine body: execute dispatched strands until the
-// runtime closes.
+// runtime closes. The vessel does not free itself here — it is already
+// back in a free list by the time a strand's final resume hands its
+// token away (see freeVessel).
 func (v *vessel) loop() {
-	for d := range v.start {
+	for {
+		v.pk.await()
+		d := v.disp
+		if d.stop {
+			return
+		}
 		v.proc.worker = d.worker
 		if d.fn != nil {
 			v.runStrand(d)
@@ -129,7 +225,6 @@ func (v *vessel) loop() {
 			// Initial thief: the token starts idle.
 			v.rt.stealLoop(&v.proc)
 		}
-		v.rt.putVessel(v)
 	}
 }
 
@@ -138,20 +233,54 @@ func (v *vessel) loop() {
 // strand is treated as returned, so all joins still happen and Run can
 // re-raise it at the end.
 func (v *vessel) runStrand(d dispatch) {
-	if v.rt.cfg.Events != nil {
+	if v.rt.eventsOn {
 		v.rt.cfg.Events.record(v.proc.worker, EvStrandStart, 0)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			v.rt.recordPanic(r)
+			v.resetScopes()
 			v.rt.finishStrand(v, d.parent)
 		}
 	}()
 	d.fn(&v.proc)
-	if v.rt.cfg.Events != nil {
+	if v.rt.eventsOn {
 		v.rt.cfg.Events.record(v.proc.worker, EvStrandEnd, 0)
 	}
+	v.resetScopes()
 	v.rt.finishStrand(v, d.parent)
+}
+
+// resetScopes reclaims the strand's scope slots at strand end. On the
+// contract-abiding path every scope has already been popped by its final
+// Sync and this is two loads. A strand that ended with live slots — a
+// panic unwound past un-synced scopes — may still have stolen children
+// running that will touch those joins, so only quiescent slots are
+// reclaimed: the ring index rolls back to just above the deepest
+// non-quiescent slot (leaking it for the vessel's lifetime — bounded,
+// and only on panic paths), and overflow scopes return to the pool or
+// are left to the garbage collector.
+func (v *vessel) resetScopes() {
+	if v.scopeTop == 0 && len(v.overflow) == 0 {
+		return
+	}
+	for i, s := range v.overflow {
+		if s.quiescent() {
+			s.rearm() // restore the armed-at-rest invariant before pooling
+			v.rt.scopePool.Put(s)
+		}
+		v.overflow[i] = nil
+	}
+	v.overflow = v.overflow[:0]
+	top := v.scopeTop
+	if top > scopeRingCap {
+		top = scopeRingCap
+	}
+	for top > 0 && v.scopes[top-1].quiescent() {
+		top--
+		v.scopes[top].rearm() // ditto for reclaimed ring slots
+	}
+	v.scopeTop = top
 }
 
 // finishStrand implements lines 4–5 of Figure 5: after the strand's
@@ -162,35 +291,45 @@ func (v *vessel) runStrand(d dispatch) {
 func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 	p := &v.proc
 	w := p.worker
-	rec := rt.rec.Worker(w)
 	rt.releaseStacks(v, w)
-	if rt.cfg.Chaos != nil {
+	if rt.chaosOn {
 		rt.chaosPrePopBottom(w)
 	}
-	if c, ok := rt.deques[w].PopBottom(); ok {
-		rec.LocalResumes.Add(1)
-		if rt.cfg.Events != nil {
+	if c, ok := rt.popBottom(w); ok {
+		if rt.countersOn {
+			v.pend.LocalResumes++
+			v.flushCounters(w)
+		}
+		if rt.eventsOn {
 			rt.cfg.Events.record(w, EvLocalResume, 0)
 		}
-		c.v.park <- token{worker: w}
+		rt.freeVessel(v, w)
+		c.v.resumeTok = token{worker: w}
+		c.v.pk.deliver()
 		return
 	}
-	rec.ImplicitSyncs.Add(1)
-	if rt.cfg.Events != nil {
+	if rt.countersOn {
+		v.pend.ImplicitSyncs++
+		v.flushCounters(w)
+	}
+	if rt.eventsOn {
 		rt.cfg.Events.record(w, EvImplicitSync, 0)
 	}
 	if parent == nil {
 		// The root strand finished: the whole computation is done. Wake
 		// any parked thieves so they observe done and retire.
+		rt.freeVessel(v, w)
 		rt.done.Store(true)
 		rt.wakeThieves()
 		rt.retireToken()
 		return
 	}
-	if parent.join.OnChildJoin() {
+	if parent.onChildJoin() {
 		// Sync condition holds: resume the parent suspended at its
 		// explicit sync point, handing over this token.
-		parent.p.v.park <- token{worker: w}
+		rt.freeVessel(v, w)
+		parent.p.v.resumeTok = token{worker: w}
+		parent.p.v.pk.deliver()
 		return
 	}
 	rt.stealLoop(p)

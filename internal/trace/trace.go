@@ -7,7 +7,10 @@
 // data race.
 package trace
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // Counters is a plain snapshot of event tallies, as returned by
 // Aggregate or WorkerCounters.Snapshot.
@@ -67,12 +70,21 @@ func (w *WorkerCounters) Snapshot() Counters {
 	}
 }
 
-// pad separates counter blocks by a cache line to avoid false sharing
-// (13 × 8 = 104 B of counters, padded to 128 B).
+// pad separates counter blocks by two cache lines to avoid false sharing,
+// including through the adjacent-line prefetcher (13 × 8 = 104 B of
+// counters, padded to 128 B). The compile-time guard below keeps the pad
+// honest when counters are added or removed.
 type paddedCounters struct {
 	WorkerCounters
-	_ [24]byte
+	_ [128 - unsafe.Sizeof(WorkerCounters{})%128]byte
 }
+
+// Both constants underflow (a compile error) unless the block is exactly
+// one 128-byte unit.
+const (
+	_ uintptr = unsafe.Sizeof(paddedCounters{}) - 128
+	_ uintptr = 128 - unsafe.Sizeof(paddedCounters{})
+)
 
 // Recorder holds one counter block per worker.
 type Recorder struct {
