@@ -1,12 +1,17 @@
 # Developer entry points. `make verify` is the full pre-merge gate: it
-# fails on unformatted files, then builds, vets and tests everything,
-# including the race-enabled chaos/cancellation/misuse stress subset and
-# a smoke run of the spawn-overhead benchmark (catches fast-path
-# breakage that only -bench exercises).
+# fails on unformatted files, then builds, vets, lints (nowa-vet, the
+# repo's own invariant analyzer) and tests everything, including the
+# race-enabled chaos/cancellation/misuse stress subset and a smoke run
+# of the spawn-overhead benchmark (catches fast-path breakage that only
+# -bench exercises).
 
 GO ?= go
 
-.PHONY: verify fmt build vet test race bench bench-all
+# The race-enabled stress subset, shared by `race` and `verify` so the
+# two gates cannot drift apart.
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+
+.PHONY: verify fmt build vet lint test race bench bench-all
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -17,8 +22,9 @@ verify:
 	fi
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/nowa-vet ./...
 	$(GO) test ./...
-	$(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+	$(RACE_TEST)
 	$(GO) test -run '^$$' -bench SpawnOverhead -benchtime 10x .
 
 fmt:
@@ -30,11 +36,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs nowa-vet, the stdlib-only static analyzer that enforces the
+# scheduler's concurrency and hot-path invariants (see DESIGN.md §10).
+lint:
+	$(GO) run ./cmd/nowa-vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+	$(RACE_TEST)
 
 # bench regenerates the scheduler fast-path numbers: the spawn/sync
 # microbenchmarks, then nowa-bench's micro mode (spawn/sync per variant

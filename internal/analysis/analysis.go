@@ -1,0 +1,131 @@
+// Package analysis implements nowa-vet: a vet-style static-analysis
+// suite for the concurrency and hot-path invariants the Go compiler
+// cannot see. The runtime's correctness argument leans on discipline —
+// every cross-strand word goes through sync/atomic in a prescribed
+// pattern, the spawn ladder allocates nothing, per-worker structs are
+// padded against false sharing, and the Eq. 5 join protocol is touched
+// only by the packages that own it. Each analyzer turns one such
+// discipline into a build-time gate, with an explicit annotation grammar
+// for the documented exceptions (see annotations.go).
+//
+// The suite is built on the standard library only (go/ast, go/parser,
+// go/types, `go list -json` for package discovery): the module has zero
+// external dependencies and must keep building without network access,
+// so golang.org/x/tools is deliberately not used.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Filenames  []string
+	Pkg        *types.Package
+	Info       *types.Info
+	Notes      *Notes
+}
+
+// Module is the unit every analyzer runs over: all packages of one
+// module (or of one test corpus), type-checked in one shared universe so
+// types.Object identities are comparable across packages.
+type Module struct {
+	Path     string // module path ("nowa"); corpus loads use the corpus root
+	Base     string // filesystem root findings are reported relative to
+	Fset     *token.FileSet
+	Packages []*Package // in dependency (topological) order
+	ByPath   map[string]*Package
+
+	atomicOnce bool
+	atomicFlds map[*types.Var][]token.Position // raw fields with atomic accesses (see atomic.go)
+}
+
+// An Analyzer checks one invariant over a whole module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Module) []Finding
+}
+
+// All is the nowa-vet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Atomicmix(), Hotpath(), Padguard(), Joinenc()}
+}
+
+// RunAll applies every analyzer — plus the annotation grammar checks
+// collected at load time — and returns the findings sorted by position
+// for stable output.
+func RunAll(m *Module, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Run(m)...)
+	}
+	for _, p := range m.Packages {
+		out = append(out, p.Notes.Bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// position converts a node position to a token.Position with the
+// filename relative to the module root, for compact stable output.
+func (m *Module) position(pos token.Pos) token.Position {
+	p := m.Fset.Position(pos)
+	if m.Base != "" {
+		if rel, err := filepath.Rel(m.Base, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p
+}
+
+// pkgOf returns the Package whose types.Package is p, if loaded.
+func (m *Module) pkgOf(p *types.Package) *Package {
+	if p == nil {
+		return nil
+	}
+	return m.ByPath[p.Path()]
+}
+
+// eachFunc visits every function and method declaration with a body in
+// the module, paired with its package.
+func (m *Module) eachFunc(fn func(p *Package, decl *ast.FuncDecl)) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					fn(p, fd)
+				}
+			}
+		}
+	}
+}

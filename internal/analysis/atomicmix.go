@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Atomicmix rejects mixed atomic/plain access to struct fields.
+//
+// Invariant: a struct field that is passed to a sync/atomic function
+// anywhere in the module is part of a cross-strand protocol; every other
+// read or write of it must also be atomic. A single plain load or store
+// on such a field silently downgrades the protocol to a data race whose
+// window the race detector may never hit (the bug class of Castañeda &
+// Piña's fence-free work-stealing analysis). The parker's documented
+// consume-side reset — a plain store ordered by the surrounding
+// sequentially consistent operations — is the sanctioned exception shape:
+// such sites carry //nowa:plain-ok <reason> and are skipped.
+//
+// Fields of the sync/atomic wrapper types (atomic.Int64 &c.) are outside
+// this analyzer's scope: their only operations are methods, and illegal
+// copies are already rejected by go vet's copylocks check.
+func Atomicmix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "flag plain access to struct fields that are accessed atomically elsewhere",
+		Run:  runAtomicmix,
+	}
+}
+
+func runAtomicmix(m *Module) []Finding {
+	fields := m.rawAtomicFields()
+	if len(fields) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, p := range m.Packages {
+		for _, file := range p.Files {
+			// Pass 1: mark the selector operands of atomic calls as
+			// sanctioned so pass 2 does not re-flag them.
+			sanctioned := make(map[ast.Expr]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if t := atomicFnTarget(p.Info, call); t != nil {
+						sanctioned[t] = true
+					}
+				}
+				return true
+			})
+			// Pass 2: every other occurrence of a policed field is a
+			// plain access.
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fld := fieldOf(p.Info, sel)
+				if fld == nil {
+					return true
+				}
+				atomicUses, policed := fields[fld]
+				if !policed {
+					return true
+				}
+				pos := m.position(sel.Sel.Pos())
+				if p.Notes.lineNote(pos, "plain-ok") {
+					return true
+				}
+				out = append(out, Finding{
+					Analyzer: "atomicmix",
+					Pos:      pos,
+					Message: fmt.Sprintf(
+						"plain access to field %s, which is accessed with sync/atomic at %s; make this access atomic or annotate it with //nowa:plain-ok <reason>",
+						fieldOwnerName(m, fld), atomicUses[0]),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

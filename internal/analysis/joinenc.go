@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Joinenc enforces the encapsulation of the Eq. 5 join protocol: the
+// sync-condition counter and its companion state (α, the locked-join
+// count) obey a proof whose invariants hold only when every mutation
+// goes through the protocol entry points (OnSteal, OnChildJoin,
+// SyncBegin, Rearm). Struct types annotated //nowa:join-state — the
+// core.WaitFreeJoin and core.LockedJoin protocol state and the
+// scheduler's scope slots that embed them — may have their fields
+// operated on (atomically or plainly) only inside internal/core and
+// internal/sched. Any other package reaching into a join field, however
+// well-intentioned the atomic it uses, is rewriting the proof and is
+// rejected.
+//
+// Method calls on join-state types are the sanctioned interface and are
+// not restricted.
+func Joinenc() *Analyzer {
+	return &Analyzer{
+		Name: "joinenc",
+		Doc:  "reject direct operations on //nowa:join-state struct fields outside internal/core and internal/sched",
+		Run:  runJoinenc,
+	}
+}
+
+// joinencAllowed lists the import-path suffixes permitted to touch
+// join-state fields directly.
+var joinencAllowed = []string{"internal/core", "internal/sched"}
+
+func joinencPkgAllowed(importPath string) bool {
+	for _, s := range joinencAllowed {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runJoinenc(m *Module) []Finding {
+	// Collect the protected fields: every direct field of every struct
+	// declared with //nowa:join-state.
+	protected := make(map[*types.Var]string) // field -> owning type name
+	for _, p := range m.Packages {
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = gd.Doc
+					}
+					if !p.Notes.declNote(m, doc, ts.Pos(), "join-state") {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						for _, name := range f.Names {
+							if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+								protected[obj] = ts.Name.Name
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(protected) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, p := range m.Packages {
+		if joinencPkgAllowed(p.ImportPath) {
+			continue
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fld := fieldOf(p.Info, sel)
+				if fld == nil {
+					return true
+				}
+				owner, isProtected := protected[fld]
+				if !isProtected || fld.Pkg() == p.Pkg {
+					return true
+				}
+				out = append(out, Finding{
+					Analyzer: "joinenc",
+					Pos:      m.position(sel.Sel.Pos()),
+					Message: fmt.Sprintf(
+						"direct access to join-state field %s.%s outside internal/core and internal/sched; use the join protocol methods (OnSteal/OnChildJoin/SyncBegin/Rearm) instead",
+						owner, fld.Name()),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path, Dir string }
+}
+
+// LoadModule discovers, parses and type-checks every package of the
+// module containing dir, using `go list -deps -export -json` so that
+// non-module dependencies (in practice: the standard library) are
+// imported from compiler export data instead of being re-type-checked
+// from source. Only non-test GoFiles are analyzed — the invariants the
+// suite guards live in shipped code.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Name,GoFiles,Imports,Standard,Export,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	// Split the dep closure: module packages are parsed from source; the
+	// rest import through their export data.
+	var modPath, modDir string
+	exports := make(map[string]string)
+	var local []*listPkg
+	for _, lp := range pkgs {
+		if !lp.Standard && lp.Module != nil {
+			if modPath == "" {
+				modPath = lp.Module.Path
+				modDir = lp.Module.Dir
+			}
+			local = append(local, lp)
+			continue
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module packages matched %v in %s", patterns, dir)
+	}
+
+	srcs := make(map[string][]string, len(local))
+	order := make([]string, 0, len(local))
+	imports := make(map[string][]string, len(local))
+	for _, lp := range local {
+		files := make([]string, 0, len(lp.GoFiles))
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		srcs[lp.ImportPath] = files
+		imports[lp.ImportPath] = lp.Imports
+		order = append(order, lp.ImportPath)
+	}
+	sort.Strings(order)
+
+	return load(modPath, modDir, order, srcs, imports, exportImporter(exports))
+}
+
+// exportImporter returns a types.Importer backed by the export-data
+// files `go list -export` reported, for everything outside the module.
+func exportImporter(exports map[string]string) types.Importer {
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// LoadTree loads a test corpus: every directory under root that contains
+// .go files becomes a package whose import path is modPath joined with
+// the directory's relative path (the root itself maps to modPath).
+// Imports among corpus packages resolve to each other; anything else is
+// type-checked from GOROOT source (corpus packages only pull in small
+// leaves like sync/atomic).
+func LoadTree(root, modPath string) (*Module, error) {
+	srcs := make(map[string][]string)
+	imports := map[string][]string{} // discovered during type-check; order via filename-independent toposort below
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		srcs[ip] = append(srcs[ip], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("no Go files under %s", root)
+	}
+
+	// Determine intra-corpus imports by a parse pass, for the toposort.
+	fset := token.NewFileSet()
+	order := make([]string, 0, len(srcs))
+	for ip, files := range srcs {
+		order = append(order, ip)
+		var imps []string
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, spec := range af.Imports {
+				imps = append(imps, strings.Trim(spec.Path.Value, "\""))
+			}
+		}
+		imports[ip] = imps
+	}
+	sort.Strings(order)
+
+	std := importer.ForCompiler(token.NewFileSet(), "source", nil)
+	return load(modPath, root, order, srcs, imports, std)
+}
+
+// load parses and type-checks the given packages in dependency order.
+// srcs maps import path -> source files; imports maps import path -> its
+// imports (used only to order packages); ext resolves imports that are
+// not among srcs; base is the directory findings are reported relative
+// to.
+func load(modPath, base string, order []string, srcs map[string][]string, imports map[string][]string, ext types.Importer) (*Module, error) {
+	m := &Module{
+		Path:   modPath,
+		Base:   base,
+		Fset:   token.NewFileSet(),
+		ByPath: make(map[string]*Package),
+	}
+
+	sorted, err := toposort(order, srcs, imports)
+	if err != nil {
+		return nil, err
+	}
+
+	loaded := make(map[string]*types.Package)
+	im := &moduleImporter{local: loaded, ext: ext}
+	for _, ip := range sorted {
+		files := srcs[ip]
+		sort.Strings(files)
+		var asts []*ast.File
+		for _, f := range files {
+			af, err := parser.ParseFile(m.Fset, f, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			asts = append(asts, af)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: im,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tpkg, err := conf.Check(ip, m.Fset, asts, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", ip, err)
+		}
+		loaded[ip] = tpkg
+		p := &Package{
+			ImportPath: ip,
+			Dir:        filepath.Dir(files[0]),
+			Files:      asts,
+			Filenames:  files,
+			Pkg:        tpkg,
+			Info:       info,
+			Notes:      parseNotes(m, asts),
+		}
+		m.Packages = append(m.Packages, p)
+		m.ByPath[ip] = p
+	}
+	return m, nil
+}
+
+// moduleImporter resolves module-internal imports to already-checked
+// packages and delegates the rest.
+type moduleImporter struct {
+	local map[string]*types.Package
+	ext   types.Importer
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.local[path]; ok {
+		return p, nil
+	}
+	return im.ext.Import(path)
+}
+
+// toposort orders import paths so that every package follows the
+// packages it imports (restricted to the analyzed set).
+func toposort(order []string, srcs map[string][]string, imports map[string][]string) ([]string, error) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := make(map[string]int, len(order))
+	var out []string
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("import cycle through %s", ip)
+		}
+		state[ip] = grey
+		for _, dep := range imports[ip] {
+			if _, ok := srcs[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[ip] = black
+		out = append(out, ip)
+		return nil
+	}
+	for _, ip := range order {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

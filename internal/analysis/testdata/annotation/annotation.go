@@ -1,0 +1,9 @@
+// Package annotation exercises the grammar checks: an unknown verb and
+// a reason-less verb that requires one must each produce a finding.
+package annotation
+
+//nowa:sizzling
+func a() {}
+
+//nowa:coldpath
+func b() {}

@@ -1,0 +1,29 @@
+// Package atomicmix is the nowa-vet corpus for the atomicmix analyzer:
+// gate.state is atomically swapped in publish, so the plain read in
+// badPeek must be flagged, the annotated reset must be suppressed, and
+// the never-atomic field must stay out of scope.
+package atomicmix
+
+import "sync/atomic"
+
+type gate struct {
+	state uint32
+	plain int
+}
+
+func (g *gate) publish() {
+	atomic.SwapUint32(&g.state, 1)
+}
+
+func (g *gate) badPeek() uint32 {
+	return g.state // BAD: plain read of an atomically accessed field
+}
+
+func (g *gate) okReset() {
+	g.state = 0 //nowa:plain-ok corpus: single-owner reset ordered by the surrounding protocol
+}
+
+func (g *gate) fine() int {
+	g.plain++
+	return g.plain
+}

@@ -1,0 +1,94 @@
+// Package hotpath is the nowa-vet corpus for the hotpath analyzer: one
+// clean root with a coldpath cut, one root per forbidden construct, a
+// transitively reached allocating callee, and a line-level suppression.
+package hotpath
+
+type ring struct {
+	slots [4]int
+	top   int
+}
+
+// push is hot and clean: array ring operations only, with the overflow
+// cut out of the traversal.
+//
+//nowa:hotpath
+func (r *ring) push(x int) {
+	if r.top == len(r.slots) {
+		r.spill(x)
+		return
+	}
+	r.slots[r.top] = x
+	r.top++
+}
+
+// spill allocates, but the coldpath annotation stops the traversal so
+// it must produce no findings.
+//
+//nowa:coldpath corpus: overflow path, allowed to allocate
+func (r *ring) spill(x int) {
+	_ = append([]int(nil), x)
+}
+
+//nowa:hotpath
+func badSend(ch chan int) {
+	ch <- 1 // BAD: channel send
+}
+
+// viaCallee is clean itself; the violation sits in the un-annotated
+// callee the traversal must reach.
+//
+//nowa:hotpath
+func viaCallee() {
+	helper()
+}
+
+func helper() {
+	_ = make([]int, 8) // BAD: allocating builtin, reached transitively
+}
+
+//nowa:hotpath
+func okAnnotated(buf []byte) []byte {
+	buf = append(buf, 0) //nowa:hotpath-ok corpus: pre-sized buffer never grows
+	return buf
+}
+
+//nowa:hotpath
+func badDefer() {
+	defer noop() // BAD: defer statement
+}
+
+func noop() {}
+
+//nowa:hotpath
+func badCapture() func() int {
+	x := 1
+	f := func() int { return x } // BAD: closure capturing x
+	return f
+}
+
+//nowa:hotpath
+func badBox(x int) any {
+	return x // BAD: boxes the int into an interface
+}
+
+//nowa:hotpath
+func okPointer(r *ring) any {
+	return r // pointer-shaped: fits the interface word, no allocation
+}
+
+//nowa:hotpath
+func badMapWrite(m map[int]int) {
+	m[1] = 2 // BAD: map write
+}
+
+// viaGeneric reaches an allocating generic callee through an explicit
+// instantiation — the f[T](...) call shape the traversal must unwrap.
+//
+//nowa:hotpath
+func viaGeneric() {
+	genHelper[int]()
+}
+
+func genHelper[T any]() {
+	_ = new(T) // BAD: allocating builtin in a generic callee
+}

@@ -1,0 +1,16 @@
+// Package client reaches into the join-protocol state from outside the
+// owning packages: both field accesses must be flagged — the atomic one
+// too, since any out-of-package mutation rewrites the protocol's proof —
+// while the method call is the sanctioned surface.
+package client
+
+import "corpus/joinenc/internal/core"
+
+func Peek(j *core.Join) int64 {
+	j.Alpha = 0             // BAD: plain write from outside
+	return j.Counter.Load() // BAD: even an atomic op is rejected out here
+}
+
+func Sanctioned(j *core.Join) bool {
+	return j.OnChildJoin()
+}

@@ -1,0 +1,19 @@
+// Package core declares the corpus join-protocol state; the owning
+// packages (internal/core, internal/sched) may touch its fields, anyone
+// else must go through the methods.
+package core
+
+import "sync/atomic"
+
+// Join is the corpus join-protocol state.
+//
+//nowa:join-state
+type Join struct {
+	Counter atomic.Int64
+	Alpha   int64
+}
+
+// OnChildJoin is the sanctioned protocol surface.
+func (j *Join) OnChildJoin() bool {
+	return j.Counter.Add(-1) == 0
+}

@@ -1,0 +1,11 @@
+// Package sched mirrors the real internal/sched path suffix: it is one
+// of the two packages allowed to operate on join-state fields directly.
+package sched
+
+import "corpus/joinenc/internal/core"
+
+// Steal touches the protocol state directly — allowed here.
+func Steal(j *core.Join) {
+	j.Alpha++
+	j.Counter.Add(1)
+}

@@ -1,0 +1,46 @@
+// Package sched mirrors the real internal/sched path suffix so the
+// padguard scope rule applies to this corpus package.
+package sched
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// naked has an atomic field but neither pad nor guard: two findings.
+type naked struct {
+	n atomic.Int64
+}
+
+// padded carries the full pattern and must pass.
+type padded struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+const (
+	_ uintptr = unsafe.Sizeof(padded{}) - 128
+	_ uintptr = 128 - unsafe.Sizeof(padded{})
+)
+
+// exempt is annotated out of the pattern.
+//
+//nowa:nopad corpus: singleton, no adjacent instances to false-share with
+type exempt struct {
+	n atomic.Int64
+}
+
+// inert has no atomic fields and is out of the analyzer's scope.
+type inert struct {
+	a, b int
+}
+
+// raw holds a bare word driven through the sync/atomic functions; it is
+// policed exactly like the wrapper types: two findings.
+type raw struct {
+	word uint32
+}
+
+func (r *raw) hit() {
+	atomic.AddUint32(&r.word, 1)
+}

@@ -1,0 +1,9 @@
+// Package other sits outside the internal/sched and internal/deque
+// suffixes, so its naked atomic struct must not be reported.
+package other
+
+import "sync/atomic"
+
+type outOfScope struct {
+	n atomic.Int64
+}

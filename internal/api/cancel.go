@@ -60,7 +60,13 @@ func (cs *CancelState) Cancelled() bool {
 	if p == nil {
 		return false
 	}
-	select {
+	// A non-blocking poll, not a wait: cancellation must be observable by
+	// the very next Spawn after the caller's cancel() returns (the inline
+	// degradation is counted deterministically in tests), which the async
+	// watcher latch in Begin cannot guarantee. The cost is one failed
+	// chanrecv per call, only under RunCtx, and only until the first true
+	// latches into the atomic bool.
+	select { //nowa:hotpath-ok deliberate non-blocking Done poll; the latch above makes it transient and RunCtx-only
 	case <-(*p).Done():
 		cs.cancelled.Store(true)
 		return true

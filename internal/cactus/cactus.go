@@ -131,6 +131,8 @@ func (p *Pool) Config() Config { return p.cfg }
 // global pool, then a fresh allocation. It reports false only in Cilk Plus
 // mode when the global cap is exhausted — the caller must then stop
 // stealing until a stack is returned (§II-C).
+//
+//nowa:coldpath stacks are charged only on steals and at Run start; the pool interaction (locks, possible fresh allocation) is the documented price of a steal
 func (p *Pool) Get(worker int) (*Stack, bool) {
 	lb := &p.local[worker]
 	lb.mu.Lock()
@@ -172,6 +174,8 @@ func (p *Pool) Get(worker int) (*Stack, bool) {
 
 // Put returns a stack to the worker's buffer, overflowing to the global
 // pool. In madvise mode the stack's physical pages are released first.
+//
+//nowa:coldpath stack release pairs with a prior steal's Get; like Get it is off the spawn ladder
 func (p *Pool) Put(worker int, s *Stack) {
 	if s == nil {
 		return

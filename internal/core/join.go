@@ -48,6 +48,13 @@ type Join interface {
 // of the progress of other strands — wait-freedom in Herlihy's sense.
 //
 // The zero value is NOT ready; call Rearm (or NewWaitFreeJoin) first.
+//
+// The fields are //nowa:join-state: the Eq. 5 invariants hold only while
+// every mutation goes through OnSteal/OnChildJoin/SyncBegin/Rearm, so
+// direct field access outside internal/core and internal/sched is
+// rejected by nowa-vet.
+//
+//nowa:join-state
 type WaitFreeJoin struct {
 	// alpha is α: the number of actually forked (stolen) continuations.
 	// Invariant II makes a plain field sufficient: only the main-path

@@ -12,6 +12,8 @@ import "sync"
 // Every operation acquires the mutex, so under contention callers queue:
 // the protocol is blocking, which is precisely the scalability limit the
 // paper measures against.
+//
+//nowa:join-state
 type LockedJoin struct {
 	mu      sync.Mutex
 	count   int64 // N_r: outstanding stolen children

@@ -43,6 +43,8 @@ func NewCL[T any](capHint int) *CLDeque[T] {
 }
 
 // PushBottom appends x at the bottom end. Owner-only.
+//
+//nowa:hotpath
 func (d *CLDeque[T]) PushBottom(x *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -57,6 +59,8 @@ func (d *CLDeque[T]) PushBottom(x *T) {
 // grow replaces the ring with one twice the size, copying live elements.
 // Only the owner calls grow; thieves may still read the old ring, which
 // remains valid for the elements they can successfully CAS.
+//
+//nowa:coldpath ring doubling allocates by design and amortises to O(1) pushes; it runs O(log n) times over a deque's life
 func (d *CLDeque[T]) grow(r *clRing[T], t, b int64) *clRing[T] {
 	nr := newCLRing[T](int(r.size() * 2))
 	for i := t; i < b; i++ {
@@ -67,6 +71,8 @@ func (d *CLDeque[T]) grow(r *clRing[T], t, b int64) *clRing[T] {
 }
 
 // PopBottom removes the most recently pushed item. Owner-only.
+//
+//nowa:hotpath
 func (d *CLDeque[T]) PopBottom() (*T, bool) {
 	b := d.bottom.Load() - 1
 	r := d.ring.Load()

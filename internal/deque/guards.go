@@ -1,0 +1,27 @@
+package deque
+
+import "unsafe"
+
+// Compile-time guards for the 128-byte owner/thief separation in the
+// three work-stealing deque headers. The pads in the struct literals are
+// just array fields; nothing stops a refactor from inserting a word
+// before the owner index and silently re-sharing the thieves' cache-line
+// pair with the owner's. Each constant below subtracts 128 from the
+// owner-side field's offset: if the separation ever shrinks, the uintptr
+// expression underflows the constant range and the package stops
+// compiling.
+//
+// The deques are generic; offsets of the atomic headers do not depend on
+// the element type, so instantiating with struct{} measures the layout
+// every instantiation shares.
+var (
+	clGuard  CLDeque[struct{}]
+	theGuard THEDeque[struct{}]
+	abpGuard ABPDeque[struct{}]
+)
+
+const (
+	_ uintptr = unsafe.Offsetof(clGuard.bottom) - 128
+	_ uintptr = unsafe.Offsetof(theGuard.tail) - 128
+	_ uintptr = unsafe.Offsetof(abpGuard.bot) - 128
+)

@@ -83,6 +83,8 @@ func (l *EventLog) reset() {
 }
 
 // record appends one event to the worker's buffer.
+//
+//nowa:coldpath event logging is a debugging facility, gated behind eventsOn on every hot call site; its appends are accepted
 func (l *EventLog) record(worker int, kind EventKind, aux int32) {
 	l.perWork[worker] = append(l.perWork[worker], Event{
 		T:      time.Since(l.start),

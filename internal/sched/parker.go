@@ -52,6 +52,8 @@ import (
 // that order the reset before the next swap. A plain store is a MOV
 // where atomic.Store is a full-fence XCHG — on the spawn ladder that is
 // two fences per round trip saved.
+//
+//nowa:nopad parkers live inside individually heap-allocated vessels; there are no adjacent parker instances to false-share with
 type parker struct {
 	state uint32
 	wake  chan struct{}
@@ -76,26 +78,30 @@ func (p *parker) init() {
 
 // deliver publishes the event. The caller must have written the payload
 // fields it shares with the owner before calling.
+//
+//nowa:hotpath
 func (p *parker) deliver() {
 	if atomic.SwapUint32(&p.state, parkerReady) == parkerWaiting {
-		p.wake <- struct{}{}
+		p.wake <- struct{}{} //nowa:hotpath-ok blocked-owner wakeup: fires only when the owner exhausted its spin budget, never on the steady-state ladder
 	}
 }
 
 // await returns once an event has been delivered, consuming it.
+//
+//nowa:hotpath
 func (p *parker) await() {
 	for i := 0; i < parkerSpins; i++ {
 		if atomic.LoadUint32(&p.state) == parkerReady {
-			p.state = parkerIdle // plain: no concurrent accessor, see above
+			p.state = parkerIdle //nowa:plain-ok consume-side reset: the deliverer is done with the word, and the next deliverer is ordered behind seq-cst atomics the owner performs after consuming (see type comment)
 			return
 		}
 		runtime.Gosched()
 	}
 	if atomic.CompareAndSwapUint32(&p.state, parkerIdle, parkerWaiting) {
-		<-p.wake
+		<-p.wake //nowa:hotpath-ok blocking fallback after the spin budget; the buffered channel is the documented slow-path rendezvous
 	}
 	// Either the CAS failed because deliver already moved the state to
 	// ready, or the wake receive ordered us after a deliver that saw
 	// waiting. Both ways the event is in; consume it.
-	p.state = parkerIdle
+	p.state = parkerIdle //nowa:plain-ok consume-side reset after a delivered event, same argument as the spin-phase reset above
 }

@@ -21,6 +21,8 @@ import (
 // with New or a variant constructor, execute computations with Run or
 // RunCtx, and Close it when done to stop the vessel goroutines. A Runtime
 // is reusable across Run calls but supports only one Run at a time.
+//
+//nowa:nopad the Runtime is a per-instance singleton; its atomic flags are control-path words (run start/stop, cancellation), not per-worker contended state
 type Runtime struct {
 	cfg Config
 
@@ -65,6 +67,8 @@ type Runtime struct {
 // polling; Spawn (and run completion/cancellation) broadcast a wakeup.
 // The waiters count is read on the spawn hot path, so the no-waiter case
 // costs one uncontended atomic load.
+//
+//nowa:nopad singleton embedded in Runtime; waiters shares its line with a mutex touched only on the blocking path
 type idleParker struct {
 	waiters atomic.Int32
 	mu      sync.Mutex
@@ -257,6 +261,8 @@ func (rt *Runtime) recordPanic(v any) {
 
 // retireToken surrenders one worker token at shutdown; the last retirement
 // completes the Run.
+//
+//nowa:coldpath runs once per worker token per Run, at drain time; the close is the Run-completion broadcast
 func (rt *Runtime) retireToken() {
 	if rt.tokensLeft.Add(-1) == 0 {
 		close(rt.finished)

@@ -44,6 +44,8 @@ func (p *Proc) Err() error { return p.rt.cancel.Err() }
 // New, and maintained by every path that retires a slot (Sync re-arms
 // before release when the round left the counter dirty; resetScopes
 // re-arms reclaimed slots on the panic path).
+//
+//nowa:hotpath
 func (p *Proc) Scope() api.Scope {
 	v := p.v
 	if v.scopeTop < scopeRingCap {
@@ -58,6 +60,8 @@ func (p *Proc) Scope() api.Scope {
 // scopeSlow is the ring-overflow path: draw a scope from the pool and
 // track it so release and strand end can hand it back. Pooled scopes are
 // armed at rest like ring slots.
+//
+//nowa:coldpath ring-overflow spill for serial spines deeper than scopeRingCap; the pool draw and overflow append are the price of unbounded nesting
 func (p *Proc) scopeSlow() api.Scope {
 	v := p.v
 	s := p.rt.scopePool.Get().(*scope)
@@ -81,6 +85,12 @@ const scopeRingCap = 8
 // nothing in either mode; wfMode selects which one is live, letting the
 // hot paths call the concrete protocol directly instead of through an
 // interface.
+//
+// The join fields are //nowa:join-state: only internal/core and
+// internal/sched may operate on them directly; everyone else goes
+// through the protocol methods.
+//
+//nowa:join-state
 type scope struct {
 	p      *Proc
 	wfMode bool
@@ -127,6 +137,8 @@ func (s *scope) quiescent() bool {
 // slot off the top of the vessel's ring. The cascade handles the
 // off-contract case of scopes synced out of creation order: an inner
 // scope marked done stays pinned until the scopes above it release.
+//
+//nowa:hotpath
 func (s *scope) release() {
 	s.done = true
 	v := s.p.v
@@ -164,6 +176,8 @@ func (s *scope) release() {
 // elision: the child executes inline on the caller's strand, nothing is
 // published and the join protocol is not engaged, so the cancelled
 // computation winds down with full strictness but no new parallelism.
+//
+//nowa:hotpath
 func (s *scope) Spawn(fn func(api.Ctx)) {
 	p := s.p
 	rt := p.rt
@@ -203,6 +217,8 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 // cancelled-run degradation of Spawn). The child's panic is contained
 // exactly like a strand panic, so an inline child cannot unwind the
 // parent's frame past its un-synced scopes.
+//
+//nowa:coldpath cancelled-run degradation only; the defer/recover panic fence is the point, not an accident
 func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
 	if rt.countersOn {
 		p.v.pend.InlineSpawns++
@@ -218,6 +234,8 @@ func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
 // Sync implements the explicit sync point: restore the sync-condition
 // counter (wait-free) or test the count (locked); suspend if children are
 // outstanding. The last joiner hands its token to the suspended parent.
+//
+//nowa:hotpath
 func (s *scope) Sync() {
 	p := s.p
 	rt := p.rt

@@ -89,7 +89,7 @@ func (rt *Runtime) stealLoop(p *Proc) {
 			}
 		}
 		if stack != nil {
-			c.v.stacks = append(c.v.stacks, stack)
+			c.v.stacks = append(c.v.stacks, stack) //nowa:hotpath-ok stack charging happens only on successful steals, which the paper already prices at a pool interaction; not on the spawn ladder
 		}
 
 		// run(): the thief becomes the main path — increment α (already

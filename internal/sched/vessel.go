@@ -131,6 +131,8 @@ const perWorkerVesselCap = 8
 // the concrete Chase–Lev type when that is the configured algorithm, so
 // the compiler can inline the lock-free fast paths instead of emitting an
 // interface call per spawn. Other algorithms keep the interface path.
+//
+//nowa:hotpath
 func (rt *Runtime) pushBottom(w int, c *cont) {
 	if rt.clDeques != nil {
 		rt.clDeques[w].PushBottom(c)
@@ -139,6 +141,7 @@ func (rt *Runtime) pushBottom(w int, c *cont) {
 	rt.deques[w].PushBottom(c)
 }
 
+//nowa:hotpath
 func (rt *Runtime) popBottom(w int) (*cont, bool) {
 	if rt.clDeques != nil {
 		return rt.clDeques[w].PopBottom()
@@ -146,6 +149,9 @@ func (rt *Runtime) popBottom(w int) (*cont, bool) {
 	return rt.deques[w].PopBottom()
 }
 
+// newVessel allocates and starts a fresh vessel goroutine.
+//
+//nowa:coldpath runs once per vessel ever created; steady state recycles vessels through the free lists and never gets here
 func (rt *Runtime) newVessel() *vessel {
 	v := &vessel{rt: rt}
 	v.pk.init()
@@ -196,12 +202,22 @@ func (rt *Runtime) getVessel(w int) *vessel {
 // makes the local list owner-only. The vessel goroutine itself touches
 // nothing but its own parker afterwards, so a new owner may dispatch it
 // right away.
+//
+//nowa:hotpath
 func (rt *Runtime) freeVessel(v *vessel, w int) {
 	lf := &rt.vlocal[w]
 	if len(lf.free) < perWorkerVesselCap {
-		lf.free = append(lf.free, v)
+		lf.free = append(lf.free, v) //nowa:hotpath-ok guarded by the cap check against the pre-sized backing array (New reserves perWorkerVesselCap); never reallocates
 		return
 	}
+	rt.freeVesselGlobal(v)
+}
+
+// freeVesselGlobal spills a vessel past the owner-local cap into the
+// shared pool.
+//
+//nowa:coldpath local-cache overflow only; takes the global mutex and may grow the shared slice
+func (rt *Runtime) freeVesselGlobal(v *vessel) {
 	rt.vglobal.mu.Lock()
 	rt.vglobal.free = append(rt.vglobal.free, v)
 	rt.vglobal.mu.Unlock()
@@ -288,6 +304,8 @@ func (v *vessel) resetScopes() {
 // the continuation we pushed (resume it — the paper's "discard and
 // proceed"); a miss means it was stolen, so perform the implicit sync and
 // go stealing.
+//
+//nowa:hotpath
 func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 	p := &v.proc
 	w := p.worker
