@@ -9,7 +9,7 @@ GO ?= go
 
 # The race-enabled stress subset, shared by `race` and `verify` so the
 # two gates cannot drift apart.
-RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic' ./...
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload' ./...
 
 .PHONY: verify fmt build vet lint test race bench bench-all
 

@@ -182,26 +182,71 @@ type microResult struct {
 	SyncAllocs   int64   `json:"sync_allocs_per_op"`
 }
 
+// resourceSample is the subset of nowa.ResourceStats worth archiving per
+// benchmark run: pool size, degradation tallies and trim counts. Nil for
+// runtimes without a vessel model.
+type resourceSample struct {
+	VesselsLive     int64 `json:"vessels_live"`
+	VesselHighWater int64 `json:"vessel_high_water"`
+	VesselsTrimmed  int64 `json:"vessels_trimmed"`
+	StacksLive      int64 `json:"stacks_live"`
+	StacksTrimmed   int64 `json:"stacks_trimmed"`
+	DegradedSpawns  int64 `json:"degraded_spawns"`
+	TokenKeepSyncs  int64 `json:"token_keep_syncs"`
+}
+
+// sampleResources snapshots a runtime's resource accounting, or nil if
+// the runtime does not report any.
+func sampleResources(rt nowa.Runtime) *resourceSample {
+	rs, ok := nowa.Resources(rt)
+	if !ok {
+		return nil
+	}
+	return &resourceSample{
+		VesselsLive:     rs.VesselsLive,
+		VesselHighWater: rs.VesselHighWater,
+		VesselsTrimmed:  rs.VesselsTrimmed,
+		StacksLive:      rs.StacksLive,
+		StacksTrimmed:   rs.StacksTrimmed,
+		DegradedSpawns:  rs.DegradedSpawns,
+		TokenKeepSyncs:  rs.TokenKeepSyncs,
+	}
+}
+
 // kernelResult is one kernel's wall time on one variant.
 type kernelResult struct {
-	Benchmark string  `json:"benchmark"`
-	Variant   string  `json:"variant"`
-	Workers   int     `json:"workers"`
-	MeanSec   float64 `json:"mean_s"`
-	StdSec    float64 `json:"std_s"`
+	Benchmark string          `json:"benchmark"`
+	Variant   string          `json:"variant"`
+	Workers   int             `json:"workers"`
+	MeanSec   float64         `json:"mean_s"`
+	StdSec    float64         `json:"std_s"`
+	Resources *resourceSample `json:"resources,omitempty"`
+}
+
+// overloadResult is one variant's behaviour under a deliberately tight
+// vessel budget (MaxVessels = workers+2): the kernel must still produce
+// correct results while the high water stays at or below the budget and
+// the overflow runs inline.
+type overloadResult struct {
+	Variant    string         `json:"variant"`
+	Workers    int            `json:"workers"`
+	MaxVessels int            `json:"max_vessels"`
+	MeanSec    float64        `json:"mean_s"`
+	Resources  resourceSample `json:"resources"`
 }
 
 // microReport is the -json document.
 type microReport struct {
-	GeneratedBy string         `json:"generated_by"`
-	GoVersion   string         `json:"go_version"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
-	NumCPU      int            `json:"num_cpu"`
-	Scale       string         `json:"kernel_scale"`
-	Runs        int            `json:"kernel_runs"`
-	Notes       []string       `json:"notes"`
-	Micro       []microResult  `json:"micro"`
-	Kernels     []kernelResult `json:"kernels"`
+	GeneratedBy string           `json:"generated_by"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	Scale       string           `json:"kernel_scale"`
+	Runs        int              `json:"kernel_runs"`
+	Notes       []string         `json:"notes"`
+	Micro       []microResult    `json:"micro"`
+	Kernels     []kernelResult   `json:"kernels"`
+	Overload    []overloadResult `json:"overload,omitempty"`
 }
 
 // microNotes documents the methodology and the pre-change reference
@@ -287,18 +332,26 @@ func runMicro(variants []nowa.Variant, runs int, scale apps.Scale, jsonPath stri
 		for _, v := range variants {
 			rt := nowa.New(v, workers)
 			times := stats.DurationsToSeconds(measure(b, rt, runs))
-			nowa.Close(rt)
 			k := kernelResult{
 				Benchmark: name,
 				Variant:   v.String(),
 				Workers:   workers,
 				MeanSec:   stats.Mean(times),
 				StdSec:    stats.StdDev(times),
+				Resources: sampleResources(rt),
 			}
+			nowa.Close(rt)
 			rep.Kernels = append(rep.Kernels, k)
-			fmt.Printf("  %-10s %-14s %10.4f ± %.4f s\n", name, k.Variant, k.MeanSec, k.StdSec)
+			if k.Resources != nil {
+				fmt.Printf("  %-10s %-14s %10.4f ± %.4f s  vessels hw=%d degraded=%d\n",
+					name, k.Variant, k.MeanSec, k.StdSec,
+					k.Resources.VesselHighWater, k.Resources.DegradedSpawns)
+			} else {
+				fmt.Printf("  %-10s %-14s %10.4f ± %.4f s\n", name, k.Variant, k.MeanSec, k.StdSec)
+			}
 		}
 	}
+	runOverload(&rep, variants, runs, scale, workers)
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -309,6 +362,47 @@ func runMicro(variants []nowa.Variant, runs int, scale apps.Scale, jsonPath stri
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+}
+
+// runOverload runs fib once per vessel-model variant under a tight
+// vessel budget (MaxVessels = workers+2) and records the degradation
+// tallies: the archived report then documents what graceful overload
+// looks like on this host — high water pinned at the budget, the
+// overflow spawns inlined, results still verified by measure.
+func runOverload(rep *microReport, variants []nowa.Variant, runs int, scale apps.Scale, workers int) {
+	b, err := apps.ByName("fib", scale)
+	if err != nil {
+		fatal(err)
+	}
+	maxVessels := workers + 2
+	var header bool
+	for _, v := range variants {
+		if !nowa.HasVesselModel(v) {
+			continue
+		}
+		if !header {
+			fmt.Printf("\noverload probe (fib, MaxVessels=%d):\n", maxVessels)
+			header = true
+		}
+		rt := nowa.NewLimited(v, workers, nowa.Limits{MaxVessels: maxVessels})
+		times := stats.DurationsToSeconds(measure(b, rt, runs))
+		sample := sampleResources(rt)
+		nowa.Close(rt)
+		if sample == nil {
+			fatal(fmt.Errorf("limited %s runtime reports no resources", v))
+		}
+		o := overloadResult{
+			Variant:    v.String(),
+			Workers:    workers,
+			MaxVessels: maxVessels,
+			MeanSec:    stats.Mean(times),
+			Resources:  *sample,
+		}
+		rep.Overload = append(rep.Overload, o)
+		fmt.Printf("  %-14s %10.4f s  hw=%d/%d degraded=%d keep-syncs=%d trimmed=%d\n",
+			o.Variant, o.MeanSec, sample.VesselHighWater, maxVessels,
+			sample.DegradedSpawns, sample.TokenKeepSyncs, sample.VesselsTrimmed)
 	}
 }
 

@@ -1,0 +1,41 @@
+package api
+
+// ResourceStats is a runtime-agnostic snapshot of pooled-resource
+// accounting: how many execution vessels and stacks a runtime holds, how
+// hard its resource governor has degraded or trimmed, and what leaked.
+// Runtimes without a vessel model (the child-stealing and OpenMP-like
+// comparators, the serial elision) simply do not implement
+// ResourceReporter.
+type ResourceStats struct {
+	// VesselsLive is the number of pooled execution goroutines in
+	// existence; VesselHighWater is the maximum ever reached — under a
+	// MaxVessels budget the high water never exceeds the budget.
+	VesselsLive     int64
+	VesselHighWater int64
+	// VesselsTrimmed counts vessels retired by memory-pressure trims;
+	// VesselsLeaked is the idle-time reconciliation of created versus
+	// recycled (nonzero indicates a runtime bug).
+	VesselsTrimmed int64
+	VesselsLeaked  int64
+	// StacksLive / StacksTrimmed / StacksLeaked are the same three for
+	// the cactus stack pool.
+	StacksLive    int64
+	StacksTrimmed int64
+	StacksLeaked  int64
+	// DegradedSpawns counts spawns the governor ran inline (vessel
+	// budget exhausted or stack pool under soft-cap pressure);
+	// TokenKeepSyncs counts sync suspensions that parked holding their
+	// worker token because no thief vessel fit the budget. Both are the
+	// graceful-degradation tallies: work completed correctly, just with
+	// less parallelism.
+	DegradedSpawns int64
+	TokenKeepSyncs int64
+	// ScopesLeaked counts join scopes abandoned on panic paths.
+	ScopesLeaked int64
+}
+
+// ResourceReporter is implemented by runtimes that keep resource
+// accounting. Use it via a type assertion (or nowa.Resources).
+type ResourceReporter interface {
+	ResourceStats() ResourceStats
+}

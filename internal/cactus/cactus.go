@@ -39,16 +39,48 @@ func (s *Stack) Bytes() []byte { return s.data }
 // Resident reports whether the stack's pages are accounted as resident.
 func (s *Stack) Resident() bool { return s.resident }
 
+// CapMode selects what a GlobalCap-exhausted Get failure means to the
+// runtime above.
+type CapMode int
+
+const (
+	// CapAbort is the Cilk Plus strategy reproduced from the paper: a
+	// failed Get stops the calling thief from stealing until a stack is
+	// returned. It is the comparator's documented failure mode — under
+	// sustained overload the system effectively serialises or (in the
+	// original) aborts.
+	CapAbort CapMode = iota
+	// CapSoft generalises the cap into a graceful-degradation signal: a
+	// failed Get additionally latches the pool's pressure flag, which the
+	// scheduler polls on the spawn path to degrade new spawns to inline
+	// execution (shedding stack demand instead of aborting supply). Any
+	// Put or Trim that makes capacity available clears the latch.
+	CapSoft
+)
+
+// String returns the mode name.
+func (m CapMode) String() string {
+	if m == CapSoft {
+		return "soft"
+	}
+	return "abort"
+}
+
 // Config parameterises a Pool.
 type Config struct {
 	// Workers is the number of per-worker buffers.
 	Workers int
 	// PerWorkerCap bounds each worker's local buffer (default 4).
 	PerWorkerCap int
-	// GlobalCap, if positive, bounds the TOTAL number of stacks ever
-	// allocated (the Cilk Plus strategy); Get fails once it is reached and
-	// nothing is free. Zero means unbounded.
+	// GlobalCap, if positive, bounds the TOTAL number of stacks live at
+	// once (the Cilk Plus strategy); Get fails once it is reached and
+	// nothing is free. Zero means unbounded. Trim lowers the live count,
+	// making room for fresh allocations again.
 	GlobalCap int
+	// CapMode selects the exhaustion behaviour under GlobalCap: CapAbort
+	// (default, the paper's comparator) or CapSoft (pressure-latch
+	// degradation; see the mode docs).
+	CapMode CapMode
 	// StackBytes is the arena size per stack (default 64 KiB; the paper
 	// used 1 MiB stacks — scaled down to keep test memory modest while
 	// preserving the cost *ratios*).
@@ -77,17 +109,19 @@ func (c *Config) fill() {
 
 // Stats is a snapshot of pool accounting.
 type Stats struct {
-	Allocated     int64 // stacks ever allocated
+	Allocated     int64 // stacks currently live (allocated minus trimmed)
 	LocalGets     int64 // served from a per-worker buffer
 	GlobalGets    int64 // served from the global pool
 	FreshGets     int64 // newly allocated
-	FailedGets    int64 // GlobalCap exhausted (Cilk Plus mode)
+	FailedGets    int64 // GlobalCap exhausted (bounded modes)
 	LocalPuts     int64
 	GlobalPuts    int64
+	Trimmed       int64 // free stacks destroyed by Trim (governor reclamation)
 	MadviseCalls  int64
 	PageFaults    int64 // pages touched back in after a release
 	ResidentBytes int64 // current accounted RSS of all stacks
 	PeakRSSBytes  int64 // high-water mark of ResidentBytes
+	Pressure      bool  // soft-cap pressure latch currently set
 }
 
 // Pool recirculates stacks between workers.
@@ -106,10 +140,12 @@ type Pool struct {
 	failedGets   atomic.Int64
 	localPuts    atomic.Int64
 	globalPuts   atomic.Int64
+	trimmed      atomic.Int64
 	madviseCalls atomic.Int64
 	pageFaults   atomic.Int64
 	resident     atomic.Int64
 	peak         atomic.Int64
+	pressure     atomic.Bool
 }
 
 type localBuf struct {
@@ -128,9 +164,11 @@ func NewPool(cfg Config) *Pool {
 func (p *Pool) Config() Config { return p.cfg }
 
 // Get obtains a stack for the given worker: local buffer first, then the
-// global pool, then a fresh allocation. It reports false only in Cilk Plus
-// mode when the global cap is exhausted — the caller must then stop
-// stealing until a stack is returned (§II-C).
+// global pool, then a fresh allocation. It reports false only when a
+// GlobalCap is configured and exhausted. In CapAbort mode the caller must
+// then stop stealing until a stack is returned (§II-C, the Cilk Plus
+// comparator); in CapSoft mode the failure also latches the pressure flag
+// so the scheduler sheds spawn demand instead (graceful degradation).
 //
 //nowa:coldpath stacks are charged only on steals and at Run start; the pool interaction (locks, possible fresh allocation) is the documented price of a steal
 func (p *Pool) Get(worker int) (*Stack, bool) {
@@ -157,13 +195,14 @@ func (p *Pool) Get(worker int) (*Stack, bool) {
 		p.makeResident(s)
 		return s, true
 	}
-	if p.cfg.GlobalCap > 0 && p.allocated.Load() >= int64(p.cfg.GlobalCap) {
-		p.mu.Unlock()
+	p.mu.Unlock()
+	if !p.reserve() {
 		p.failedGets.Add(1)
+		if p.cfg.CapMode == CapSoft {
+			p.pressure.Store(true)
+		}
 		return nil, false
 	}
-	p.allocated.Add(1)
-	p.mu.Unlock()
 
 	s := &Stack{data: make([]byte, p.cfg.StackBytes), pool: p}
 	p.freshGets.Add(1)
@@ -171,6 +210,33 @@ func (p *Pool) Get(worker int) (*Stack, bool) {
 	p.addResident(int64(len(s.data)))
 	return s, true
 }
+
+// reserve atomically claims one slot of the GlobalCap budget (always
+// succeeds when unbounded). The CAS loop makes the check-then-allocate a
+// single linearisable step: two concurrent callers racing for the last
+// slot cannot both pass the cap test, and a concurrent Trim's decrement
+// only makes a reservation spuriously retry, never over-admit.
+func (p *Pool) reserve() bool {
+	cap64 := int64(p.cfg.GlobalCap)
+	if cap64 <= 0 {
+		p.allocated.Add(1)
+		return true
+	}
+	for {
+		n := p.allocated.Load()
+		if n >= cap64 {
+			return false
+		}
+		if p.allocated.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Pressure reports the soft-cap pressure latch: true between a cap-failed
+// Get and the next Put or Trim that makes capacity available. One atomic
+// load; the scheduler polls it on the spawn path in soft mode.
+func (p *Pool) Pressure() bool { return p.pressure.Load() }
 
 // Put returns a stack to the worker's buffer, overflowing to the global
 // pool. In madvise mode the stack's physical pages are released first.
@@ -189,6 +255,7 @@ func (p *Pool) Put(worker int, s *Stack) {
 		lb.stacks = append(lb.stacks, s)
 		lb.mu.Unlock()
 		p.localPuts.Add(1)
+		p.clearPressure()
 		return
 	}
 	lb.mu.Unlock()
@@ -196,6 +263,94 @@ func (p *Pool) Put(worker int, s *Stack) {
 	p.global = append(p.global, s)
 	p.mu.Unlock()
 	p.globalPuts.Add(1)
+	p.clearPressure()
+}
+
+// clearPressure releases the soft-cap latch once capacity is available
+// again (a stack returned to a free list, or Trim lowered the live count
+// below the cap).
+func (p *Pool) clearPressure() {
+	if p.cfg.CapMode == CapSoft {
+		p.pressure.Store(false)
+	}
+}
+
+// Trim destroys free stacks — global pool first, then the per-worker
+// buffers — until the live count is at or below floor or no free stacks
+// remain, and returns the number destroyed. Destroyed stacks give their
+// GlobalCap slots back, so a bounded pool regains allocation headroom;
+// their resident pages leave the RSS accounting. This is the governor's
+// memory-pressure reclamation hook; it contends only on the pool locks
+// and is safe concurrently with Get/Put.
+func (p *Pool) Trim(floor int) int {
+	if floor < 0 {
+		floor = 0
+	}
+	n := 0
+	for p.allocated.Load()-int64(n) > int64(floor) {
+		s := p.takeFree()
+		if s == nil {
+			break
+		}
+		if s.resident {
+			s.resident = false
+			p.addResident(-int64(len(s.data)))
+		}
+		s.pool = nil
+		s.data = nil
+		n++
+	}
+	if n > 0 {
+		p.allocated.Add(-int64(n))
+		p.trimmed.Add(int64(n))
+		p.clearPressure()
+	}
+	return n
+}
+
+// takeFree pops one free stack: global pool first (cheapest to shrink),
+// then the per-worker buffers.
+func (p *Pool) takeFree() *Stack {
+	p.mu.Lock()
+	if n := len(p.global); n > 0 {
+		s := p.global[n-1]
+		p.global[n-1] = nil
+		p.global = p.global[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	for i := range p.local {
+		lb := &p.local[i]
+		lb.mu.Lock()
+		if n := len(lb.stacks); n > 0 {
+			s := lb.stacks[n-1]
+			lb.stacks[n-1] = nil
+			lb.stacks = lb.stacks[:n-1]
+			lb.mu.Unlock()
+			return s
+		}
+		lb.mu.Unlock()
+	}
+	return nil
+}
+
+// FreeCount reports how many stacks currently sit in the free lists
+// (global plus per-worker). With no Get/Put in flight, Allocated minus
+// FreeCount is the number of stacks checked out — the leak reconciliation
+// the scheduler runs at Close.
+func (p *Pool) FreeCount() int {
+	n := 0
+	p.mu.Lock()
+	n += len(p.global)
+	p.mu.Unlock()
+	for i := range p.local {
+		lb := &p.local[i]
+		lb.mu.Lock()
+		n += len(lb.stacks)
+		lb.mu.Unlock()
+	}
+	return n
 }
 
 // release models madvise(MADV_FREE): account the pages out and do work
@@ -245,9 +400,11 @@ func (p *Pool) Stats() Stats {
 		FailedGets:    p.failedGets.Load(),
 		LocalPuts:     p.localPuts.Load(),
 		GlobalPuts:    p.globalPuts.Load(),
+		Trimmed:       p.trimmed.Load(),
 		MadviseCalls:  p.madviseCalls.Load(),
 		PageFaults:    p.pageFaults.Load(),
 		ResidentBytes: p.resident.Load(),
 		PeakRSSBytes:  p.peak.Load(),
+		Pressure:      p.pressure.Load(),
 	}
 }

@@ -1,0 +1,210 @@
+// Package governor provides a background memory-pressure governor for
+// long-lived runtimes: every tick it compares memory usage against a
+// budget and, under pressure, asks its owner to trim pooled resources
+// toward a floor. Like the stall watchdog it is deliberately
+// runtime-agnostic — usage, budget and trimming are injected as plain
+// closures — so it can be tested without a scheduler and reused by any
+// component that pools memory.
+//
+// The default probes read the Go runtime itself: usage from
+// runtime.ReadMemStats (heap plus goroutine stacks, the two classes the
+// scheduler's pools actually grow) and the budget from the process's
+// soft memory limit (debug.SetMemoryLimit), so a runtime governed with
+// a zero Budget automatically honours GOMEMLIMIT.
+package governor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Severity grades memory pressure.
+type Severity int
+
+const (
+	// Mild pressure: usage crossed the High fraction of the budget.
+	// Owners typically trim excess above a comfortable working set.
+	Mild Severity = iota + 1
+	// Severe pressure: usage reached the budget itself. Owners trim all
+	// the way down to their floor.
+	Severe
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	if s == Severe {
+		return "severe"
+	}
+	return "mild"
+}
+
+// Report describes one pressure evaluation that resulted in a trim.
+type Report struct {
+	Name      string    // Config.Name
+	Severity  Severity  // pressure grade that triggered the trim
+	Used      int64     // bytes in use at evaluation time
+	Budget    int64     // effective budget the usage was compared against
+	Reclaimed int       // items the Trim callback reported reclaimed
+	At        time.Time // evaluation time
+}
+
+// Config parameterises a Governor.
+type Config struct {
+	// Name labels reports (for log lines with several runtimes).
+	Name string
+	// Tick is the evaluation period (default 100ms).
+	Tick time.Duration
+	// Budget is the memory budget in bytes. Zero selects the process's
+	// soft memory limit via Limit; if that is unset too, the governor
+	// idles (no pressure is ever detected, trims never fire).
+	Budget int64
+	// High is the mild-pressure threshold as a fraction of the budget
+	// (default 0.85). Usage at or past the budget itself is severe.
+	High float64
+	// Usage returns the bytes currently in use. Nil selects the default
+	// probe (runtime.ReadMemStats: heap in use plus stack in use).
+	Usage func() int64
+	// Limit returns the budget to use when Budget is zero. Nil selects
+	// the default probe: the current debug.SetMemoryLimit value, or 0
+	// when the limit is effectively unset (math.MaxInt64).
+	Limit func() int64
+	// Trim is called under pressure and reclaims pooled resources,
+	// returning how many items it released. Required. It runs on the
+	// governor goroutine (or the Kick caller) and must be safe to call
+	// concurrently with the owner's normal operation.
+	Trim func(Severity) int
+	// OnTrim, if non-nil, observes each trim. Nil logs to stderr.
+	OnTrim func(Report)
+}
+
+// Governor is a running pressure monitor. Create with Start.
+type Governor struct {
+	cfg       Config
+	stop      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
+	trims     atomic.Int64
+	reclaimed atomic.Int64
+}
+
+// Start validates the configuration and launches the governor loop.
+func Start(cfg Config) (*Governor, error) {
+	if cfg.Trim == nil {
+		return nil, errors.New("governor: Config.Trim is required")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.High <= 0 || cfg.High >= 1 {
+		cfg.High = 0.85
+	}
+	if cfg.Usage == nil {
+		cfg.Usage = defaultUsage
+	}
+	if cfg.Limit == nil {
+		cfg.Limit = defaultLimit
+	}
+	g := &Governor{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go g.loop()
+	return g, nil
+}
+
+// Stop halts the governor and waits for its goroutine to exit. Safe to
+// call more than once.
+func (g *Governor) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+}
+
+// Trims returns the number of trims performed so far.
+func (g *Governor) Trims() int64 { return g.trims.Load() }
+
+// Reclaimed returns the total items reclaimed across all trims.
+func (g *Governor) Reclaimed() int64 { return g.reclaimed.Load() }
+
+// Kick runs one pressure evaluation synchronously and reports whether it
+// trimmed. Intended for tests and operator tooling; it uses the same
+// probes and callbacks as the background loop.
+func (g *Governor) Kick() (Report, bool) { return g.evaluate() }
+
+func (g *Governor) loop() {
+	defer close(g.done)
+	t := time.NewTicker(g.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.evaluate()
+		}
+	}
+}
+
+// evaluate compares usage against the effective budget and trims under
+// pressure.
+func (g *Governor) evaluate() (Report, bool) {
+	budget := g.cfg.Budget
+	if budget <= 0 {
+		budget = g.cfg.Limit()
+	}
+	if budget <= 0 {
+		return Report{}, false
+	}
+	used := g.cfg.Usage()
+	var sev Severity
+	switch {
+	case used >= budget:
+		sev = Severe
+	case float64(used) >= g.cfg.High*float64(budget):
+		sev = Mild
+	default:
+		return Report{}, false
+	}
+	n := g.cfg.Trim(sev)
+	g.trims.Add(1)
+	g.reclaimed.Add(int64(n))
+	rep := Report{
+		Name:      g.cfg.Name,
+		Severity:  sev,
+		Used:      used,
+		Budget:    budget,
+		Reclaimed: n,
+		At:        time.Now(),
+	}
+	if g.cfg.OnTrim != nil {
+		g.cfg.OnTrim(rep)
+	} else {
+		fmt.Fprintf(os.Stderr, "governor: %s pressure on %q (%d/%d bytes), reclaimed %d pooled items\n",
+			sev, rep.Name, used, budget, n)
+	}
+	return rep, true
+}
+
+// defaultUsage reads the two memory classes the scheduler's pools grow:
+// heap spans in use and goroutine stacks.
+func defaultUsage() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse + ms.StackInuse)
+}
+
+// defaultLimit reads the process soft memory limit without changing it.
+func defaultLimit() int64 {
+	l := debug.SetMemoryLimit(-1)
+	if l <= 0 || l == math.MaxInt64 {
+		return 0
+	}
+	return l
+}

@@ -1,0 +1,153 @@
+package governor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeEnv is a controllable usage/limit pair for deterministic tests.
+type fakeEnv struct {
+	used   atomic.Int64
+	budget atomic.Int64
+}
+
+func (f *fakeEnv) config(trim func(Severity) int, onTrim func(Report)) Config {
+	return Config{
+		Name:   "test",
+		Tick:   time.Hour, // background loop effectively disabled; tests drive Kick
+		Usage:  f.used.Load,
+		Limit:  f.budget.Load,
+		Trim:   trim,
+		OnTrim: onTrim,
+	}
+}
+
+func TestKickGradesSeverity(t *testing.T) {
+	var env fakeEnv
+	env.budget.Store(1000)
+	var sevs []Severity
+	g, err := Start(env.config(func(s Severity) int { sevs = append(sevs, s); return 3 }, func(Report) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	env.used.Store(100) // 10%: no pressure
+	if rep, trimmed := g.Kick(); trimmed {
+		t.Fatalf("trimmed at 10%% usage: %+v", rep)
+	}
+	env.used.Store(900) // 90% >= default High 0.85: mild
+	rep, trimmed := g.Kick()
+	if !trimmed || rep.Severity != Mild {
+		t.Fatalf("want mild trim at 90%%, got trimmed=%v %+v", trimmed, rep)
+	}
+	if rep.Used != 900 || rep.Budget != 1000 || rep.Reclaimed != 3 {
+		t.Fatalf("report fields wrong: %+v", rep)
+	}
+	env.used.Store(1000) // at the budget: severe
+	rep, trimmed = g.Kick()
+	if !trimmed || rep.Severity != Severe {
+		t.Fatalf("want severe trim at 100%%, got trimmed=%v %+v", trimmed, rep)
+	}
+	if len(sevs) != 2 || sevs[0] != Mild || sevs[1] != Severe {
+		t.Fatalf("trim severities = %v, want [mild severe]", sevs)
+	}
+	if g.Trims() != 2 || g.Reclaimed() != 6 {
+		t.Fatalf("Trims=%d Reclaimed=%d, want 2/6", g.Trims(), g.Reclaimed())
+	}
+}
+
+func TestExplicitBudgetOverridesLimit(t *testing.T) {
+	var env fakeEnv
+	env.budget.Store(10) // would be severe immediately
+	cfg := env.config(func(Severity) int { return 0 }, func(Report) {})
+	cfg.Budget = 1 << 40 // explicit budget wins; usage is far below it
+	env.used.Store(1 << 20)
+	g, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if rep, trimmed := g.Kick(); trimmed {
+		t.Fatalf("trimmed despite explicit headroom: %+v", rep)
+	}
+}
+
+func TestNoBudgetMeansIdle(t *testing.T) {
+	var env fakeEnv // budget 0, no limit
+	env.used.Store(1 << 40)
+	g, err := Start(env.config(func(Severity) int { return 1 }, func(Report) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	if _, trimmed := g.Kick(); trimmed {
+		t.Fatal("governor trimmed with no budget configured")
+	}
+}
+
+func TestBackgroundLoopTrims(t *testing.T) {
+	var env fakeEnv
+	env.budget.Store(100)
+	env.used.Store(100)
+	var mu sync.Mutex
+	var got []Report
+	cfg := env.config(func(Severity) int { return 1 }, func(r Report) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	cfg.Tick = time.Millisecond
+	g, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Trims() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never trimmed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("OnTrim never observed a report")
+	}
+	if got[0].Severity != Severe || got[0].Name != "test" {
+		t.Fatalf("first report = %+v", got[0])
+	}
+}
+
+func TestTrimRequired(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("Start accepted a config without Trim")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	var env fakeEnv
+	g, err := Start(env.config(func(Severity) int { return 0 }, func(Report) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	g.Stop() // second Stop must not panic or hang
+}
+
+func TestDefaultProbesSane(t *testing.T) {
+	// The default usage probe must report something positive (this test
+	// binary has a live heap) and the default limit probe must report 0
+	// when no memory limit is set, or the set limit otherwise.
+	if u := defaultUsage(); u <= 0 {
+		t.Fatalf("defaultUsage = %d, want > 0", u)
+	}
+	// Do not assert defaultLimit's value: the environment may set
+	// GOMEMLIMIT. It must simply not panic and not be negative.
+	if l := defaultLimit(); l < 0 {
+		t.Fatalf("defaultLimit = %d, want >= 0", l)
+	}
+}

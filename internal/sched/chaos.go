@@ -33,6 +33,18 @@ type Chaos struct {
 	// SyncDelay delays a parent just before the explicit-sync counter
 	// restore, racing it against late-joining children (Eq. 5's window).
 	SyncDelay int
+	// AllocFail makes Spawn behave as if the vessel budget were exhausted:
+	// the child runs inline on the caller's strand (the governor's
+	// degradation path, counted as a DegradedSpawn). Sound because inline
+	// execution preserves the fully-strict semantics by construction.
+	AllocFail int
+	// SyncVesselFail makes a suspending Sync behave as if no thief vessel
+	// were available within budget: the parent parks holding its own
+	// worker token and the last-joining child keeps its token and goes
+	// stealing (the TokenKeepSyncs path). Sound for the same reason — the
+	// handoff to a thief is a utilisation optimisation, not a correctness
+	// requirement.
+	SyncVesselFail int
 	// DelaySpins is the number of scheduler yields per injected delay
 	// (default 16).
 	DelaySpins int
@@ -82,6 +94,18 @@ func (rt *Runtime) chaosPrePopBottom(w int) {
 	if rt.chaosRoll(w, rt.cfg.Chaos.PopBottomDelay) {
 		rt.chaosDelay()
 	}
+}
+
+// chaosAllocFail reports whether Spawn must simulate vessel-budget
+// exhaustion and degrade inline.
+func (rt *Runtime) chaosAllocFail(w int) bool {
+	return rt.chaosRoll(w, rt.cfg.Chaos.AllocFail)
+}
+
+// chaosSyncVesselFail reports whether a suspending Sync must simulate a
+// failed thief-vessel acquisition and keep its token.
+func (rt *Runtime) chaosSyncVesselFail(w int) bool {
+	return rt.chaosRoll(w, rt.cfg.Chaos.SyncVesselFail)
 }
 
 // chaosPreSync runs the explicit-sync injections: the one-shot stall

@@ -87,8 +87,25 @@ type Config struct {
 	Join JoinKind
 	// Stacks configures the cactus stack pool. Workers and PerWorkerCap
 	// are filled in automatically; set GlobalCap for the Cilk Plus bounded
-	// mode and Madvise for the §V-B page-release experiment.
+	// mode (CapMode selects abort-style or soft degradation) and Madvise
+	// for the §V-B page-release experiment.
 	Stacks cactus.Config
+	// MaxVessels, if positive, is the hard budget on live vessel
+	// goroutines: the runtime never holds more than this many at once.
+	// Exhaustion degrades gracefully instead of aborting — Spawn runs the
+	// child inline on the caller's strand (counted as DegradedSpawns), and
+	// a Sync that cannot obtain a thief vessel suspends holding its own
+	// worker token (counted as TokenKeepSyncs) rather than allocating.
+	// Values below Workers are raised to Workers (the Run startup needs
+	// one vessel per token). Zero means unbounded.
+	MaxVessels int
+	// SoftMaxVessels, if positive, is the early-degradation watermark:
+	// once live vessels reach it, Spawn stops creating fresh vessels
+	// (degrading inline when the free lists miss) while Sync suspensions
+	// may still draw thief vessels up to MaxVessels — the headroom between
+	// the two keeps worker tokens stealing under load. Defaults to
+	// MaxVessels; clamped into [Workers, MaxVessels].
+	SoftMaxVessels int
 	// Seed seeds the per-worker steal RNGs (default 1).
 	Seed int64
 	// DequeCap is the initial deque capacity (default 256). For the
@@ -135,6 +152,18 @@ func (c *Config) fill() error {
 	c.Stacks.Workers = c.Workers
 	if c.Stacks.StackBytes <= 0 {
 		c.Stacks.StackBytes = 16 << 10
+	}
+	if c.MaxVessels > 0 && c.MaxVessels < c.Workers {
+		c.MaxVessels = c.Workers
+	}
+	if c.SoftMaxVessels <= 0 {
+		c.SoftMaxVessels = c.MaxVessels
+	}
+	if c.SoftMaxVessels > 0 && c.SoftMaxVessels < c.Workers {
+		c.SoftMaxVessels = c.Workers
+	}
+	if c.MaxVessels > 0 && c.SoftMaxVessels > c.MaxVessels {
+		c.SoftMaxVessels = c.MaxVessels
 	}
 	if c.ParkAfter == 0 {
 		c.ParkAfter = 512

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/apps"
+	"nowa/internal/deque"
+	"nowa/internal/governor"
+)
+
+func governRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	return MustNew(Config{Name: "nowa", Workers: 4, Deque: deque.CL, Join: WaitFree})
+}
+
+// TestGovernStatsReconcile checks the leak accounting on the healthy
+// path: after a run drains, every vessel and stack ever created is back
+// in a free list and the reconciliation reports zero leaked.
+func TestGovernStatsReconcile(t *testing.T) {
+	rt := governRuntime(t)
+	defer rt.Close()
+	app := apps.NewFib(apps.Test)
+	app.Prepare()
+	rt.Run(app.Run)
+	if err := app.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.VesselsPooled < 0 {
+		t.Fatal("VesselsPooled = -1 while idle, want a real count")
+	}
+	if st.VesselsLeaked != 0 {
+		t.Fatalf("VesselsLeaked = %d, want 0 (live=%d pooled=%d)", st.VesselsLeaked, st.VesselsLive, st.VesselsPooled)
+	}
+	if st.StacksLeaked != 0 {
+		t.Fatalf("StacksLeaked = %d, want 0", st.StacksLeaked)
+	}
+	if st.ScopesLeaked != 0 {
+		t.Fatalf("ScopesLeaked = %d, want 0", st.ScopesLeaked)
+	}
+}
+
+// TestGovernStatsMidRun checks that mid-run snapshots refuse to read the
+// owner-local caches: pooled reports -1 and no leak is computed.
+func TestGovernStatsMidRun(t *testing.T) {
+	rt := governRuntime(t)
+	defer rt.Close()
+	var st Stats
+	rt.Run(func(c api.Ctx) { st = rt.Stats() })
+	if st.VesselsPooled != -1 {
+		t.Fatalf("mid-run VesselsPooled = %d, want -1", st.VesselsPooled)
+	}
+	if st.VesselsLeaked != 0 {
+		t.Fatalf("mid-run VesselsLeaked = %d, want 0 (not computable)", st.VesselsLeaked)
+	}
+}
+
+// TestGovernTrimIdle trims an idle runtime all the way to one vessel and
+// proves it grows back on the next run, correct as ever.
+func TestGovernTrimIdle(t *testing.T) {
+	rt := governRuntime(t)
+	defer rt.Close()
+	app := apps.NewFib(apps.Test)
+	app.Prepare()
+	rt.Run(app.Run)
+	before := rt.Stats()
+	reclaimed := rt.TrimToward(1, 0)
+	st := rt.Stats()
+	if st.VesselsLive != 1 {
+		t.Fatalf("VesselsLive after idle trim = %d, want 1 (before: %d, reclaimed %d)",
+			st.VesselsLive, before.VesselsLive, reclaimed)
+	}
+	if st.VesselsTrimmed != before.VesselsLive-1 {
+		t.Fatalf("VesselsTrimmed = %d, want %d", st.VesselsTrimmed, before.VesselsLive-1)
+	}
+	if st.Stacks.Allocated != 0 {
+		t.Fatalf("stacks allocated after Trim(0) = %d, want 0", st.Stacks.Allocated)
+	}
+	// The runtime must be fully usable after a trim.
+	app.Prepare()
+	rt.Run(app.Run)
+	if err := app.Verify(); err != nil {
+		t.Fatalf("run after trim: %v", err)
+	}
+	if st := rt.Stats(); st.VesselsLeaked != 0 {
+		t.Fatalf("VesselsLeaked after regrow = %d, want 0", st.VesselsLeaked)
+	}
+}
+
+// TestGovernTrimMidRun hammers TrimToward concurrently with a live run:
+// mid-run trims may only touch the mutex-guarded global structures, and
+// must never deadlock or corrupt the computation.
+func TestGovernTrimMidRun(t *testing.T) {
+	rt := governRuntime(t)
+	defer rt.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.TrimToward(1, 1)
+				// Unthrottled trimming livelocks the run into pure
+				// vessel churn (every trimmed vessel is recreated at the
+				// next spawn); a governor ticks, it does not spin.
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		app := apps.NewFib(apps.Test)
+		app.Prepare()
+		rt.Run(app.Run)
+		if err := app.Verify(); err != nil {
+			t.Fatalf("run %d under concurrent trims: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := rt.Stats(); st.VesselsLeaked != 0 {
+		t.Fatalf("VesselsLeaked = %d after concurrent trims, want 0", st.VesselsLeaked)
+	}
+}
+
+// TestGovernTrimBudgetInteraction verifies that trimming returns budget
+// headroom: under a hard budget, trimmed vessels make room for fresh
+// creations (the CAS reservation must see the decremented live count).
+func TestGovernTrimBudgetInteraction(t *testing.T) {
+	rt := MustNew(Config{Name: "nowa", Workers: 2, Deque: deque.CL, Join: WaitFree, MaxVessels: 4})
+	defer rt.Close()
+	app := apps.NewFib(apps.Test)
+	app.Prepare()
+	rt.Run(app.Run)
+	rt.TrimToward(1, 0)
+	if st := rt.Stats(); st.VesselsLive != 1 {
+		t.Fatalf("VesselsLive = %d, want 1", st.VesselsLive)
+	}
+	app.Prepare()
+	rt.Run(app.Run)
+	if err := app.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.VesselHighWater > 4 {
+		t.Fatalf("high water %d exceeds budget 4 after trim/regrow", st.VesselHighWater)
+	}
+}
+
+// TestGovernStartGovernor runs the full loop against an impossible
+// one-byte budget (always severe pressure) and a floor of one: the
+// governor must trim the idle runtime down to a single vessel, report
+// its trims, and leave the runtime perfectly reusable.
+func TestGovernStartGovernor(t *testing.T) {
+	rt := governRuntime(t)
+	defer rt.Close()
+	app := apps.NewFib(apps.Test)
+	app.Prepare()
+	rt.Run(app.Run)
+
+	var mu sync.Mutex
+	var reports []governor.Report
+	g, err := rt.StartGovernor(GovernorConfig{
+		Tick:         time.Millisecond,
+		MemoryBudget: 1, // one byte: every evaluation is severe pressure
+		VesselFloor:  1,
+		StackFloor:   1,
+		OnTrim: func(r governor.Report) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().VesselsLive > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("governor did not trim to the floor: %+v", rt.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Stop()
+	if g.Trims() == 0 {
+		t.Fatal("governor reported zero trims")
+	}
+	mu.Lock()
+	n := len(reports)
+	last := reports[n-1]
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("OnTrim never called")
+	}
+	if last.Severity != governor.Severe {
+		t.Fatalf("severity = %v, want severe at a one-byte budget", last.Severity)
+	}
+	if !strings.Contains(last.Name, "nowa") {
+		t.Fatalf("report name = %q, want the runtime name", last.Name)
+	}
+	// Fully usable after the governor shrank it.
+	app.Prepare()
+	rt.Run(app.Run)
+	if err := app.Verify(); err != nil {
+		t.Fatalf("run after governor trims: %v", err)
+	}
+}
+
+// TestGovernGovernorDuringRuns keeps the governor live across real runs:
+// pressure trims race Run start/finish and the owner-local cache rule
+// (idle only, under govMu) must hold throughout.
+func TestGovernGovernorDuringRuns(t *testing.T) {
+	rt := governRuntime(t)
+	defer rt.Close()
+	g, err := rt.StartGovernor(GovernorConfig{
+		Tick:         time.Millisecond,
+		MemoryBudget: 1,
+		VesselFloor:  1,
+		StackFloor:   1,
+		OnTrim:       func(governor.Report) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	for i := 0; i < 10; i++ {
+		app := apps.NewQuicksort(apps.Test)
+		app.Prepare()
+		rt.Run(app.Run)
+		if err := app.Verify(); err != nil {
+			t.Fatalf("run %d with live governor: %v", i, err)
+		}
+	}
+	if st := rt.Stats(); st.VesselsLeaked != 0 {
+		t.Fatalf("VesselsLeaked = %d with live governor, want 0", st.VesselsLeaked)
+	}
+}
+
+// TestGovernTrimAfterClose: a straggling governor tick after Close must
+// be a no-op, not a crash or a double-stop.
+func TestGovernTrimAfterClose(t *testing.T) {
+	rt := governRuntime(t)
+	app := apps.NewFib(apps.Test)
+	app.Prepare()
+	rt.Run(app.Run)
+	rt.Close()
+	if n := rt.TrimToward(0, 0); n != 0 {
+		// Stacks may still trim (the pool has no closed state), but no
+		// vessel may be stopped twice.
+		if st := rt.Stats(); st.VesselsTrimmed != 0 {
+			t.Fatalf("trim after Close stopped %d vessels", st.VesselsTrimmed)
+		}
+	}
+}
+
+// TestGovernDumpStateIncludesBudget: the watchdog's diagnostic dump must
+// carry the new budget block.
+func TestGovernDumpStateIncludesBudget(t *testing.T) {
+	rt := MustNew(Config{Name: "nowa", Workers: 2, Deque: deque.CL, Join: WaitFree, MaxVessels: 4})
+	defer rt.Close()
+	var sb strings.Builder
+	rt.DumpState(&sb)
+	out := sb.String()
+	for _, want := range []string{"budget:", "highWater=", "syncLimit=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DumpState missing %q:\n%s", want, out)
+		}
+	}
+}

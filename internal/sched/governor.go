@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/cactus"
+	"nowa/internal/governor"
+)
+
+// Stats is a snapshot of the runtime's resource accounting: vessel
+// population and budget-degradation tallies, plus the stack pool's own
+// statistics. Returned by Stats.
+type Stats struct {
+	// VesselsLive is the number of vessel goroutines in existence
+	// (created minus trimmed).
+	VesselsLive int64
+	// VesselHighWater is the maximum VesselsLive ever reached.
+	VesselHighWater int64
+	// VesselsPooled counts the vessels sitting in free lists. It is only
+	// measurable while the runtime is idle (the owner-local caches are
+	// owner-only mid-run); during a Run it reports -1.
+	VesselsPooled int64
+	// VesselsTrimmed counts vessels retired by governor trims.
+	VesselsTrimmed int64
+	// VesselsLeaked is the idle-time reconciliation VesselsLive −
+	// VesselsPooled: vessels that were created but never made it back to
+	// a free list. Zero on every healthy path; nonzero means a scheduler
+	// bug (a lost resume or an unaccounted exit). Only computed when
+	// idle (0 mid-run).
+	VesselsLeaked int64
+	// ScopesLeaked counts overflow scopes abandoned to the garbage
+	// collector because a panic unwound past them while stolen children
+	// could still touch their joins — bounded, panic-path-only.
+	ScopesLeaked int64
+	// DegradedSpawns and TokenKeepSyncs mirror the trace counters of the
+	// same names: spawns run inline under budget/pressure, and sync
+	// suspensions that parked holding their worker token.
+	DegradedSpawns int64
+	TokenKeepSyncs int64
+	// StacksLeaked is the idle-time reconciliation of the stack pool:
+	// live stacks not sitting in a pool buffer. Only computed when idle.
+	StacksLeaked int64
+	// Stacks is the cactus pool's own snapshot.
+	Stacks cactus.Stats
+}
+
+// Stats returns the runtime's resource accounting. Safe to call at any
+// time; the pooled and leak reconciliations require the runtime to be
+// idle and report -1 / 0 respectively mid-run.
+func (rt *Runtime) Stats() Stats {
+	agg := rt.rec.Aggregate()
+	st := Stats{
+		VesselHighWater: rt.vHighWater.Load(),
+		VesselsPooled:   -1,
+		VesselsTrimmed:  rt.vTrimmed.Load(),
+		ScopesLeaked:    rt.scopesLeaked.Load(),
+		DegradedSpawns:  agg.DegradedSpawns,
+		TokenKeepSyncs:  agg.TokenKeepSyncs,
+		Stacks:          rt.pool.Stats(),
+	}
+	rt.govMu.Lock()
+	st.VesselsLive = rt.vLive.Load()
+	if !rt.running.Load() {
+		pooled := int64(rt.countPooledLocked())
+		st.VesselsPooled = pooled
+		st.VesselsLeaked = st.VesselsLive - pooled
+		st.StacksLeaked = st.Stacks.Allocated - int64(rt.pool.FreeCount())
+	}
+	rt.govMu.Unlock()
+	return st
+}
+
+// ResourceStats implements api.ResourceReporter: the flattened,
+// runtime-agnostic view of Stats.
+func (rt *Runtime) ResourceStats() api.ResourceStats {
+	st := rt.Stats()
+	return api.ResourceStats{
+		VesselsLive:     st.VesselsLive,
+		VesselHighWater: st.VesselHighWater,
+		VesselsTrimmed:  st.VesselsTrimmed,
+		VesselsLeaked:   st.VesselsLeaked,
+		StacksLive:      st.Stacks.Allocated,
+		StacksTrimmed:   st.Stacks.Trimmed,
+		StacksLeaked:    st.StacksLeaked,
+		DegradedSpawns:  st.DegradedSpawns,
+		TokenKeepSyncs:  st.TokenKeepSyncs,
+		ScopesLeaked:    st.ScopesLeaked,
+	}
+}
+
+// countPooledLocked sums the vessel free lists. Caller holds govMu and
+// the runtime is idle, which is what makes reading the owner-local
+// caches safe: no token holder exists, and Run start is held off.
+func (rt *Runtime) countPooledLocked() int {
+	rt.vglobal.mu.Lock()
+	n := len(rt.vglobal.free)
+	rt.vglobal.mu.Unlock()
+	for w := range rt.vlocal {
+		n += len(rt.vlocal[w].free)
+	}
+	return n
+}
+
+// TrimToward reclaims pooled resources toward the floors: pooled vessel
+// goroutines are stopped until VesselsLive would drop to vesselFloor,
+// and the stack pool is trimmed toward stackFloor live stacks. Busy
+// resources are never touched, so the floors are reached only as far as
+// the free lists allow. Safe to call at any time (mid-run trims are
+// restricted to the mutex-guarded global structures). Returns the
+// number of items reclaimed.
+func (rt *Runtime) TrimToward(vesselFloor, stackFloor int) int {
+	n := rt.trimVessels(vesselFloor)
+	n += rt.pool.Trim(stackFloor)
+	return n
+}
+
+// trimVessels stops pooled vessels until the live count reaches floor
+// or the reachable free lists run dry. The global overflow list is
+// mutex-guarded and fair game at any time; the owner-local caches are
+// only touched when the runtime is idle, under govMu, which holds off
+// the next Run start for the duration.
+func (rt *Runtime) trimVessels(floor int) int {
+	rt.govMu.Lock()
+	defer rt.govMu.Unlock()
+	rt.allMu.Lock()
+	closed := rt.closed
+	rt.allMu.Unlock()
+	if closed {
+		return 0
+	}
+	var victims []*vessel
+	above := func() bool {
+		return rt.vLive.Load()-int64(len(victims)) > int64(floor)
+	}
+	rt.vglobal.mu.Lock()
+	for above() {
+		n := len(rt.vglobal.free)
+		if n == 0 {
+			break
+		}
+		victims = append(victims, rt.vglobal.free[n-1])
+		rt.vglobal.free[n-1] = nil
+		rt.vglobal.free = rt.vglobal.free[:n-1]
+	}
+	rt.vglobal.mu.Unlock()
+	if !rt.running.Load() {
+		for w := range rt.vlocal {
+			lf := &rt.vlocal[w]
+			for above() {
+				n := len(lf.free)
+				if n == 0 {
+					break
+				}
+				victims = append(victims, lf.free[n-1])
+				lf.free[n-1] = nil
+				lf.free = lf.free[:n-1]
+			}
+		}
+	}
+	for _, v := range victims {
+		rt.stopVessel(v)
+	}
+	return len(victims)
+}
+
+// stopVessel retires one pooled vessel: removed from the all-vessels
+// registry (so Close will not double-stop it), told to exit, and
+// subtracted from the live count.
+func (rt *Runtime) stopVessel(v *vessel) {
+	rt.allMu.Lock()
+	for i, av := range rt.allVessels {
+		if av == v {
+			last := len(rt.allVessels) - 1
+			rt.allVessels[i] = rt.allVessels[last]
+			rt.allVessels[last] = nil
+			rt.allVessels = rt.allVessels[:last]
+			break
+		}
+	}
+	rt.allMu.Unlock()
+	v.disp = dispatch{stop: true}
+	v.pk.deliver()
+	rt.vLive.Add(-1)
+	rt.vTrimmed.Add(1)
+}
+
+// GovernorConfig parameterises StartGovernor.
+type GovernorConfig struct {
+	// Tick is the evaluation period (default 100ms).
+	Tick time.Duration
+	// MemoryBudget is the byte budget; zero honours the process's soft
+	// memory limit (GOMEMLIMIT / debug.SetMemoryLimit) and idles when
+	// neither is set.
+	MemoryBudget int64
+	// High is the mild-pressure fraction of the budget (default 0.85).
+	High float64
+	// VesselFloor is the live-vessel target under severe pressure
+	// (default Workers — one vessel per token, the minimum a Run needs).
+	// Mild pressure trims only down to twice the floor, keeping a warm
+	// working set.
+	VesselFloor int
+	// StackFloor is the live-stack target under severe pressure
+	// (default Workers); mild pressure trims to twice the floor.
+	StackFloor int
+	// OnTrim observes each trim (nil: log to stderr).
+	OnTrim func(governor.Report)
+}
+
+// StartGovernor attaches a memory-pressure governor to the runtime:
+// every tick it compares process memory usage against the budget and,
+// under pressure, trims the vessel free lists and the stack pool toward
+// the floors (severe pressure) or twice the floors (mild pressure).
+// Trimming never touches busy resources and is safe mid-run; the
+// owner-local caches are additionally reclaimed when the runtime is
+// idle. Stop the returned governor when done.
+func (rt *Runtime) StartGovernor(cfg GovernorConfig) (*governor.Governor, error) {
+	vf := cfg.VesselFloor
+	if vf <= 0 {
+		vf = rt.cfg.Workers
+	}
+	sf := cfg.StackFloor
+	if sf <= 0 {
+		sf = rt.cfg.Workers
+	}
+	return governor.Start(governor.Config{
+		Name:   rt.cfg.Name,
+		Tick:   cfg.Tick,
+		Budget: cfg.MemoryBudget,
+		High:   cfg.High,
+		Trim: func(sev governor.Severity) int {
+			vfloor, sfloor := vf, sf
+			if sev == governor.Mild {
+				vfloor, sfloor = 2*vf, 2*sf
+			}
+			return rt.TrimToward(vfloor, sfloor)
+		},
+		OnTrim: cfg.OnTrim,
+	})
+}

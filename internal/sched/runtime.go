@@ -32,6 +32,14 @@ type Runtime struct {
 	eventsOn   bool // cfg.Events != nil
 	chaosOn    bool // cfg.Chaos != nil
 	waitFree   bool // cfg.Join == WaitFree
+	softStacks bool // stack pool in soft-cap mode: Spawn polls pool.Pressure
+	budgetOn   bool // cfg.MaxVessels > 0: Sync takes the budget-aware path
+
+	// Cached vessel budgets (0 = unbounded): spawnLimit gates vessel
+	// creation on the Spawn path (SoftMaxVessels), syncLimit gates thief
+	// vessels drawn by suspending Syncs (MaxVessels).
+	spawnLimit int64
+	syncLimit  int64
 
 	deques    []deque.Deque[cont]
 	clDeques  []*deque.CLDeque[cont]  // non-nil iff cfg.Deque == CL: devirtualised hot path
@@ -47,6 +55,20 @@ type Runtime struct {
 	allMu      sync.Mutex
 	allVessels []*vessel
 	closed     bool
+
+	// Vessel accounting: live tracks goroutines in existence (created
+	// minus trimmed), highWater its maximum, trimmed the governor's
+	// reclamations, scopesLeaked the overflow scopes abandoned
+	// non-quiescent by panic unwinds (left to the garbage collector).
+	vLive        atomic.Int64
+	vHighWater   atomic.Int64
+	vTrimmed     atomic.Int64
+	scopesLeaked atomic.Int64
+
+	// govMu serialises governor trims (which touch the owner-local vessel
+	// caches when the runtime is idle) against Run start and Close; Run
+	// acquires it only for the instant of the running transition.
+	govMu sync.Mutex
 
 	running    atomic.Bool
 	done       atomic.Bool
@@ -103,6 +125,10 @@ func New(cfg Config) (*Runtime, error) {
 		eventsOn:   cfg.Events != nil,
 		chaosOn:    cfg.Chaos != nil,
 		waitFree:   cfg.Join == WaitFree,
+		softStacks: cfg.Stacks.GlobalCap > 0 && cfg.Stacks.CapMode == cactus.CapSoft,
+		budgetOn:   cfg.MaxVessels > 0,
+		spawnLimit: int64(cfg.SoftMaxVessels),
+		syncLimit:  int64(cfg.MaxVessels),
 		deques:     make([]deque.Deque[cont], cfg.Workers),
 		pool:       cactus.NewPool(cfg.Stacks),
 		rec:        trace.NewRecorder(cfg.Workers),
@@ -202,7 +228,13 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	if closed {
 		panic("sched: Run on closed Runtime")
 	}
-	if !rt.running.CompareAndSwap(false, true) {
+	// The running transition is taken under govMu so a governor trim that
+	// observed the runtime idle holds off Run start until it has finished
+	// with the owner-local vessel caches.
+	rt.govMu.Lock()
+	started := rt.running.CompareAndSwap(false, true)
+	rt.govMu.Unlock()
+	if !started {
 		panic("sched: concurrent Run on the same Runtime")
 	}
 	defer rt.running.Store(false)
@@ -325,6 +357,11 @@ func (rt *Runtime) Close() {
 	if rt.running.Load() {
 		panic("sched: Close during Run")
 	}
+	// govMu first (same order as the governor's trims) so a concurrent
+	// trim finishes before the shutdown broadcast; the free lists are
+	// left intact, so Stats can still reconcile leaks after Close.
+	rt.govMu.Lock()
+	defer rt.govMu.Unlock()
 	rt.allMu.Lock()
 	defer rt.allMu.Unlock()
 	if rt.closed {
@@ -372,7 +409,10 @@ func (rt *Runtime) DumpState(w io.Writer) {
 	rt.vglobal.mu.Lock()
 	pooled := len(rt.vglobal.free)
 	rt.vglobal.mu.Unlock()
-	fmt.Fprintf(w, "  vessels: %d created, %d pooled globally (owner-local caches not shown)\n", total, pooled)
+	fmt.Fprintf(w, "  vessels: %d registered, %d pooled globally (owner-local caches not shown)\n", total, pooled)
+	fmt.Fprintf(w, "  budget: live=%d highWater=%d trimmed=%d spawnLimit=%d syncLimit=%d scopesLeaked=%d\n",
+		rt.vLive.Load(), rt.vHighWater.Load(), rt.vTrimmed.Load(),
+		rt.spawnLimit, rt.syncLimit, rt.scopesLeaked.Load())
 	fmt.Fprintf(w, "  parked thieves: %d\n", rt.idle.waiters.Load())
 	fmt.Fprintf(w, "  counters: %+v\n", rt.rec.Aggregate())
 	fmt.Fprintf(w, "  stacks: %+v\n", rt.pool.Stats())

@@ -95,8 +95,15 @@ type scope struct {
 	p      *Proc
 	wfMode bool
 	done   bool // completed a Sync; slot reclaimable once it is the ring top
-	wf     core.WaitFreeJoin
-	lj     core.LockedJoin
+	// keepToken marks a suspension that parked holding its own worker
+	// token because no thief vessel fit the budget (see syncBudget). It
+	// is a plain bool: written by the parent strictly before SyncBegin,
+	// read by the last-joining child strictly after its OnChildJoin
+	// returned true, and those two are ordered by the join counter's
+	// atomics (wait-free mode) or the frame mutex (Fibril mode).
+	keepToken bool
+	wf        core.WaitFreeJoin
+	lj        core.LockedJoin
 }
 
 // rearm readies the inline join for a fresh spawn/sync round.
@@ -185,8 +192,28 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 		rt.runInline(p, fn)
 		return
 	}
+	if rt.softStacks && rt.pool.Pressure() {
+		// The stack pool's soft cap latched: shed parallelism until Put
+		// or a governor trim clears the pressure.
+		rt.degradeInline(p, fn)
+		return
+	}
+	if rt.chaosOn && rt.chaosAllocFail(p.worker) {
+		rt.degradeInline(p, fn)
+		return
+	}
 	w := p.worker
 	v := p.v
+
+	// Acquire the child's vessel *before* publishing the continuation:
+	// once pushed it can be stolen, so there is no sound way to back out
+	// into inline execution afterwards. A free-list hit pays no budget
+	// check at all; only fresh vessel creation is gated (SoftMaxVessels).
+	cv := rt.getVesselBudget(w, rt.spawnLimit)
+	if cv == nil {
+		rt.degradeInline(p, fn)
+		return
+	}
 	if rt.countersOn {
 		// Batched: folded into the worker blocks at strand end (see
 		// vessel.pend), keeping the per-spawn cost to plain increments.
@@ -204,7 +231,6 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 	rt.wakeThieves()
 
 	// The child executes next on this worker: hand over the token.
-	cv := rt.getVessel(w)
 	cv.disp = dispatch{fn: fn, parent: s, worker: w}
 	cv.pk.deliver()
 
@@ -222,6 +248,26 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
 	if rt.countersOn {
 		p.v.pend.InlineSpawns++
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rt.recordPanic(r)
+		}
+	}()
+	fn(p)
+}
+
+// degradeInline executes a spawned function on the caller's strand
+// because the resource governor said no: the vessel budget is exhausted,
+// the stack pool is under soft-cap pressure, or chaos simulated either.
+// Semantically this is the serial elision — fully strict, no parallelism
+// from this spawn — so degradation is always sound; only the counter
+// differs from runInline, keeping overload observable as DegradedSpawns.
+//
+//nowa:coldpath budget/pressure degradation only; mirrors runInline's panic fence
+func (rt *Runtime) degradeInline(p *Proc, fn func(api.Ctx)) {
+	if rt.countersOn {
+		p.v.pend.DegradedSpawns++
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -255,6 +301,13 @@ func (s *scope) Sync() {
 		s.release()
 		return
 	}
+	if rt.budgetOn || rt.chaosOn {
+		// Budget-aware (or chaos-instrumented) sync: the thief vessel
+		// must be acquired before SyncBegin so the keep-token decision
+		// is published in time for the last-joining child to see it.
+		s.syncBudget()
+		return
+	}
 	if s.syncBegin() {
 		s.rearm()
 		s.release()
@@ -274,6 +327,67 @@ func (s *scope) Sync() {
 	tv.pk.deliver()
 	p.v.pk.await()
 	p.worker = p.v.resumeTok.worker
+	if rt.eventsOn {
+		rt.cfg.Events.record(p.worker, EvSyncResume, 0)
+	}
+	s.rearm()
+	s.release()
+}
+
+// syncBudget is the budget-aware explicit sync. The thief vessel is
+// acquired (or refused) *before* SyncBegin so the keep-token decision is
+// published in time: the last-joining child reads keepToken immediately
+// after its OnChildJoin returns true, and the join counter's atomics (or
+// the frame mutex in Fibril mode) order this strand's write before that
+// read. When no vessel fits the hard budget (MaxVessels) the parent
+// parks holding its own worker token — the worker idles for the
+// remainder of this join, a bounded utilisation loss — and the last
+// child resumes it with the keep-your-token sentinel (worker −1),
+// continuing on its own token as a thief instead (see finishStrand).
+//
+//nowa:coldpath budget-mode explicit sync; the unbudgeted configuration never routes here and its hot path is untouched
+func (s *scope) syncBudget() {
+	p := s.p
+	rt := p.rt
+	w := p.worker
+	var tv *vessel
+	if rt.chaosOn && rt.chaosSyncVesselFail(w) {
+		// Simulated exhaustion: tv stays nil and the strand takes the
+		// token-keeping suspension below.
+	} else {
+		tv = rt.getVesselBudget(w, rt.syncLimit)
+	}
+	s.keepToken = tv == nil
+	if s.syncBegin() {
+		// The sync condition already holds: nobody suspends, and no
+		// child will read keepToken this round (they all joined before
+		// the counter hit zero).
+		s.keepToken = false
+		if tv != nil {
+			rt.freeVessel(tv, w)
+		}
+		s.rearm()
+		s.release()
+		return
+	}
+	if rt.countersOn {
+		p.v.pend.Suspensions++
+		if tv == nil {
+			p.v.pend.TokenKeepSyncs++
+		}
+	}
+	if rt.eventsOn {
+		rt.cfg.Events.record(w, EvSuspend, 0)
+	}
+	if tv != nil {
+		tv.disp = dispatch{worker: w}
+		tv.pk.deliver()
+	}
+	p.v.pk.await()
+	if rw := p.v.resumeTok.worker; rw >= 0 {
+		p.worker = rw
+	}
+	s.keepToken = false
 	if rt.eventsOn {
 		rt.cfg.Events.record(p.worker, EvSyncResume, 0)
 	}

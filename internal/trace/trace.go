@@ -17,6 +17,8 @@ import (
 type Counters struct {
 	Spawns          int64 // Spawn calls executed on this worker
 	InlineSpawns    int64 // Spawns degraded to inline execution (cancelled run)
+	DegradedSpawns  int64 // Spawns degraded inline by the resource governor (budget/pressure)
+	TokenKeepSyncs  int64 // sync suspensions that kept their token (no thief vessel in budget)
 	LocalResumes    int64 // popBottom hits: continuation not stolen
 	Steals          int64 // successful popTop operations
 	FailedSteals    int64 // empty, lost-race or chaos-failed popTop operations
@@ -36,6 +38,8 @@ type Counters struct {
 type WorkerCounters struct {
 	Spawns          atomic.Int64
 	InlineSpawns    atomic.Int64
+	DegradedSpawns  atomic.Int64
+	TokenKeepSyncs  atomic.Int64
 	LocalResumes    atomic.Int64
 	Steals          atomic.Int64
 	FailedSteals    atomic.Int64
@@ -56,6 +60,8 @@ func (w *WorkerCounters) Snapshot() Counters {
 	return Counters{
 		Spawns:          w.Spawns.Load(),
 		InlineSpawns:    w.InlineSpawns.Load(),
+		DegradedSpawns:  w.DegradedSpawns.Load(),
+		TokenKeepSyncs:  w.TokenKeepSyncs.Load(),
 		LocalResumes:    w.LocalResumes.Load(),
 		Steals:          w.Steals.Load(),
 		FailedSteals:    w.FailedSteals.Load(),
@@ -71,7 +77,7 @@ func (w *WorkerCounters) Snapshot() Counters {
 }
 
 // pad separates counter blocks by two cache lines to avoid false sharing,
-// including through the adjacent-line prefetcher (13 × 8 = 104 B of
+// including through the adjacent-line prefetcher (15 × 8 = 120 B of
 // counters, padded to 128 B). The compile-time guard below keeps the pad
 // honest when counters are added or removed.
 type paddedCounters struct {
@@ -109,6 +115,8 @@ func (r *Recorder) Aggregate() Counters {
 		b := r.blocks[i].Snapshot()
 		c.Spawns += b.Spawns
 		c.InlineSpawns += b.InlineSpawns
+		c.DegradedSpawns += b.DegradedSpawns
+		c.TokenKeepSyncs += b.TokenKeepSyncs
 		c.LocalResumes += b.LocalResumes
 		c.Steals += b.Steals
 		c.FailedSteals += b.FailedSteals
@@ -129,7 +137,8 @@ func (r *Recorder) Aggregate() Counters {
 // excluded: an idle or stuck thief fails steals forever without the
 // computation advancing, and the watchdog must tell those apart.
 func (c Counters) ProgressSum() int64 {
-	return c.Spawns + c.InlineSpawns + c.LocalResumes + c.Steals +
+	return c.Spawns + c.InlineSpawns + c.DegradedSpawns + c.TokenKeepSyncs +
+		c.LocalResumes + c.Steals +
 		c.ImplicitSyncs + c.ExplicitSyncs + c.Suspensions +
 		c.VesselDispatch + c.ThiefParks + c.ThiefWakeups
 }

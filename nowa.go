@@ -35,7 +35,9 @@ import (
 	"time"
 
 	"nowa/internal/api"
+	"nowa/internal/cactus"
 	"nowa/internal/childsteal"
+	"nowa/internal/deque"
 	"nowa/internal/omp"
 	"nowa/internal/sched"
 )
@@ -109,15 +111,14 @@ func Variants() []Variant {
 
 // New creates a runtime of the given variant with the given worker count.
 func New(v Variant, workers int) Runtime {
+	if cfg, ok := schedConfig(v, workers); ok {
+		rt, err := sched.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return rt
+	}
 	switch v {
-	case VariantNowa:
-		return sched.NewNowa(workers)
-	case VariantNowaTHE:
-		return sched.NewNowaTHE(workers)
-	case VariantFibril:
-		return sched.NewFibril(workers)
-	case VariantCilkPlus:
-		return sched.NewCilkPlus(workers)
 	case VariantTBB:
 		return childsteal.NewTBB(workers)
 	case VariantLibGOMP:
@@ -128,6 +129,87 @@ func New(v Variant, workers int) Runtime {
 		return omp.NewOMP(workers, omp.Tied)
 	}
 	panic("nowa: unknown variant " + v.String())
+}
+
+// schedConfig is the single source of truth mapping the four
+// continuation-stealing variants onto scheduler configurations; the
+// second result is false for the non-vessel comparators.
+func schedConfig(v Variant, workers int) (sched.Config, bool) {
+	switch v {
+	case VariantNowa:
+		return sched.Config{Name: "nowa", Workers: workers, Deque: deque.CL, Join: sched.WaitFree}, true
+	case VariantNowaTHE:
+		return sched.Config{Name: "nowa-the", Workers: workers, Deque: deque.THE, Join: sched.WaitFree}, true
+	case VariantFibril:
+		return sched.Config{Name: "fibril", Workers: workers, Deque: deque.THE, Join: sched.LockedFibril}, true
+	case VariantCilkPlus:
+		return sched.Config{Name: "cilkplus", Workers: workers, Deque: deque.THE, Join: sched.LockedFibril,
+			Stacks: cactus.Config{GlobalCap: 8 * workers}}, true
+	}
+	return sched.Config{}, false
+}
+
+// Limits bounds a runtime's resources. Exhaustion degrades gracefully —
+// spawns run inline on the caller's strand, preserving correctness while
+// shedding parallelism — instead of growing without bound or aborting.
+type Limits struct {
+	// MaxVessels is the hard budget on live execution goroutines
+	// (vessels); zero means unbounded. Values below the worker count are
+	// raised to it.
+	MaxVessels int
+	// SoftMaxVessels, if positive, makes Spawn stop creating fresh
+	// vessels early while syncs may still draw up to MaxVessels; the
+	// headroom keeps workers stealing under load. Defaults to
+	// MaxVessels.
+	SoftMaxVessels int
+	// MaxStacks bounds the cactus stack pool in soft mode: exhaustion
+	// latches a pressure signal that degrades new spawns to inline
+	// execution until stacks are returned or trimmed. Zero means
+	// unbounded.
+	MaxStacks int
+}
+
+// ResourceStats is a snapshot of a runtime's resource accounting; see
+// Resources.
+type ResourceStats = api.ResourceStats
+
+// HasVesselModel reports whether v is a continuation-stealing variant
+// with a vessel model — i.e. whether NewLimited accepts it and its
+// runtimes implement resource reporting.
+func HasVesselModel(v Variant) bool {
+	_, ok := schedConfig(v, 1)
+	return ok
+}
+
+// NewLimited creates a continuation-stealing runtime of the given
+// variant with resource bounds. Only the vessel-model variants
+// (VariantNowa, VariantNowaTHE, VariantFibril, VariantCilkPlus) can be
+// limited; NewLimited panics for the comparators without one.
+func NewLimited(v Variant, workers int, lim Limits) Runtime {
+	cfg, ok := schedConfig(v, workers)
+	if !ok {
+		panic("nowa: NewLimited requires a continuation-stealing variant (vessel model); got " + v.String())
+	}
+	cfg.MaxVessels = lim.MaxVessels
+	cfg.SoftMaxVessels = lim.SoftMaxVessels
+	if lim.MaxStacks > 0 {
+		cfg.Stacks.GlobalCap = lim.MaxStacks
+		cfg.Stacks.CapMode = cactus.CapSoft
+	}
+	rt, err := sched.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Resources reports a runtime's resource accounting when it keeps one
+// (the continuation-stealing runtimes do; the comparators report false).
+func Resources(rt Runtime) (ResourceStats, bool) {
+	if r, ok := rt.(api.ResourceReporter); ok {
+		return r.ResourceStats(), true
+	}
+	return ResourceStats{}, false
 }
 
 // Serial returns the serial elision: Spawn calls inline, Sync is a no-op.

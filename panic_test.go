@@ -89,6 +89,17 @@ func TestRuntimeUsableAfterPanic(t *testing.T) {
 			if got != 377 {
 				t.Fatalf("post-panic fib(14) = %d, want 377", got)
 			}
+			// And it must not have leaked vessels or stacks on the
+			// panic path: everything created was recycled. (Scope
+			// leaks are legal on panic unwinds and not asserted.)
+			if rs, ok := Resources(rt); ok {
+				if rs.VesselsLeaked != 0 {
+					t.Errorf("VesselsLeaked = %d after panic, want 0", rs.VesselsLeaked)
+				}
+				if rs.StacksLeaked != 0 {
+					t.Errorf("StacksLeaked = %d after panic, want 0", rs.StacksLeaked)
+				}
+			}
 		})
 	}
 }
