@@ -9,9 +9,9 @@ GO ?= go
 
 # The race-enabled stress subset, shared by `race` and `verify` so the
 # two gates cannot drift apart.
-RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload' ./...
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestReplay' ./...
 
-.PHONY: verify fmt build vet lint test race bench bench-all
+.PHONY: verify fmt build vet lint test race bench bench-all torture
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -57,3 +57,12 @@ bench:
 # bench-all runs the full paper benchmark suite once through.
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# torture validates the failure-capture pipeline against the planted
+# Chaos.LeakVessel bug, then soaks the scheduler for 30 seconds across
+# kernels x variants x chaos x budgets x deadlines, writing repro
+# bundles to torture-out/ on any invariant violation (see DESIGN.md §12
+# and `go run ./cmd/nowa-torture -h`).
+torture:
+	$(GO) run ./cmd/nowa-torture -selftest -out torture-out
+	$(GO) run ./cmd/nowa-torture -duration 30s -out torture-out

@@ -235,18 +235,32 @@ type overloadResult struct {
 	Resources  resourceSample `json:"resources"`
 }
 
+// replayOverheadResult is one variant's schedule-recording cost: the
+// single-worker Spawn/Sync round trip with the internal/replay recorder
+// attached versus detached. The delta is the per-decision logging cost
+// (a few packed atomic stores per spawn round trip).
+type replayOverheadResult struct {
+	Variant        string  `json:"variant"`
+	SpawnOffNsOp   float64 `json:"spawn_ns_per_op_record_off"`
+	SpawnOnNsOp    float64 `json:"spawn_ns_per_op_record_on"`
+	OverheadNsOp   float64 `json:"record_overhead_ns_per_op"`
+	SpawnAllocsOn  int64   `json:"spawn_allocs_per_op_record_on"`
+	SpawnAllocsOff int64   `json:"spawn_allocs_per_op_record_off"`
+}
+
 // microReport is the -json document.
 type microReport struct {
-	GeneratedBy string           `json:"generated_by"`
-	GoVersion   string           `json:"go_version"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
-	NumCPU      int              `json:"num_cpu"`
-	Scale       string           `json:"kernel_scale"`
-	Runs        int              `json:"kernel_runs"`
-	Notes       []string         `json:"notes"`
-	Micro       []microResult    `json:"micro"`
-	Kernels     []kernelResult   `json:"kernels"`
-	Overload    []overloadResult `json:"overload,omitempty"`
+	GeneratedBy    string                 `json:"generated_by"`
+	GoVersion      string                 `json:"go_version"`
+	GOMAXPROCS     int                    `json:"gomaxprocs"`
+	NumCPU         int                    `json:"num_cpu"`
+	Scale          string                 `json:"kernel_scale"`
+	Runs           int                    `json:"kernel_runs"`
+	Notes          []string               `json:"notes"`
+	Micro          []microResult          `json:"micro"`
+	Kernels        []kernelResult         `json:"kernels"`
+	Overload       []overloadResult       `json:"overload,omitempty"`
+	ReplayOverhead []replayOverheadResult `json:"replay_overhead,omitempty"`
 }
 
 // microNotes documents the methodology and the pre-change reference
@@ -285,6 +299,26 @@ func microSync(v nowa.Variant) testing.BenchmarkResult {
 		rt.Run(func(c nowa.Ctx) {
 			s := c.Scope()
 			for i := 0; i < b.N; i++ {
+				s.Sync()
+			}
+		})
+	})
+}
+
+// microSpawnRecording is microSpawn with a schedule recorder attached:
+// the same round trip, now logging popBottom outcomes into the replay
+// ring on every iteration.
+func microSpawnRecording(v nowa.Variant) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		rec := nowa.NewScheduleRecorder(1, 1<<12)
+		rt := nowa.NewInstrumented(v, 1, nowa.Instrument{Record: rec})
+		defer nowa.Close(rt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		rt.Run(func(c nowa.Ctx) {
+			for i := 0; i < b.N; i++ {
+				s := c.Scope()
+				s.Spawn(func(nowa.Ctx) {})
 				s.Sync()
 			}
 		})
@@ -352,6 +386,7 @@ func runMicro(variants []nowa.Variant, runs int, scale apps.Scale, jsonPath stri
 		}
 	}
 	runOverload(&rep, variants, runs, scale, workers)
+	runReplayOverhead(&rep, variants)
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -403,6 +438,37 @@ func runOverload(rep *microReport, variants []nowa.Variant, runs int, scale apps
 		fmt.Printf("  %-14s %10.4f s  hw=%d/%d degraded=%d keep-syncs=%d trimmed=%d\n",
 			o.Variant, o.MeanSec, sample.VesselHighWater, maxVessels,
 			sample.DegradedSpawns, sample.TokenKeepSyncs, sample.VesselsTrimmed)
+	}
+}
+
+// runReplayOverhead measures the spawn fast path with the schedule
+// recorder attached versus detached, per vessel-model variant: the
+// archived delta documents what turning on capture costs (and that it
+// stays allocation-free either way).
+func runReplayOverhead(rep *microReport, variants []nowa.Variant) {
+	var header bool
+	for _, v := range variants {
+		if !nowa.HasVesselModel(v) {
+			continue
+		}
+		if !header {
+			fmt.Printf("\nreplay recording overhead (1 worker):\n")
+			fmt.Printf("  %-14s %16s %16s %12s\n", "variant", "off ns/op", "on ns/op", "delta ns")
+			header = true
+		}
+		off := microSpawn(v)
+		on := microSpawnRecording(v)
+		r := replayOverheadResult{
+			Variant:        v.String(),
+			SpawnOffNsOp:   float64(off.T.Nanoseconds()) / float64(off.N),
+			SpawnOnNsOp:    float64(on.T.Nanoseconds()) / float64(on.N),
+			SpawnAllocsOn:  on.AllocsPerOp(),
+			SpawnAllocsOff: off.AllocsPerOp(),
+		}
+		r.OverheadNsOp = r.SpawnOnNsOp - r.SpawnOffNsOp
+		rep.ReplayOverhead = append(rep.ReplayOverhead, r)
+		fmt.Printf("  %-14s %16.1f %16.1f %12.1f\n",
+			r.Variant, r.SpawnOffNsOp, r.SpawnOnNsOp, r.OverheadNsOp)
 	}
 }
 

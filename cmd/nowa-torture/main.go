@@ -1,0 +1,622 @@
+// Command nowa-torture is the robustness soak driver: it cycles kernels ×
+// scheduler variants × worker counts × chaos seeds/intensities × resource
+// budgets × cancellation deadlines, continuously checking the scheduler's
+// invariants after every trial. Every trial runs with the schedule
+// recorder attached, so when an invariant breaks the tool already holds
+// the event log: it writes a repro bundle (config + seeds + schedule),
+// confirms the bundle replays to the same failure via Config.Replay, then
+// shrinks the trial — fewer workers, lower chaos rates, no budgets, no
+// deadline — to a minimal configuration that still fails, and writes the
+// minimal bundle next to the original.
+//
+// Modes:
+//
+//	nowa-torture -duration 30s -out torture-out   # soak (exit 1 on failure)
+//	nowa-torture -replay torture-out/x.bundle     # re-run a captured failure
+//	nowa-torture -selftest                        # pipeline check against the
+//	                                              # planted Chaos.LeakVessel bug
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"nowa/internal/apps"
+	"nowa/internal/cactus"
+	"nowa/internal/deque"
+	"nowa/internal/replay"
+	"nowa/internal/sched"
+)
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 30*time.Second, "soak duration")
+		seed       = flag.Int64("seed", 1, "trial-matrix seed")
+		out        = flag.String("out", "torture-out", "directory for repro bundles")
+		kernels    = flag.String("kernels", "fib,integrate,quicksort,nqueens", "comma-separated kernel list (test scale)")
+		variants   = flag.String("variants", "nowa,nowa-the,fibril,cilkplus", "comma-separated variant list")
+		maxWorkers = flag.Int("workers", runtime.NumCPU(), "cap on trial worker counts")
+		ringCap    = flag.Int("ring", 1<<15, "per-worker recorder capacity (events)")
+		replayPath = flag.String("replay", "", "replay a bundle instead of soaking")
+		selftest   = flag.Bool("selftest", false, "validate the capture→replay→shrink pipeline against the planted LeakVessel bug")
+		verbose    = flag.Bool("v", false, "log every trial")
+	)
+	flag.Parse()
+
+	switch {
+	case *replayPath != "":
+		os.Exit(replayBundle(*replayPath, *verbose))
+	case *selftest:
+		os.Exit(selfTest(*out, *ringCap))
+	default:
+		os.Exit(soak(soakConfig{
+			duration:   *duration,
+			seed:       *seed,
+			out:        *out,
+			kernels:    splitList(*kernels),
+			variants:   splitList(*variants),
+			maxWorkers: *maxWorkers,
+			ringCap:    *ringCap,
+			verbose:    *verbose,
+		}))
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// variantConfig maps a variant name from a trial or a bundle onto its
+// scheduler configuration — the same mapping the public nowa package
+// uses, restated here so a bundle is self-describing by name.
+func variantConfig(name string, workers int) (sched.Config, error) {
+	switch name {
+	case "nowa":
+		return sched.Config{Name: name, Workers: workers, Deque: deque.CL, Join: sched.WaitFree}, nil
+	case "nowa-the":
+		return sched.Config{Name: name, Workers: workers, Deque: deque.THE, Join: sched.WaitFree}, nil
+	case "fibril":
+		return sched.Config{Name: name, Workers: workers, Deque: deque.THE, Join: sched.LockedFibril}, nil
+	case "cilkplus":
+		return sched.Config{Name: name, Workers: workers, Deque: deque.THE, Join: sched.LockedFibril,
+			Stacks: cactus.Config{GlobalCap: 8 * workers}}, nil
+	}
+	return sched.Config{}, fmt.Errorf("unknown variant %q (want nowa, nowa-the, fibril or cilkplus)", name)
+}
+
+// chaosFromSpec converts a bundle's serialised chaos block back into the
+// scheduler's form; specFromChaos is its inverse. The two structs mirror
+// each other field for field (replay cannot import sched).
+func chaosFromSpec(s *replay.ChaosSpec) *sched.Chaos {
+	if s == nil {
+		return nil
+	}
+	return &sched.Chaos{
+		Seed: s.Seed, StealDelay: s.StealDelay, StealFail: s.StealFail,
+		PopBottomDelay: s.PopBottomDelay, SyncDelay: s.SyncDelay,
+		AllocFail: s.AllocFail, SyncVesselFail: s.SyncVesselFail,
+		LeakVessel: s.LeakVessel, DelaySpins: s.DelaySpins,
+	}
+}
+
+func specFromChaos(c *sched.Chaos) *replay.ChaosSpec {
+	if c == nil {
+		return nil
+	}
+	return &replay.ChaosSpec{
+		Seed: c.Seed, StealDelay: c.StealDelay, StealFail: c.StealFail,
+		PopBottomDelay: c.PopBottomDelay, SyncDelay: c.SyncDelay,
+		AllocFail: c.AllocFail, SyncVesselFail: c.SyncVesselFail,
+		LeakVessel: c.LeakVessel, DelaySpins: c.DelaySpins,
+	}
+}
+
+// buildConfig turns a trial description (which doubles as the bundle
+// metadata) into a runnable scheduler configuration.
+func buildConfig(m replay.Meta) (sched.Config, error) {
+	cfg, err := variantConfig(m.Variant, m.Workers)
+	if err != nil {
+		return sched.Config{}, err
+	}
+	cfg.Seed = m.Seed
+	cfg.DequeCap = m.DequeCap
+	cfg.MaxVessels = m.MaxVessels
+	cfg.SoftMaxVessels = m.SoftMaxVessels
+	if m.MaxStacks > 0 {
+		cfg.Stacks.GlobalCap = m.MaxStacks
+		cfg.Stacks.CapMode = cactus.CapSoft
+	}
+	cfg.ParkAfter = m.ParkAfter
+	cfg.Chaos = chaosFromSpec(m.Chaos)
+	return cfg, nil
+}
+
+// runTrial executes one trial and checks every invariant, returning ""
+// on a clean pass or a "class: detail" failure string. A non-nil rec is
+// attached for capture; a non-nil log drives the run via Config.Replay.
+func runTrial(m replay.Meta, rec *replay.Recorder, log *replay.Log) (failure string) {
+	cfg, err := buildConfig(m)
+	if err != nil {
+		return "config: " + err.Error()
+	}
+	cfg.Record = rec
+	cfg.Replay = log
+	rt, err := sched.New(cfg)
+	if err != nil {
+		return "config: " + err.Error()
+	}
+	defer rt.Close()
+	app, err := apps.ByName(m.Kernel, apps.Test)
+	if err != nil {
+		return "config: " + err.Error()
+	}
+	app.Prepare()
+
+	var runErr error
+	panicked := func() (p string) {
+		defer func() {
+			if r := recover(); r != nil {
+				p = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		if m.TimeoutMS > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(m.TimeoutMS)*time.Millisecond)
+			defer cancel()
+			runErr = rt.RunCtx(ctx, app.Run)
+		} else {
+			rt.Run(app.Run)
+		}
+		return ""
+	}()
+	if panicked != "" {
+		return panicked
+	}
+
+	// Serial equivalence: a run that was not cancelled must compute the
+	// serial answer, whatever the schedule and the (sound) chaos did.
+	if runErr == nil {
+		if err := app.Verify(); err != nil {
+			return "verify: " + err.Error()
+		}
+	}
+	// Token conservation: every worker token handed out came back.
+	if left := rt.DebugTokensLeft(); left != 0 {
+		return fmt.Sprintf("tokens: %d tokens unaccounted after Run", left)
+	}
+	// Quiescence: no continuation may survive in any deque.
+	for w := 0; w < m.Workers; w++ {
+		if n := rt.DebugDequeSize(w); n != 0 {
+			return fmt.Sprintf("quiescence: deque %d holds %d continuations after Run", w, n)
+		}
+	}
+	// Leak reconciliation: idle-time resource accounting must balance.
+	st := rt.Stats()
+	if st.VesselsLeaked != 0 {
+		return fmt.Sprintf("vessel-leak: %d vessels never returned to a free list", st.VesselsLeaked)
+	}
+	if st.StacksLeaked != 0 {
+		return fmt.Sprintf("stack-leak: %d stacks unaccounted", st.StacksLeaked)
+	}
+	if st.ScopesLeaked != 0 {
+		return fmt.Sprintf("scope-leak: %d scopes abandoned", st.ScopesLeaked)
+	}
+	// Counter conservation: every published continuation was either
+	// popped back or stolen. (Skipped under a deadline: cancellation
+	// legitimately redirects spawns inline mid-flight.)
+	if m.TimeoutMS == 0 {
+		c := rt.Counters()
+		if c.LocalResumes+c.Steals != c.Spawns {
+			return fmt.Sprintf("counters: LocalResumes(%d)+Steals(%d) != Spawns(%d)",
+				c.LocalResumes, c.Steals, c.Spawns)
+		}
+	}
+	return ""
+}
+
+// failureClass is the stable prefix of a failure string, used to decide
+// whether a rerun reproduced "the same" failure (details like leak
+// counts may vary across multi-worker schedules).
+func failureClass(f string) string {
+	if i := strings.IndexByte(f, ':'); i >= 0 {
+		return f[:i]
+	}
+	return f
+}
+
+// reproduces reports whether the trial still fails with the same class,
+// giving multi-worker trials a few attempts (their schedules are only
+// reproduced best-effort).
+func reproduces(m replay.Meta, class string, ringCap int) bool {
+	attempts := 1
+	if m.Workers > 1 {
+		attempts = 3
+	}
+	for i := 0; i < attempts; i++ {
+		rec := replay.NewRecorder(m.Workers, ringCap)
+		if f := runTrial(m, rec, nil); failureClass(f) == class {
+			return true
+		}
+	}
+	return false
+}
+
+// shrink reduces a failing trial toward a minimal one that still fails
+// with the same class: fewer workers, no deadline, no budgets, lower
+// chaos rates. Each reduction is kept only if the failure survives it.
+// The search is a bounded fixed-point pass over the reduction list.
+func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta {
+	budget := 64 // total candidate reruns
+	try := func(cand replay.Meta, what string) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if reproduces(cand, class, ringCap) {
+			if verbose {
+				fmt.Printf("  shrink: kept %s\n", what)
+			}
+			return true
+		}
+		return false
+	}
+	for changed := true; changed && budget > 0; {
+		changed = false
+		if m.Workers > 1 {
+			cand := m
+			cand.Workers = m.Workers / 2
+			if try(cand, fmt.Sprintf("workers %d -> %d", m.Workers, cand.Workers)) {
+				m = cand
+				changed = true
+			}
+		}
+		if m.TimeoutMS > 0 {
+			cand := m
+			cand.TimeoutMS = 0
+			if try(cand, "deadline dropped") {
+				m = cand
+				changed = true
+			}
+		}
+		if m.MaxVessels > 0 || m.SoftMaxVessels > 0 || m.MaxStacks > 0 {
+			cand := m
+			cand.MaxVessels, cand.SoftMaxVessels, cand.MaxStacks = 0, 0, 0
+			if try(cand, "budgets dropped") {
+				m = cand
+				changed = true
+			}
+		}
+		if m.ParkAfter != 0 || m.DequeCap != 0 {
+			cand := m
+			cand.ParkAfter, cand.DequeCap = 0, 0
+			if try(cand, "park/deque knobs reset") {
+				m = cand
+				changed = true
+			}
+		}
+		if m.Chaos != nil {
+			// Try dropping each injection outright, then halving it.
+			rates := []*int{
+				&m.Chaos.StealDelay, &m.Chaos.StealFail, &m.Chaos.PopBottomDelay,
+				&m.Chaos.SyncDelay, &m.Chaos.AllocFail, &m.Chaos.SyncVesselFail,
+				&m.Chaos.LeakVessel,
+			}
+			names := []string{"steal-delay", "steal-fail", "popbottom-delay",
+				"sync-delay", "alloc-fail", "sync-vessel-fail", "leak-vessel"}
+			for i, r := range rates {
+				if *r == 0 {
+					continue
+				}
+				cand := m
+				cc := *m.Chaos
+				cand.Chaos = &cc
+				ccRates := []*int{
+					&cc.StealDelay, &cc.StealFail, &cc.PopBottomDelay,
+					&cc.SyncDelay, &cc.AllocFail, &cc.SyncVesselFail,
+					&cc.LeakVessel,
+				}
+				*ccRates[i] = 0
+				if try(cand, "chaos "+names[i]+" dropped") {
+					m = cand
+					changed = true
+					continue
+				}
+				if *r > 1 {
+					*ccRates[i] = *r / 2
+					if try(cand, "chaos "+names[i]+" halved") {
+						m = cand
+						changed = true
+					}
+				}
+			}
+			if allZero(m.Chaos) {
+				m.Chaos = nil
+			}
+		}
+	}
+	return m
+}
+
+func allZero(c *replay.ChaosSpec) bool {
+	return c.StealDelay == 0 && c.StealFail == 0 && c.PopBottomDelay == 0 &&
+		c.SyncDelay == 0 && c.AllocFail == 0 && c.SyncVesselFail == 0 &&
+		c.LeakVessel == 0
+}
+
+// captureFailure re-runs a failing trial with a fresh recorder, writes
+// the repro bundle, and confirms the bundle replays to the same failure
+// class. Returns the bundle path ("" if the failure evaporated).
+func captureFailure(m replay.Meta, class, dir string, ringCap int, suffix string) (string, error) {
+	rec := replay.NewRecorder(m.Workers, ringCap)
+	f := runTrial(m, rec, nil)
+	if failureClass(f) != class {
+		// Flaky beyond the recorder's reach; try a couple more times.
+		for i := 0; i < 2 && failureClass(f) != class; i++ {
+			rec = replay.NewRecorder(m.Workers, ringCap)
+			f = runTrial(m, rec, nil)
+		}
+		if failureClass(f) != class {
+			return "", nil
+		}
+	}
+	m.Tool = "nowa-torture"
+	m.Scale = "test"
+	m.Failure = f
+	log := rec.Snapshot()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-%s-w%d-s%d%s.bundle", m.Kernel, m.Variant, m.Workers, m.Seed, suffix)
+	path := filepath.Join(dir, name)
+	if err := replay.SaveBundle(path, m, log); err != nil {
+		return "", err
+	}
+	// Confirm the bundle drives a rerun to the same failure class.
+	if rf := runTrial(m, nil, log); failureClass(rf) == class {
+		fmt.Printf("  bundle %s replays to the same failure (%s)\n", path, failureClass(rf))
+	} else {
+		fmt.Printf("  warning: bundle %s replayed to %q, captured %q\n", path, rf, f)
+	}
+	return path, nil
+}
+
+type soakConfig struct {
+	duration   time.Duration
+	seed       int64
+	out        string
+	kernels    []string
+	variants   []string
+	maxWorkers int
+	ringCap    int
+	verbose    bool
+}
+
+// splitmix64 steps the trial-matrix RNG.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// drawTrial picks one point in the trial matrix. Chaos.LeakVessel stays
+// zero here by design: it is the planted bug, exercised only by
+// -selftest, and arming it in the soak would make every trial fail.
+func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
+	pick := func(k int) int { return int(splitmix64(rng) % uint64(k)) }
+	workersChoices := []int{1, 2, 4, c.maxWorkers}
+	w := workersChoices[pick(len(workersChoices))]
+	if w > c.maxWorkers {
+		w = c.maxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	m := replay.Meta{
+		Tool:    "nowa-torture",
+		Kernel:  c.kernels[pick(len(c.kernels))],
+		Scale:   "test",
+		Variant: c.variants[pick(len(c.variants))],
+		Workers: w,
+		Seed:    int64(n)*37 + int64(pick(1024)) + 1,
+	}
+	switch pick(3) {
+	case 1: // light chaos
+		m.Chaos = &replay.ChaosSpec{
+			Seed:      int64(splitmix64(rng)%(1<<31) + 1),
+			StealFail: 16, PopBottomDelay: 16, SyncDelay: 16,
+			DelaySpins: 2,
+		}
+	case 2: // heavy chaos
+		m.Chaos = &replay.ChaosSpec{
+			Seed:       int64(splitmix64(rng)%(1<<31) + 1),
+			StealDelay: 64, StealFail: 128, PopBottomDelay: 128,
+			SyncDelay: 128, AllocFail: 64, SyncVesselFail: 64,
+			DelaySpins: 4,
+		}
+	}
+	switch pick(3) {
+	case 1:
+		m.MaxVessels = w + 2
+	case 2:
+		m.MaxVessels = 4 * w
+		m.SoftMaxVessels = 2 * w
+	}
+	if pick(4) == 1 {
+		m.MaxStacks = 4 * w
+	}
+	switch pick(4) {
+	case 1:
+		m.TimeoutMS = 1
+	case 2:
+		m.TimeoutMS = 5
+	}
+	if pick(4) == 1 {
+		m.ParkAfter = 64
+	}
+	return m
+}
+
+func trialLabel(m replay.Meta) string {
+	chaos := "chaos=off"
+	if m.Chaos != nil {
+		if m.Chaos.StealFail >= 128 {
+			chaos = "chaos=heavy"
+		} else {
+			chaos = "chaos=light"
+		}
+	}
+	return fmt.Sprintf("%s/%s w=%d seed=%d %s vessels=%d stacks=%d timeout=%dms",
+		m.Kernel, m.Variant, m.Workers, m.Seed, chaos, m.MaxVessels, m.MaxStacks, m.TimeoutMS)
+}
+
+func soak(c soakConfig) int {
+	sort.Strings(c.kernels)
+	for _, k := range c.kernels {
+		if _, err := apps.ByName(k, apps.Test); err != nil {
+			fmt.Fprintln(os.Stderr, "nowa-torture:", err)
+			return 2
+		}
+	}
+	for _, v := range c.variants {
+		if _, err := variantConfig(v, 1); err != nil {
+			fmt.Fprintln(os.Stderr, "nowa-torture:", err)
+			return 2
+		}
+	}
+	rng := uint64(c.seed)*0x9e3779b97f4a7c15 + 1
+	deadline := time.Now().Add(c.duration)
+	trials, failures := 0, 0
+	var bundles []string
+	for time.Now().Before(deadline) {
+		m := drawTrial(c, &rng, trials)
+		trials++
+		rec := replay.NewRecorder(m.Workers, c.ringCap)
+		f := runTrial(m, rec, nil)
+		if c.verbose {
+			status := "ok"
+			if f != "" {
+				status = "FAIL " + f
+			}
+			fmt.Printf("trial %4d: %s: %s\n", trials, trialLabel(m), status)
+		}
+		if f == "" {
+			continue
+		}
+		failures++
+		class := failureClass(f)
+		fmt.Printf("FAILURE in trial %d (%s): %s\n", trials, trialLabel(m), f)
+		path, err := captureFailure(m, class, c.out, c.ringCap, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nowa-torture: writing bundle:", err)
+		} else if path == "" {
+			fmt.Println("  failure did not reproduce under recapture; not shrinking")
+			continue
+		} else {
+			bundles = append(bundles, path)
+		}
+		min := shrink(m, class, c.ringCap, c.verbose)
+		fmt.Printf("  shrunk to: %s\n", trialLabel(min))
+		if minPath, err := captureFailure(min, class, c.out, c.ringCap, "-min"); err != nil {
+			fmt.Fprintln(os.Stderr, "nowa-torture: writing minimal bundle:", err)
+		} else if minPath != "" {
+			bundles = append(bundles, minPath)
+		}
+	}
+	fmt.Printf("nowa-torture: %d trials, %d failures in %v\n", trials, failures, c.duration)
+	if failures > 0 {
+		fmt.Println("repro bundles:")
+		for _, b := range bundles {
+			fmt.Println("  ", b)
+		}
+		return 1
+	}
+	return 0
+}
+
+// replayBundle loads a repro bundle and re-runs its trial with the
+// captured schedule log driving the scheduler. Exit 0 iff the recorded
+// failure class reproduces.
+func replayBundle(path string, verbose bool) int {
+	m, log, err := replay.LoadBundle(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowa-torture:", err)
+		return 2
+	}
+	fmt.Printf("replaying %s: %s\n", path, trialLabel(m))
+	if m.Failure != "" {
+		fmt.Printf("  captured failure: %s\n", m.Failure)
+	}
+	if verbose && log.Workers() > 0 {
+		evs := log.PerWorker[0]
+		n := 16
+		if len(evs) < n {
+			n = len(evs)
+		}
+		fmt.Printf("  worker 0 schedule tail: %s\n", replay.FormatEvents(evs[len(evs)-n:]))
+	}
+	f := runTrial(m, nil, log)
+	switch {
+	case f == "" && m.Failure == "":
+		fmt.Println("replay passed (bundle recorded no failure)")
+		return 0
+	case failureClass(f) == failureClass(m.Failure):
+		fmt.Printf("reproduced: %s\n", f)
+		return 0
+	default:
+		fmt.Printf("NOT reproduced: replay gave %q, bundle recorded %q\n", f, m.Failure)
+		return 1
+	}
+}
+
+// selfTest validates the whole pipeline against the planted
+// Chaos.LeakVessel bug: the trial must fail, the capture must replay to
+// the same failure, and the shrinker must keep a failing configuration.
+func selfTest(out string, ringCap int) int {
+	m := replay.Meta{
+		Tool: "nowa-torture", Kernel: "fib", Scale: "test", Variant: "nowa",
+		Workers: 1, Seed: 7,
+		Chaos: &replay.ChaosSpec{Seed: 11, LeakVessel: 24, DelaySpins: 1},
+	}
+	fmt.Printf("selftest trial: %s (planted leak-vessel bug armed)\n", trialLabel(m))
+	f := runTrial(m, replay.NewRecorder(1, ringCap), nil)
+	if failureClass(f) != "vessel-leak" {
+		fmt.Printf("selftest FAILED: planted bug gave %q, want a vessel-leak\n", f)
+		return 1
+	}
+	fmt.Printf("  trial fails as planted: %s\n", f)
+	path, err := captureFailure(m, "vessel-leak", out, ringCap, "-selftest")
+	if err != nil || path == "" {
+		fmt.Printf("selftest FAILED: could not capture bundle (path=%q err=%v)\n", path, err)
+		return 1
+	}
+	if rc := replayBundle(path, false); rc != 0 {
+		fmt.Println("selftest FAILED: bundle did not replay to the captured failure")
+		return 1
+	}
+	min := shrink(m, "vessel-leak", ringCap, true)
+	if !reproduces(min, "vessel-leak", ringCap) {
+		fmt.Println("selftest FAILED: shrunk trial no longer fails")
+		return 1
+	}
+	if min.Chaos == nil || min.Chaos.LeakVessel == 0 {
+		fmt.Println("selftest FAILED: shrinker dropped the injection that causes the failure")
+		return 1
+	}
+	fmt.Printf("  shrunk to: %s (leak-vessel rate %d)\n", trialLabel(min), min.Chaos.LeakVessel)
+	fmt.Println("selftest passed: capture, replay and shrink all work")
+	return 0
+}

@@ -1,25 +1,72 @@
 package api
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxSuppressedValues bounds how many suppressed panic values a
+// StrandPanic retains; later ones are counted but not kept.
+const MaxSuppressedValues = 4
 
 // StrandPanic wraps a panic that escaped a strand. Runtimes recover
 // panics inside spawned strands, let the fully-strict computation drain
 // (so every outstanding child still joins and the runtime stays usable),
 // and then re-panic with a StrandPanic from Run on the caller's
 // goroutine. The original stack trace is preserved for diagnosis.
+//
+// When several strands panic during the same Run, the first panic is the
+// one re-raised; the rest are tallied on it via Suppress so a
+// multi-strand failure is visible as such — Suppressed counts them and
+// SuppressedValues keeps the first MaxSuppressedValues of their values.
 type StrandPanic struct {
 	// Value is the original panic value.
 	Value any
 	// Stack is the panicking strand's stack trace.
 	Stack []byte
+	// Suppressed counts additional strand panics from the same Run that
+	// were dropped in favour of this (first) one.
+	Suppressed int
+	// SuppressedValues holds the values of the first few suppressed
+	// panics (at most MaxSuppressedValues), in arrival order.
+	SuppressedValues []any
+}
+
+// Suppress tallies one additional panic from the same Run, keeping its
+// value while fewer than MaxSuppressedValues are retained. The caller
+// must serialise Suppress calls (runtimes do, under their panic mutex).
+func (p *StrandPanic) Suppress(v any) {
+	p.Suppressed++
+	if len(p.SuppressedValues) < MaxSuppressedValues {
+		p.SuppressedValues = append(p.SuppressedValues, v)
+	}
 }
 
 // Error makes StrandPanic usable with recover-and-inspect error handling.
 func (p *StrandPanic) Error() string { return p.String() }
 
-// String formats the panic with its originating stack.
+// String formats the panic with its originating stack and any suppressed
+// co-panics.
 func (p *StrandPanic) String() string {
-	return fmt.Sprintf("panic in spawned strand: %v\n\nstrand stack:\n%s", p.Value, p.Stack)
+	var b strings.Builder
+	fmt.Fprintf(&b, "panic in spawned strand: %v", p.Value)
+	if p.Suppressed > 0 {
+		fmt.Fprintf(&b, " (+%d further strand panic(s) suppressed", p.Suppressed)
+		for i, v := range p.SuppressedValues {
+			if i == 0 {
+				b.WriteString(": ")
+			} else {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%v", v)
+		}
+		if p.Suppressed > len(p.SuppressedValues) {
+			b.WriteString("; …")
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, "\n\nstrand stack:\n%s", p.Stack)
+	return b.String()
 }
 
 // Unwrap exposes a wrapped error value, if the strand panicked with one.

@@ -198,13 +198,16 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	return nil
 }
 
-// containPanic records the first panic of the current Run; deferred
-// around every task execution and the root.
+// containPanic records the first panic of the current Run, tallying
+// later ones on it via StrandPanic.Suppress; deferred around every task
+// execution and the root.
 func (rt *Runtime) containPanic() {
 	if r := recover(); r != nil {
 		rt.panicMu.Lock()
 		if rt.panicked == nil {
 			rt.panicked = &api.StrandPanic{Value: r, Stack: debug.Stack()}
+		} else {
+			rt.panicked.Suppress(r)
 		}
 		rt.panicMu.Unlock()
 	}

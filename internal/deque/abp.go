@@ -77,18 +77,24 @@ func (d *ABPDeque[T]) PopBottom() (*T, bool) {
 
 // PopTop steals the oldest item. Thief-safe; false on empty or lost race.
 func (d *ABPDeque[T]) PopTop() (*T, bool) {
+	x, o := d.PopTopOutcome()
+	return x, o == StealHit
+}
+
+// PopTopOutcome is PopTop distinguishing empty from a lost age CAS.
+func (d *ABPDeque[T]) PopTopOutcome() (*T, StealOutcome) {
 	oldAge := d.age.Load()
 	top, tag := unpackAge(oldAge)
 	b := d.bot.Load()
 	if b <= int64(top) {
-		return nil, false
+		return nil, StealEmpty
 	}
 	x := d.slots[top].Load()
 	newAge := packAge(top+1, tag)
 	if d.age.CompareAndSwap(oldAge, newAge) {
-		return x, true
+		return x, StealHit
 	}
-	return nil, false
+	return nil, StealLost
 }
 
 // Size reports a best-effort element count.

@@ -101,17 +101,23 @@ func (d *CLDeque[T]) PopBottom() (*T, bool) {
 // PopTop steals the oldest item. Thief-safe. A false return means either
 // empty or a lost race.
 func (d *CLDeque[T]) PopTop() (*T, bool) {
+	x, o := d.PopTopOutcome()
+	return x, o == StealHit
+}
+
+// PopTopOutcome is PopTop distinguishing empty from a lost CAS race.
+func (d *CLDeque[T]) PopTopOutcome() (*T, StealOutcome) {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
-		return nil, false
+		return nil, StealEmpty
 	}
 	r := d.ring.Load()
 	x := r.get(t)
 	if !d.top.CompareAndSwap(t, t+1) {
-		return nil, false
+		return nil, StealLost
 	}
-	return x, true
+	return x, StealHit
 }
 
 // Size reports a best-effort element count.

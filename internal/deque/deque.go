@@ -22,6 +22,35 @@ package deque
 
 import "fmt"
 
+// StealOutcome classifies a PopTop attempt. The boolean PopTop collapses
+// "victim empty" and "lost a race" into one failure; schedule recording
+// wants them apart — an empty victim is a bad draw, a lost race is real
+// contention — so PopTopOutcome reports which it was.
+type StealOutcome uint8
+
+const (
+	// StealHit: an item was stolen.
+	StealHit StealOutcome = iota
+	// StealEmpty: the victim's deque was (observed) empty.
+	StealEmpty
+	// StealLost: an item was there but the attempt lost a race (CAS
+	// failure or owner conflict) and should be retried elsewhere.
+	StealLost
+)
+
+// String names the outcome.
+func (o StealOutcome) String() string {
+	switch o {
+	case StealHit:
+		return "hit"
+	case StealEmpty:
+		return "empty"
+	case StealLost:
+		return "lost"
+	}
+	return fmt.Sprintf("StealOutcome(%d)", int(o))
+}
+
 // Deque is a work-stealing deque of *T items. Items must be non-nil.
 type Deque[T any] interface {
 	// PushBottom appends an item at the bottom end. Owner-only.
@@ -34,6 +63,9 @@ type Deque[T any] interface {
 	// It reports false when the deque is empty or when the attempt lost a
 	// race and should be retried elsewhere.
 	PopTop() (*T, bool)
+	// PopTopOutcome is PopTop distinguishing the failure modes: the item
+	// is non-nil exactly when the outcome is StealHit.
+	PopTopOutcome() (*T, StealOutcome)
 	// Size reports the number of items currently in the deque. It is a
 	// best-effort snapshot, only exact when quiescent.
 	Size() int

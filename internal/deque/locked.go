@@ -39,16 +39,23 @@ func (d *LockedDeque[T]) PopBottom() (*T, bool) {
 
 // PopTop steals the oldest item.
 func (d *LockedDeque[T]) PopTop() (*T, bool) {
+	x, o := d.PopTopOutcome()
+	return x, o == StealHit
+}
+
+// PopTopOutcome is PopTop with the failure classified: under a full
+// mutex a failed steal can only mean an empty deque.
+func (d *LockedDeque[T]) PopTopOutcome() (*T, StealOutcome) {
 	d.mu.Lock()
 	if len(d.items) == 0 {
 		d.mu.Unlock()
-		return nil, false
+		return nil, StealEmpty
 	}
 	x := d.items[0]
 	d.items[0] = nil
 	d.items = d.items[1:]
 	d.mu.Unlock()
-	return x, true
+	return x, StealHit
 }
 
 // Size reports the element count.

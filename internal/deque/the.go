@@ -96,6 +96,14 @@ func (d *THEDeque[T]) PopTop() (*T, bool) {
 	return x, ok
 }
 
+// PopTopOutcome is PopTop distinguishing the failure modes.
+func (d *THEDeque[T]) PopTopOutcome() (*T, StealOutcome) {
+	d.mu.Lock()
+	x, o := d.PopTopLockedOutcome()
+	d.mu.Unlock()
+	return x, o
+}
+
 // Lock acquires the deque lock. Exposed so a Fibril-style scheduler can
 // overlap it with the frame lock during a steal (Listing 2 of the paper);
 // pair with Unlock around PopTopLocked.
@@ -106,16 +114,27 @@ func (d *THEDeque[T]) Unlock() { d.mu.Unlock() }
 
 // PopTopLocked is PopTop for callers already holding Lock.
 func (d *THEDeque[T]) PopTopLocked() (*T, bool) {
+	x, o := d.PopTopLockedOutcome()
+	return x, o == StealHit
+}
+
+// PopTopLockedOutcome is PopTopLocked distinguishing the failure modes:
+// an empty pre-check read from a head bump undone after conflicting with
+// the owner's concurrent PopBottom (the protocol's exception case).
+func (d *THEDeque[T]) PopTopLockedOutcome() (*T, StealOutcome) {
 	h := d.head.Load()
+	if h >= d.tail.Load() {
+		return nil, StealEmpty
+	}
 	d.head.Store(h + 1)
 	if h+1 > d.tail.Load() {
-		// Lost to the owner (or empty): undo.
+		// Lost to the owner: undo.
 		d.head.Store(h)
-		return nil, false
+		return nil, StealLost
 	}
 	s := *d.slots.Load()
 	x := s[h].Load()
-	return x, true
+	return x, StealHit
 }
 
 // Size reports a best-effort element count.

@@ -97,7 +97,8 @@ type runtimeIface interface {
 	recorder() *trace.Recorder
 }
 
-// panicBox collects the first strand panic of a Run for re-raising.
+// panicBox collects the first strand panic of a Run for re-raising;
+// later panics are tallied on it via StrandPanic.Suppress.
 type panicBox struct {
 	mu sync.Mutex
 	p  *api.StrandPanic
@@ -109,6 +110,8 @@ func (b *panicBox) contain() {
 		b.mu.Lock()
 		if b.p == nil {
 			b.p = &api.StrandPanic{Value: r, Stack: debug.Stack()}
+		} else {
+			b.p.Suppress(r)
 		}
 		b.mu.Unlock()
 	}

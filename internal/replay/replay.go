@@ -1,0 +1,529 @@
+// Package replay captures and replays the scheduler's nondeterministic
+// decisions: steal-victim draws, steal and popBottom outcomes, idle-park
+// transitions, sync suspensions, chaos rolls and governor kicks. Each
+// decision point is one fixed-size binary event in a per-worker ring, so
+// a failing run — a chaos stress hit, a -race report, a watchdog stall —
+// leaves behind a schedule log instead of evaporating with the process.
+//
+// The design follows the scheduler's owner-only discipline: worker w's
+// ring is written only by the strand holding token w (the same argument
+// that makes the victim RNGs and chaos streams synchronisation-free), so
+// recording is one packed store plus one position store per event. The
+// slots are typed atomics purely so diagnostic readers (DumpState, the
+// stall watchdog) may sample a ring mid-run without a data race; on the
+// write side they are uncontended. Recording allocates nothing: the
+// rings are sized at construction and overwrite their oldest events when
+// full (the drop count is kept, so a truncated log is detectable).
+//
+// A captured Log can drive a later run through sched.Config.Replay: per
+// worker, a Cursor feeds the recorded victim draws and chaos-roll
+// outcomes back into the scheduler in place of the live RNG streams.
+// Replay is exact for single-worker schedules (nothing else is
+// nondeterministic there) and best-effort for multi-worker ones — the OS
+// still interleaves workers, so cursors count divergences instead of
+// pretending otherwise.
+package replay
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind labels one recorded decision point or outcome.
+type Kind uint8
+
+const (
+	// KNone is the zero Kind; it never appears in a log.
+	KNone Kind = iota
+	// KRunStart marks a Run beginning (worker 0's stream).
+	KRunStart
+	// KRunEnd marks a Run completing (worker 0's stream).
+	KRunEnd
+	// KVictim is a bare steal-victim draw; Arg is the chosen victim. The
+	// scheduler folds the draw into the KSteal* outcome events instead of
+	// emitting this — every victim-bearing kind replays as a victim
+	// decision — but the kind is reserved for logs that record draws
+	// without outcomes.
+	KVictim
+	// KStealHit is a steal attempt whose popTop succeeded; Arg is the
+	// drawn victim. A decision: replay feeds the victim back in.
+	KStealHit
+	// KStealEmpty is a steal attempt that found the victim's deque empty;
+	// Arg is the drawn victim. A decision, like KStealHit.
+	KStealEmpty
+	// KStealLost is a steal attempt that lost a race (CAS failure or
+	// owner conflict); Arg is the drawn victim. A decision, like
+	// KStealHit.
+	KStealLost
+	// KPopHit is a popBottom hit at strand end (continuation not stolen).
+	KPopHit
+	// KPopMiss is a popBottom miss at strand end (implicit sync).
+	KPopMiss
+	// KPark is an idle thief parking past the fail threshold.
+	KPark
+	// KWake is a parked thief waking.
+	KWake
+	// KSuspend is a parent suspending at an explicit sync point.
+	KSuspend
+	// KResume is a suspended parent resuming; recorded on the worker
+	// token the parent resumed with.
+	KResume
+	// KBlocked marks a parker rendezvous that exhausted its spin budget
+	// and took the blocking channel path; Site is a Block* constant.
+	KBlocked
+	// KChaos is a chaos roll; Site is a Site* constant and Arg is 1 when
+	// the injection fired. A decision: replay feeds the outcome back in
+	// place of the chaos RNG draw.
+	KChaos
+	// KGov is a governor kick (external stream); Arg is the number of
+	// resources reclaimed, saturating at 65535.
+	KGov
+	// KPanic is a strand panic being recorded (external stream).
+	KPanic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KRunStart:
+		return "run-start"
+	case KRunEnd:
+		return "run-end"
+	case KVictim:
+		return "victim"
+	case KStealHit:
+		return "steal-hit"
+	case KStealEmpty:
+		return "steal-empty"
+	case KStealLost:
+		return "steal-lost"
+	case KPopHit:
+		return "pop-hit"
+	case KPopMiss:
+		return "pop-miss"
+	case KPark:
+		return "park"
+	case KWake:
+		return "wake"
+	case KSuspend:
+		return "suspend"
+	case KResume:
+		return "resume"
+	case KBlocked:
+		return "blocked"
+	case KChaos:
+		return "chaos"
+	case KGov:
+		return "gov-kick"
+	case KPanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+// Chaos roll sites, carried in the Site byte of KChaos events so a log
+// names the injection window each roll guarded.
+const (
+	// SiteStealFail guards the forced-failed-steal injection.
+	SiteStealFail uint8 = iota + 1
+	// SiteStealDelay guards the pre-popTop thief delay.
+	SiteStealDelay
+	// SitePopBottom guards the pre-popBottom finish-path delay.
+	SitePopBottom
+	// SiteSyncDelay guards the explicit-sync counter-restore delay.
+	SiteSyncDelay
+	// SiteAllocFail guards the simulated vessel-budget exhaustion.
+	SiteAllocFail
+	// SiteSyncVessel guards the simulated thief-vessel acquisition failure.
+	SiteSyncVessel
+	// SiteLeakVessel guards the deliberately unsound vessel-leak
+	// injection (the torture harness's planted bug).
+	SiteLeakVessel
+)
+
+// siteName names a chaos site for dumps.
+func siteName(s uint8) string {
+	switch s {
+	case SiteStealFail:
+		return "steal-fail"
+	case SiteStealDelay:
+		return "steal-delay"
+	case SitePopBottom:
+		return "pop-delay"
+	case SiteSyncDelay:
+		return "sync-delay"
+	case SiteAllocFail:
+		return "alloc-fail"
+	case SiteSyncVessel:
+		return "sync-vessel"
+	case SiteLeakVessel:
+		return "leak-vessel"
+	}
+	return fmt.Sprintf("site%d", s)
+}
+
+// Parker rendezvous sites, carried in the Site byte of KBlocked events.
+const (
+	// BlockSpawn: the spawning strand blocked awaiting its resume.
+	BlockSpawn uint8 = iota + 1
+	// BlockSync: a suspended parent blocked awaiting its last joiner.
+	BlockSync
+	// BlockDispatch: a pooled vessel blocked awaiting a dispatch.
+	BlockDispatch
+)
+
+// Event is one decoded schedule event. The wire form is a packed 4-byte
+// word (Kind<<24 | Site<<16 | Arg), which is also what the rings store.
+type Event struct {
+	// Kind is the event type.
+	Kind Kind
+	// Site qualifies the kind (chaos site, parker site; 0 otherwise).
+	Site uint8
+	// Arg carries kind-specific data (victim worker, roll outcome,
+	// reclaim count).
+	Arg uint16
+}
+
+// String formats the event compactly for dumps.
+func (e Event) String() string {
+	switch e.Kind {
+	case KVictim, KStealHit, KStealEmpty, KStealLost:
+		return fmt.Sprintf("%s(%d)", e.Kind, e.Arg)
+	case KChaos:
+		fired := "-"
+		if e.Arg != 0 {
+			fired = "+"
+		}
+		return fmt.Sprintf("chaos[%s]%s", siteName(e.Site), fired)
+	case KBlocked:
+		switch e.Site {
+		case BlockSpawn:
+			return "blocked[spawn]"
+		case BlockSync:
+			return "blocked[sync]"
+		case BlockDispatch:
+			return "blocked[dispatch]"
+		}
+		return "blocked"
+	case KGov:
+		return fmt.Sprintf("gov-kick(%d)", e.Arg)
+	}
+	return e.Kind.String()
+}
+
+// pack encodes an event into its 4-byte wire word.
+func pack(k Kind, site uint8, arg uint16) uint32 {
+	return uint32(k)<<24 | uint32(site)<<16 | uint32(arg)
+}
+
+// unpack decodes a wire word.
+func unpack(u uint32) Event {
+	return Event{Kind: Kind(u >> 24), Site: uint8(u >> 16), Arg: uint16(u)}
+}
+
+// ring is one worker's event buffer. pos counts every event ever
+// recorded; the slot index is pos&mask, so the ring keeps the newest
+// cap events and pos-cap is the implied drop count. The fields are
+// atomics only for race-free diagnostic sampling — each ring has exactly
+// one writer (the strand holding the worker's token, or the external
+// mutex holder) — and the struct is padded to two cache lines so
+// adjacent workers' rings never false-share.
+type ring struct {
+	ev  []atomic.Uint32
+	pos atomic.Uint64
+	_   [128 - 32]byte
+}
+
+// Recorder is a per-worker schedule log: workers+1 rings, the last being
+// the external stream for events raised off any worker token (governor
+// kicks, panic records), which is mutex-serialised since it has no
+// single owner.
+type Recorder struct {
+	rings   []ring
+	workers int
+	mask    uint64
+	extMu   sync.Mutex
+}
+
+// DefaultRingCap is the per-worker event capacity when NewRecorder is
+// given none. At 4 bytes per event a worker's ring costs 256 KiB.
+const DefaultRingCap = 1 << 16
+
+// externalRingCap bounds the external (off-token) stream; those events
+// are rare, so a small ring suffices.
+const externalRingCap = 1 << 10
+
+// NewRecorder creates a recorder for the given worker count. perWorkerCap
+// is the per-worker event capacity, rounded up to a power of two;
+// non-positive selects DefaultRingCap. Once full, a ring overwrites its
+// oldest events (see Log.Dropped).
+func NewRecorder(workers, perWorkerCap int) *Recorder {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorkerCap <= 0 {
+		perWorkerCap = DefaultRingCap
+	}
+	cap := 1
+	for cap < perWorkerCap {
+		cap <<= 1
+	}
+	r := &Recorder{
+		rings:   make([]ring, workers+1),
+		workers: workers,
+		mask:    uint64(cap - 1),
+	}
+	for w := 0; w < workers; w++ {
+		r.rings[w].ev = make([]atomic.Uint32, cap)
+	}
+	r.rings[workers].ev = make([]atomic.Uint32, externalRingCap)
+	return r
+}
+
+// Workers reports the worker count the recorder was built for.
+func (r *Recorder) Workers() int { return r.workers }
+
+// Record appends one event to worker w's ring. Owner-only: the caller
+// must hold worker w's token, exactly as for the scheduler's victim RNG.
+// It never allocates and never blocks — one packed store, one position
+// store.
+//
+//nowa:hotpath
+func (r *Recorder) Record(w int, k Kind, site uint8, arg uint16) {
+	rg := &r.rings[w]
+	p := rg.pos.Load()
+	rg.ev[p&r.mask].Store(pack(k, site, arg))
+	rg.pos.Store(p + 1)
+}
+
+// RecordExternal appends one event to the external stream — for events
+// raised off any worker token (governor trims, panic records). Mutex
+// serialised; never called from scheduler hot paths.
+//
+//nowa:coldpath external events are governor kicks and panic records, both rare and off the token-holding strands
+func (r *Recorder) RecordExternal(k Kind, site uint8, arg uint16) {
+	r.extMu.Lock()
+	rg := &r.rings[r.workers]
+	p := rg.pos.Load()
+	rg.ev[p&uint64(externalRingCap-1)].Store(pack(k, site, arg))
+	rg.pos.Store(p + 1)
+	r.extMu.Unlock()
+}
+
+// Total reports the number of events recorded across all streams,
+// including any that have since been overwritten.
+func (r *Recorder) Total() uint64 {
+	var n uint64
+	for i := range r.rings {
+		n += r.rings[i].pos.Load()
+	}
+	return n
+}
+
+// Reset discards all recorded events. The caller must guarantee no
+// recording is in flight (runtime idle).
+func (r *Recorder) Reset() {
+	for i := range r.rings {
+		r.rings[i].pos.Store(0)
+	}
+}
+
+// lastRing decodes the newest n events of one ring, oldest first.
+func (r *Recorder) lastRing(rg *ring, n int) []Event {
+	pos := rg.pos.Load()
+	cap := uint64(len(rg.ev))
+	avail := pos
+	if avail > cap {
+		avail = cap
+	}
+	if uint64(n) < avail {
+		avail = uint64(n)
+	}
+	out := make([]Event, 0, avail)
+	for i := pos - avail; i < pos; i++ {
+		out = append(out, unpack(rg.ev[i&(cap-1)].Load()))
+	}
+	return out
+}
+
+// LastEvents decodes the newest n events of worker w's ring, oldest
+// first. Safe to call mid-run (the slots are atomics); the result is a
+// best-effort snapshot, exact when the worker is quiescent. Worker
+// r.Workers() addresses the external stream.
+func (r *Recorder) LastEvents(w, n int) []Event {
+	if w < 0 || w >= len(r.rings) || n <= 0 {
+		return nil
+	}
+	return r.lastRing(&r.rings[w], n)
+}
+
+// FormatEvents renders a compact one-line summary of events for dumps.
+func FormatEvents(evs []Event) string {
+	if len(evs) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	for i, e := range evs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// Snapshot decodes the recorder into a Log. Call only when the observed
+// runtime is idle — mid-run snapshots see rings still being written.
+func (r *Recorder) Snapshot() *Log {
+	l := &Log{
+		PerWorker: make([][]Event, r.workers),
+		Dropped:   make([]uint64, r.workers),
+	}
+	for w := 0; w < r.workers; w++ {
+		rg := &r.rings[w]
+		pos := rg.pos.Load()
+		if cap := uint64(len(rg.ev)); pos > cap {
+			l.Dropped[w] = pos - cap
+		}
+		l.PerWorker[w] = r.lastRing(rg, len(rg.ev))
+	}
+	l.External = r.lastRing(&r.rings[r.workers], externalRingCap)
+	return l
+}
+
+// Log is a decoded schedule capture: per-worker event streams in
+// recording order (oldest first), the external stream, and the number of
+// events each worker's ring overwrote before the snapshot. A log with a
+// nonzero Dropped entry has lost its prefix and cannot drive an aligned
+// replay from the start of the run.
+type Log struct {
+	PerWorker [][]Event
+	External  []Event
+	Dropped   []uint64
+}
+
+// Workers reports the worker count the log was captured from.
+func (l *Log) Workers() int { return len(l.PerWorker) }
+
+// Total reports the number of events present in the log.
+func (l *Log) Total() int {
+	n := len(l.External)
+	for _, evs := range l.PerWorker {
+		n += len(evs)
+	}
+	return n
+}
+
+// Truncated reports whether any worker's ring overwrote events before
+// the snapshot (the log is missing its oldest entries).
+func (l *Log) Truncated() bool {
+	for _, d := range l.Dropped {
+		if d > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Cursors builds one replay cursor per worker over the log's streams.
+func (l *Log) Cursors() []Cursor {
+	cur := make([]Cursor, len(l.PerWorker))
+	for w := range cur {
+		cur[w].evs = l.PerWorker[w]
+	}
+	return cur
+}
+
+// Cursor replays one worker's decision stream. Decision events (victim
+// draws — KVictim or any KSteal* — and KChaos rolls) are consumed in
+// order; other events between them are skipped
+// — the replaying scheduler regenerates outcomes itself, and they need
+// not match when the OS interleaves a multi-worker run differently. A
+// requested decision that does not match the next recorded one is a
+// divergence: the cursor leaves the stream where it is, counts it, and
+// the scheduler falls back to its live RNG. Cursors are owner-only like
+// the rings they replay, and padded so adjacent workers' cursors never
+// false-share.
+type Cursor struct {
+	evs []Event
+	i   int
+	div int
+	_   [128 - 40]byte
+}
+
+// isVictimDecision reports whether a kind carries a replayable victim
+// draw: the bare draw or any steal attempt (the scheduler records the
+// draw and the outcome as one event).
+//
+//nowa:hotpath
+func isVictimDecision(k Kind) bool {
+	return k == KVictim || k == KStealHit || k == KStealEmpty || k == KStealLost
+}
+
+// nextDecision advances the cursor past non-decision events to the next
+// decision, returning false when the stream is exhausted.
+//
+//nowa:hotpath
+func (c *Cursor) nextDecision() (Event, bool) {
+	for c.i < len(c.evs) {
+		e := c.evs[c.i]
+		if isVictimDecision(e.Kind) || e.Kind == KChaos {
+			return e, true
+		}
+		c.i++
+	}
+	return Event{}, false
+}
+
+// NextVictim consumes the next recorded victim draw. ok is false when
+// the stream is exhausted or the next decision is not a victim draw
+// (a divergence; the caller falls back to its live RNG).
+//
+//nowa:hotpath
+func (c *Cursor) NextVictim() (victim int, ok bool) {
+	e, ok := c.nextDecision()
+	if !ok {
+		return 0, false
+	}
+	if !isVictimDecision(e.Kind) {
+		c.div++
+		return 0, false
+	}
+	c.i++
+	return int(e.Arg), true
+}
+
+// NextChaos consumes the next recorded chaos roll for the given site,
+// returning whether the injection fired. ok is false when the stream is
+// exhausted or the next decision is not a chaos roll at this site (a
+// divergence; the caller falls back to its live stream). A chaos roll at
+// the wrong site is consumed — the stream stays aligned site-for-site on
+// deterministic schedules, and skipping keeps replay moving when it is
+// not.
+//
+//nowa:hotpath
+func (c *Cursor) NextChaos(site uint8) (fired, ok bool) {
+	e, ok := c.nextDecision()
+	if !ok {
+		return false, false
+	}
+	if e.Kind != KChaos {
+		c.div++
+		return false, false
+	}
+	c.i++
+	if e.Site != site {
+		c.div++
+		return false, false
+	}
+	return e.Arg != 0, true
+}
+
+// Divergences reports how many requested decisions failed to match the
+// recorded stream. Read when the replayed run is idle.
+func (c *Cursor) Divergences() int { return c.div }
+
+// Remaining reports the number of events not yet consumed or skipped.
+func (c *Cursor) Remaining() int { return len(c.evs) - c.i }

@@ -3,14 +3,18 @@ package sched
 import (
 	"runtime"
 	"time"
+
+	"nowa/internal/replay"
 )
 
 // Chaos configures seeded, deterministic fault injection at the
 // protocol's race windows — the §III-C hazard analysis turned into a
-// stress harness. Every perturbation is *sound*: it only delays a strand
-// or abandons a steal attempt, both of which the protocol must tolerate
-// anyway, so any invariant violation the chaos suite surfaces is a real
-// scheduler bug, not an artifact of the injection.
+// stress harness. Every perturbation except LeakVessel is *sound*: it
+// only delays a strand or abandons a steal attempt, both of which the
+// protocol must tolerate anyway, so any invariant violation the chaos
+// suite surfaces is a real scheduler bug, not an artifact of the
+// injection. LeakVessel is the documented exception — a planted bug for
+// validating the failure-capture pipeline (see its comment).
 //
 // Rates are probabilities in units of 1/1024 per pass through the
 // corresponding window; the draws come from a dedicated per-worker
@@ -45,6 +49,15 @@ type Chaos struct {
 	// handoff to a thief is a utilisation optimisation, not a correctness
 	// requirement.
 	SyncVesselFail int
+	// LeakVessel is the one deliberately UNSOUND injection: with this
+	// probability a finishing vessel is dropped instead of returned to a
+	// free list, so the idle-time reconciliation reports VesselsLeaked >
+	// 0 — a real invariant violation, planted on purpose. It exists so
+	// the failure-capture pipeline (nowa-torture → repro bundle →
+	// Config.Replay) can be exercised end to end against a bug that is
+	// known to be there; it must stay zero in any suite that asserts the
+	// soundness property of the other injections.
+	LeakVessel int
 	// DelaySpins is the number of scheduler yields per injected delay
 	// (default 16).
 	DelaySpins int
@@ -58,14 +71,50 @@ type Chaos struct {
 func (ch *Chaos) enabled() bool { return ch != nil }
 
 // chaosRoll draws from worker w's chaos stream and reports whether an
-// injection with probability rate/1024 fires. Only the strand holding
-// token w calls this, so the stream needs no synchronisation (the token
-// handoff provides the happens-before edge, as with the victim RNGs).
-func (rt *Runtime) chaosRoll(w, rate int) bool {
+// injection with probability rate/1024 fires; site tags the injection
+// window for the schedule log. Only the strand holding token w calls
+// this, so the stream needs no synchronisation (the token handoff
+// provides the happens-before edge, as with the victim RNGs).
+//
+// A zero rate consumes nothing — neither the live stream nor the replay
+// cursor — so unconfigured injection points never perturb the alignment
+// between a capture and its replay.
+//
+// Under Config.Replay the recorded outcome substitutes for the RNG draw
+// (the live stream does not advance), which is what makes a captured
+// chaos failure reproducible under a different — or absent — live seed;
+// a cursor mismatch falls back to the live stream and is counted as a
+// divergence.
+//
+//nowa:hotpath
+func (rt *Runtime) chaosRoll(w, rate int, site uint8) bool {
 	if rate <= 0 {
 		return false
 	}
-	return int(rt.chaosRngs[w].next()&1023) < rate
+	if rt.replayOn {
+		if fired, ok := rt.repCur[w].NextChaos(site); ok {
+			if rt.recordOn {
+				rt.recordRoll(w, site, fired)
+			}
+			return fired
+		}
+	}
+	fired := int(rt.chaosRngs[w].next()&1023) < rate
+	if rt.recordOn {
+		rt.recordRoll(w, site, fired)
+	}
+	return fired
+}
+
+// recordRoll logs one chaos-roll outcome.
+//
+//nowa:hotpath
+func (rt *Runtime) recordRoll(w int, site uint8, fired bool) {
+	var arg uint16
+	if fired {
+		arg = 1
+	}
+	rt.rep.Record(w, replay.KChaos, site, arg)
 }
 
 // chaosDelay yields the strand DelaySpins times, long enough for a
@@ -80,32 +129,45 @@ func (rt *Runtime) chaosDelay() {
 // steal attempt must be abandoned as a forced failure.
 func (rt *Runtime) chaosPreSteal(w int) bool {
 	ch := rt.cfg.Chaos
-	if rt.chaosRoll(w, ch.StealFail) {
+	if rt.chaosRoll(w, ch.StealFail, replay.SiteStealFail) {
 		return true
 	}
-	if rt.chaosRoll(w, ch.StealDelay) {
+	if rt.chaosRoll(w, ch.StealDelay, replay.SiteStealDelay) {
 		rt.chaosDelay()
 	}
 	return false
 }
 
 // chaosPrePopBottom runs the finish-path injection before popBottom.
+//
+//nowa:hotpath
 func (rt *Runtime) chaosPrePopBottom(w int) {
-	if rt.chaosRoll(w, rt.cfg.Chaos.PopBottomDelay) {
+	if rt.chaosRoll(w, rt.cfg.Chaos.PopBottomDelay, replay.SitePopBottom) {
 		rt.chaosDelay()
 	}
 }
 
 // chaosAllocFail reports whether Spawn must simulate vessel-budget
 // exhaustion and degrade inline.
+//
+//nowa:hotpath
 func (rt *Runtime) chaosAllocFail(w int) bool {
-	return rt.chaosRoll(w, rt.cfg.Chaos.AllocFail)
+	return rt.chaosRoll(w, rt.cfg.Chaos.AllocFail, replay.SiteAllocFail)
 }
 
 // chaosSyncVesselFail reports whether a suspending Sync must simulate a
 // failed thief-vessel acquisition and keep its token.
 func (rt *Runtime) chaosSyncVesselFail(w int) bool {
-	return rt.chaosRoll(w, rt.cfg.Chaos.SyncVesselFail)
+	return rt.chaosRoll(w, rt.cfg.Chaos.SyncVesselFail, replay.SiteSyncVessel)
+}
+
+// chaosLeakVessel reports whether a finishing vessel must be dropped —
+// the planted leak (see Chaos.LeakVessel). Hot-path-gated like every
+// other injection: chaosOn is checked by the caller.
+//
+//nowa:hotpath
+func (rt *Runtime) chaosLeakVessel(w int) bool {
+	return rt.chaosRoll(w, rt.cfg.Chaos.LeakVessel, replay.SiteLeakVessel)
 }
 
 // chaosPreSync runs the explicit-sync injections: the one-shot stall
@@ -115,7 +177,7 @@ func (rt *Runtime) chaosPreSync(w int) {
 	if ch.SyncStall > 0 && rt.chaosStalled.CompareAndSwap(false, true) {
 		time.Sleep(ch.SyncStall)
 	}
-	if rt.chaosRoll(w, ch.SyncDelay) {
+	if rt.chaosRoll(w, ch.SyncDelay, replay.SiteSyncDelay) {
 		rt.chaosDelay()
 	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"nowa/internal/cactus"
 	"nowa/internal/deque"
+	"nowa/internal/replay"
 )
 
 // VictimPolicy selects how thieves pick victims.
@@ -127,6 +128,19 @@ type Config struct {
 	// race windows (see Chaos). The only cost when nil is one pointer
 	// check per injection point.
 	Chaos *Chaos
+	// Record, if non-nil, logs every nondeterministic scheduling decision
+	// — victim draws, steal and popBottom outcomes, thief park/wake,
+	// chaos rolls — into the recorder's per-worker rings (see
+	// internal/replay). Create it with replay.NewRecorder(Workers, cap);
+	// a worker-count mismatch is a configuration error. When nil the hot
+	// paths pay one cached bool test and nothing else.
+	Record *replay.Recorder
+	// Replay, if non-nil, drives victim selection and chaos rolls from a
+	// previously captured schedule log instead of the live RNG streams,
+	// turning a recorded failure into a deterministic rerun (exact for
+	// single-worker captures, best-effort otherwise — see
+	// Runtime.ReplayDivergences). The log's worker count must match.
+	Replay *replay.Log
 	// DisableCounters turns off the per-worker trace counters, removing
 	// the last few atomic adds from the spawn/sync fast path. Intended
 	// for microbenchmarks that measure the substrate floor; Counters()
@@ -178,6 +192,12 @@ func (c *Config) fill() error {
 			cc.DelaySpins = 16
 		}
 		c.Chaos = &cc
+	}
+	if c.Record != nil && c.Record.Workers() != c.Workers {
+		return fmt.Errorf("sched: Record built for %d workers, Config has %d", c.Record.Workers(), c.Workers)
+	}
+	if c.Replay != nil && c.Replay.Workers() != c.Workers {
+		return fmt.Errorf("sched: Replay log captured from %d workers, Config has %d", c.Replay.Workers(), c.Workers)
 	}
 	if c.Name == "" {
 		c.Name = fmt.Sprintf("%s+%s", c.Join, c.Deque)

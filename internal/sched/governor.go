@@ -6,6 +6,7 @@ import (
 	"nowa/internal/api"
 	"nowa/internal/cactus"
 	"nowa/internal/governor"
+	"nowa/internal/replay"
 )
 
 // Stats is a snapshot of the runtime's resource accounting: vessel
@@ -112,6 +113,15 @@ func (rt *Runtime) countPooledLocked() int {
 func (rt *Runtime) TrimToward(vesselFloor, stackFloor int) int {
 	n := rt.trimVessels(vesselFloor)
 	n += rt.pool.Trim(stackFloor)
+	if rt.recordOn && n > 0 {
+		// The governor goroutine holds no worker token, so the kick goes
+		// to the recorder's mutex-guarded external stream.
+		arg := n
+		if arg > 65535 {
+			arg = 65535
+		}
+		rt.rep.RecordExternal(replay.KGov, 0, uint16(arg))
+	}
 	return n
 }
 

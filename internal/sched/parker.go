@@ -86,14 +86,17 @@ func (p *parker) deliver() {
 	}
 }
 
-// await returns once an event has been delivered, consuming it.
+// await returns once an event has been delivered, consuming it. It
+// reports whether the owner exhausted its spin budget before the event
+// arrived — the schedule recorder's KBlocked signal; the steady-state
+// ladder always returns false.
 //
 //nowa:hotpath
-func (p *parker) await() {
+func (p *parker) await() bool {
 	for i := 0; i < parkerSpins; i++ {
 		if atomic.LoadUint32(&p.state) == parkerReady {
 			p.state = parkerIdle //nowa:plain-ok consume-side reset: the deliverer is done with the word, and the next deliverer is ordered behind seq-cst atomics the owner performs after consuming (see type comment)
-			return
+			return false
 		}
 		runtime.Gosched()
 	}
@@ -104,4 +107,5 @@ func (p *parker) await() {
 	// ready, or the wake receive ordered us after a deliver that saw
 	// waiting. Both ways the event is in; consume it.
 	p.state = parkerIdle //nowa:plain-ok consume-side reset after a delivered event, same argument as the spin-phase reset above
+	return true
 }

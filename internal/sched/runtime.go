@@ -13,6 +13,7 @@ import (
 	"nowa/internal/api"
 	"nowa/internal/cactus"
 	"nowa/internal/deque"
+	"nowa/internal/replay"
 	"nowa/internal/trace"
 	"nowa/internal/watchdog"
 )
@@ -34,6 +35,9 @@ type Runtime struct {
 	waitFree   bool // cfg.Join == WaitFree
 	softStacks bool // stack pool in soft-cap mode: Spawn polls pool.Pressure
 	budgetOn   bool // cfg.MaxVessels > 0: Sync takes the budget-aware path
+	recordOn   bool // cfg.Record != nil: schedule decisions logged
+	replayOn   bool // cfg.Replay != nil: decisions driven from a captured log
+	blockRecOn bool // recordOn && Workers > 1: KBlocked diagnostics (see note)
 
 	// Cached vessel budgets (0 = unbounded): spawnLimit gates vessel
 	// creation on the Spawn path (SoftMaxVessels), syncLimit gates thief
@@ -81,6 +85,16 @@ type Runtime struct {
 	chaosRngs    []rngState
 	chaosStalled atomic.Bool
 
+	// rep is the schedule recorder (cfg.Record), repCur the per-worker
+	// replay cursors rebuilt at each Run start from cfg.Replay. Both are
+	// owner-only like the RNG streams: worker w's ring and cursor are
+	// touched only by the strand holding token w. KBlocked (a parker
+	// rendezvous exhausting its spin budget) is the one timing-dependent
+	// event; it is suppressed at Workers==1 (blockRecOn) so single-worker
+	// captures stay byte-identical run to run.
+	rep    *replay.Recorder
+	repCur []replay.Cursor
+
 	panicMu  sync.Mutex
 	panicked *api.StrandPanic
 }
@@ -127,6 +141,10 @@ func New(cfg Config) (*Runtime, error) {
 		waitFree:   cfg.Join == WaitFree,
 		softStacks: cfg.Stacks.GlobalCap > 0 && cfg.Stacks.CapMode == cactus.CapSoft,
 		budgetOn:   cfg.MaxVessels > 0,
+		recordOn:   cfg.Record != nil,
+		replayOn:   cfg.Replay != nil,
+		blockRecOn: cfg.Record != nil && cfg.Workers > 1,
+		rep:        cfg.Record,
 		spawnLimit: int64(cfg.SoftMaxVessels),
 		syncLimit:  int64(cfg.MaxVessels),
 		deques:     make([]deque.Deque[cont], cfg.Workers),
@@ -246,6 +264,17 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	if rt.cfg.Events != nil {
 		rt.cfg.Events.reset()
 	}
+	if rt.replayOn {
+		// Fresh cursors per Run: the captured decision streams are
+		// consumed from their start each time.
+		rt.repCur = rt.cfg.Replay.Cursors()
+	}
+	if rt.recordOn {
+		// No token holder exists yet, so writing worker 0's ring here is
+		// ordered before everything the root strand records (the parker
+		// delivery below publishes it).
+		rt.rep.Record(0, replay.KRunStart, 0, 0)
+	}
 	stop := rt.cancel.Begin(ctx, rt.wakeThieves)
 	defer stop()
 
@@ -265,6 +294,10 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 		v.pk.deliver()
 	}
 	<-rt.finished
+	if rt.recordOn {
+		// Every token has retired, so worker 0's ring has no other writer.
+		rt.rep.Record(0, replay.KRunEnd, 0, 0)
+	}
 
 	// A strand panic is re-raised here, on the caller's goroutine, after
 	// the computation drained (every join completed, the runtime stays
@@ -282,13 +315,21 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	return nil
 }
 
-// recordPanic keeps the first strand panic of the current Run.
+// recordPanic keeps the first strand panic of the current Run; later
+// panics are tallied (and their first few values kept) on the survivor
+// via StrandPanic.Suppress, so a multi-strand failure is not silently
+// reported as a single one.
 func (rt *Runtime) recordPanic(v any) {
 	rt.panicMu.Lock()
 	if rt.panicked == nil {
 		rt.panicked = &api.StrandPanic{Value: v, Stack: debug.Stack()}
+	} else {
+		rt.panicked.Suppress(v)
 	}
 	rt.panicMu.Unlock()
+	if rt.recordOn {
+		rt.rep.RecordExternal(replay.KPanic, 0, 0)
+	}
 }
 
 // retireToken surrenders one worker token at shutdown; the last retirement
@@ -331,11 +372,18 @@ func (rt *Runtime) parkThief(w int) bool {
 	if rt.countersOn {
 		rt.rec.Worker(w).ThiefParks.Add(1)
 	}
+	if rt.recordOn {
+		// Owner-only: the parking strand still holds token w.
+		rt.rep.Record(w, replay.KPark, 0, 0)
+	}
 	ip.cond.Wait()
 	ip.waiters.Add(-1)
 	ip.mu.Unlock()
 	if rt.countersOn {
 		rt.rec.Worker(w).ThiefWakeups.Add(1)
+	}
+	if rt.recordOn {
+		rt.rep.Record(w, replay.KWake, 0, 0)
 	}
 	return true
 }
@@ -416,6 +464,34 @@ func (rt *Runtime) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "  parked thieves: %d\n", rt.idle.waiters.Load())
 	fmt.Fprintf(w, "  counters: %+v\n", rt.rec.Aggregate())
 	fmt.Fprintf(w, "  stacks: %+v\n", rt.pool.Stats())
+	if rt.recordOn {
+		// The newest schedule events per worker: a stall report shows how
+		// each worker got where it is stuck, not just that it is stuck.
+		const lastN = 8
+		for i := 0; i < rt.cfg.Workers; i++ {
+			fmt.Fprintf(w, "  schedule worker %d: %s\n", i, replay.FormatEvents(rt.rep.LastEvents(i, lastN)))
+		}
+		if ext := rt.rep.LastEvents(rt.cfg.Workers, lastN); len(ext) > 0 {
+			fmt.Fprintf(w, "  schedule external: %s\n", replay.FormatEvents(ext))
+		}
+	}
+}
+
+// ReplayDivergences reports how many decisions of the most recent Run
+// failed to match the configured replay log (the scheduler fell back to
+// its live RNGs there), and whether the runtime is replaying at all.
+// Zero on a single-worker replay of a single-worker capture; multi-worker
+// replays are best-effort and typically diverge once the OS interleaves
+// the workers differently. Read it when no Run is in flight.
+func (rt *Runtime) ReplayDivergences() (int64, bool) {
+	if !rt.replayOn {
+		return 0, false
+	}
+	var n int64
+	for i := range rt.repCur {
+		n += int64(rt.repCur[i].Divergences())
+	}
+	return n, true
 }
 
 // StartWatchdog attaches a stall watchdog to the runtime: every tick it

@@ -3,6 +3,7 @@ package sched
 import (
 	"nowa/internal/api"
 	"nowa/internal/core"
+	"nowa/internal/replay"
 )
 
 // Proc is the execution context of a strand (api.Ctx). It is bound to the
@@ -235,8 +236,12 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 	cv.pk.deliver()
 
 	// Park until the continuation is resumed.
-	v.pk.await()
+	blocked := v.pk.await()
 	p.worker = v.resumeTok.worker
+	if rt.blockRecOn && blocked {
+		// Recorded on the resuming token (which this strand now holds).
+		rt.rep.Record(p.worker, replay.KBlocked, replay.BlockSpawn, 0)
+	}
 }
 
 // runInline executes a spawned function on the caller's strand (the
@@ -322,13 +327,22 @@ func (s *scope) Sync() {
 	if rt.eventsOn {
 		rt.cfg.Events.record(p.worker, EvSuspend, 0)
 	}
+	if rt.recordOn {
+		rt.rep.Record(p.worker, replay.KSuspend, 0, 0)
+	}
 	tv := rt.getVessel(p.worker)
 	tv.disp = dispatch{worker: p.worker}
 	tv.pk.deliver()
-	p.v.pk.await()
+	blocked := p.v.pk.await()
 	p.worker = p.v.resumeTok.worker
 	if rt.eventsOn {
 		rt.cfg.Events.record(p.worker, EvSyncResume, 0)
+	}
+	if rt.recordOn {
+		if rt.blockRecOn && blocked {
+			rt.rep.Record(p.worker, replay.KBlocked, replay.BlockSync, 0)
+		}
+		rt.rep.Record(p.worker, replay.KResume, 0, 0)
 	}
 	s.rearm()
 	s.release()
@@ -379,17 +393,26 @@ func (s *scope) syncBudget() {
 	if rt.eventsOn {
 		rt.cfg.Events.record(w, EvSuspend, 0)
 	}
+	if rt.recordOn {
+		rt.rep.Record(w, replay.KSuspend, 0, 0)
+	}
 	if tv != nil {
 		tv.disp = dispatch{worker: w}
 		tv.pk.deliver()
 	}
-	p.v.pk.await()
+	blocked := p.v.pk.await()
 	if rw := p.v.resumeTok.worker; rw >= 0 {
 		p.worker = rw
 	}
 	s.keepToken = false
 	if rt.eventsOn {
 		rt.cfg.Events.record(p.worker, EvSyncResume, 0)
+	}
+	if rt.recordOn {
+		if rt.blockRecOn && blocked {
+			rt.rep.Record(p.worker, replay.KBlocked, replay.BlockSync, 0)
+		}
+		rt.rep.Record(p.worker, replay.KResume, 0, 0)
 	}
 	s.rearm()
 	s.release()

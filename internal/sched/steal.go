@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"nowa/internal/cactus"
+	"nowa/internal/deque"
+	"nowa/internal/replay"
 )
 
 // stealLoop is the quest for work: the strand holding token p.worker picks
@@ -53,15 +55,16 @@ func (rt *Runtime) stealLoop(p *Proc) {
 			preStack = s
 		}
 
-		var victim int
-		if rt.cfg.Victim == VictimRoundRobin {
-			rr++
-			victim = int(rr) % rt.cfg.Workers
-		} else {
-			victim = int(rng.next() % uint64(rt.cfg.Workers))
+		victim := rt.stealVictim(w, rng, &rr)
+		c, outcome := rt.popTopSteal(victim)
+		if rt.recordOn {
+			// One event per attempt: the outcome kind carries the victim,
+			// and replay consumes any steal event as the victim decision
+			// (replay.Cursor.NextVictim), so the draw needs no separate
+			// entry.
+			rt.rep.Record(w, stealOutcomeKind(outcome), 0, uint16(victim))
 		}
-		c, ok := rt.popTopSteal(victim)
-		if !ok {
+		if outcome != deque.StealHit {
 			if preStack != nil {
 				rt.pool.Put(w, preStack)
 			}
@@ -103,6 +106,34 @@ func (rt *Runtime) stealLoop(p *Proc) {
 	}
 }
 
+// stealVictim draws the next steal victim: from the replay cursor when a
+// captured schedule is driving the run (falling back to the live policy
+// on cursor exhaustion or divergence), otherwise from the configured
+// policy — the per-worker RNG or the round-robin cursor.
+func (rt *Runtime) stealVictim(w int, rng *rngState, rr *int) int {
+	if rt.replayOn {
+		if v, ok := rt.repCur[w].NextVictim(); ok && v >= 0 && v < rt.cfg.Workers {
+			return v
+		}
+	}
+	if rt.cfg.Victim == VictimRoundRobin {
+		*rr++
+		return *rr % rt.cfg.Workers
+	}
+	return int(rng.next() % uint64(rt.cfg.Workers))
+}
+
+// stealOutcomeKind maps a deque steal outcome onto its event kind.
+func stealOutcomeKind(o deque.StealOutcome) replay.Kind {
+	switch o {
+	case deque.StealHit:
+		return replay.KStealHit
+	case deque.StealLost:
+		return replay.KStealLost
+	}
+	return replay.KStealEmpty
+}
+
 // popTopSteal performs one steal attempt on the victim's deque, updating
 // the stolen scope's join state according to the configured protocol.
 //
@@ -114,28 +145,28 @@ func (rt *Runtime) stealLoop(p *Proc) {
 // pop and overlaps the frame lock, so a joiner that subsequently observes
 // the empty deque is ordered after the thief's count increment — the
 // hazardous race of §III-C is excluded by blocking, not transformed.
-func (rt *Runtime) popTopSteal(victim int) (*cont, bool) {
+func (rt *Runtime) popTopSteal(victim int) (*cont, deque.StealOutcome) {
 	if rt.cfg.Join == LockedFibril {
 		d := rt.theDeques[victim]
 		d.Lock()
-		c, ok := d.PopTopLocked()
-		if !ok {
+		c, o := d.PopTopLockedOutcome()
+		if o != deque.StealHit {
 			d.Unlock()
-			return nil, false
+			return nil, o
 		}
 		lj := &c.scope.lj
 		lj.Lock()
 		d.Unlock()
 		lj.OnStealLocked()
 		lj.Unlock()
-		return c, true
+		return c, deque.StealHit
 	}
-	c, ok := rt.deques[victim].PopTop()
-	if !ok {
-		return nil, false
+	c, o := rt.deques[victim].PopTopOutcome()
+	if o != deque.StealHit {
+		return nil, o
 	}
 	c.scope.wf.OnSteal()
-	return c, true
+	return c, deque.StealHit
 }
 
 // stealBackoff yields progressively: spin-yield first for low latency,

@@ -6,6 +6,7 @@ import (
 
 	"nowa/internal/api"
 	"nowa/internal/cactus"
+	"nowa/internal/replay"
 	"nowa/internal/trace"
 )
 
@@ -262,6 +263,13 @@ func (rt *Runtime) reserveVessel(limit int64) bool {
 //
 //nowa:hotpath
 func (rt *Runtime) freeVessel(v *vessel, w int) {
+	if rt.chaosOn && rt.chaosLeakVessel(w) {
+		// Planted bug (Chaos.LeakVessel): drop the vessel instead of
+		// pooling it. It stays counted live and registered in allVessels
+		// — Close still stops its goroutine — but never returns to a free
+		// list, so the idle reconciliation reports it leaked.
+		return
+	}
 	lf := &rt.vlocal[w]
 	if len(lf.free) < perWorkerVesselCap {
 		lf.free = append(lf.free, v) //nowa:hotpath-ok guarded by the cap check against the pre-sized backing array (New reserves perWorkerVesselCap); never reallocates
@@ -286,12 +294,17 @@ func (rt *Runtime) freeVesselGlobal(v *vessel) {
 // token away (see freeVessel).
 func (v *vessel) loop() {
 	for {
-		v.pk.await()
+		blocked := v.pk.await()
 		d := v.disp
 		if d.stop {
 			return
 		}
 		v.proc.worker = d.worker
+		if v.rt.blockRecOn && blocked {
+			// The dispatcher handed token d.worker to this vessel, so the
+			// ring write is owner-only.
+			v.rt.rep.Record(d.worker, replay.KBlocked, replay.BlockDispatch, 0)
+		}
 		if d.fn != nil {
 			v.runStrand(d)
 		} else {
@@ -382,6 +395,9 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 		if rt.eventsOn {
 			rt.cfg.Events.record(w, EvLocalResume, 0)
 		}
+		if rt.recordOn {
+			rt.rep.Record(w, replay.KPopHit, 0, 0)
+		}
 		rt.freeVessel(v, w)
 		c.v.resumeTok = token{worker: w}
 		c.v.pk.deliver()
@@ -393,6 +409,9 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 	}
 	if rt.eventsOn {
 		rt.cfg.Events.record(w, EvImplicitSync, 0)
+	}
+	if rt.recordOn {
+		rt.rep.Record(w, replay.KPopMiss, 0, 0)
 	}
 	if parent == nil {
 		// The root strand finished: the whole computation is done. Wake

@@ -168,3 +168,65 @@ func TestPanicWhileSiblingsRunEverywhere(t *testing.T) {
 		})
 	}
 }
+
+// TestPanicSuppressedCount: when several strands panic during one Run,
+// the first panic is re-raised and the rest are tallied on it —
+// Suppressed counts them all and SuppressedValues keeps the first
+// api.MaxSuppressedValues. Every variant's panic containment must feed
+// the tally.
+func TestPanicSuppressedCount(t *testing.T) {
+	const panickers = 6
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := New(v, 2)
+			defer Close(rt)
+			sp := recoverPanic(func() {
+				rt.Run(func(c Ctx) {
+					s := c.Scope()
+					for i := 0; i < panickers; i++ {
+						i := i
+						s.Spawn(func(Ctx) { panic(i) })
+					}
+					s.Sync()
+				})
+			})
+			if sp == nil {
+				t.Fatal("no StrandPanic propagated")
+			}
+			if sp.Suppressed != panickers-1 {
+				t.Errorf("Suppressed = %d, want %d", sp.Suppressed, panickers-1)
+			}
+			if len(sp.SuppressedValues) != api.MaxSuppressedValues {
+				t.Errorf("len(SuppressedValues) = %d, want %d",
+					len(sp.SuppressedValues), api.MaxSuppressedValues)
+			}
+			if !strings.Contains(sp.String(), "suppressed") {
+				t.Errorf("formatted panic does not mention suppression: %s", sp)
+			}
+		})
+	}
+}
+
+// TestPanicSingleHasNoSuppression: the common one-panic case keeps the
+// pre-existing format (no suppression note).
+func TestPanicSingleHasNoSuppression(t *testing.T) {
+	rt := New(VariantNowa, 2)
+	defer Close(rt)
+	sp := recoverPanic(func() {
+		rt.Run(func(c Ctx) {
+			s := c.Scope()
+			s.Spawn(func(Ctx) { panic(errors.New("lone")) })
+			s.Sync()
+		})
+	})
+	if sp == nil {
+		t.Fatal("no StrandPanic propagated")
+	}
+	if sp.Suppressed != 0 || len(sp.SuppressedValues) != 0 {
+		t.Errorf("single panic reports suppression: %+v", sp)
+	}
+	if strings.Contains(sp.String(), "suppressed") {
+		t.Errorf("single panic formatted with suppression note: %s", sp)
+	}
+}
