@@ -9,9 +9,9 @@ GO ?= go
 
 # The race-enabled stress subset, shared by `race` and `verify` so the
 # two gates cannot drift apart.
-RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestReplay' ./...
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestReplay|TestService|TestSubmit' ./...
 
-.PHONY: verify fmt build vet lint test race bench bench-all torture
+.PHONY: verify fmt build vet lint test race bench bench-all torture serve-smoke
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -66,3 +66,17 @@ bench-all:
 torture:
 	$(GO) run ./cmd/nowa-torture -selftest -out torture-out
 	$(GO) run ./cmd/nowa-torture -duration 30s -out torture-out
+
+# serve-smoke drives a short service-mode load sweep (~10s per variant):
+# open-loop arrival curves against the admission pipeline, checking the
+# overload-degradation and leak bars and writing BENCH_serve.json (see
+# DESIGN.md §13 and `go run ./cmd/nowa-serve -h` for the full harness).
+# The hard latency gate runs against the wait-free protagonist only:
+# the locked-join comparators can starve the dispatcher continuation
+# under sustained overload (DESIGN.md §13), so their curves are
+# measured via `nowa-bench -serve` (degradation reported, not fatal)
+# and their service correctness via the torture soak below.
+serve-smoke:
+	$(GO) run ./cmd/nowa-serve -variants nowa -policies failfast,shed \
+		-dur 300ms -points 6 -start-rate 1000 -json BENCH_serve.json
+	$(GO) run ./cmd/nowa-torture -service -duration 10s -out torture-out

@@ -23,6 +23,8 @@ import (
 
 	"nowa"
 	"nowa/internal/apps"
+	"nowa/internal/loadgen"
+	"nowa/internal/sched"
 	"nowa/internal/stats"
 )
 
@@ -33,12 +35,26 @@ func main() {
 	runs := flag.Int("runs", 5, "measured runs per configuration (one extra warm-up run)")
 	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or large")
 	micro := flag.Bool("micro", false, "measure scheduler micro-overheads (spawn/sync ns and allocs per op) plus the fib/nqueens/quicksort kernels instead of the speedup tables")
-	jsonFlag := flag.String("json", "", "with -micro: also write the results as JSON to this path")
+	serve := flag.Bool("serve", false, "run the service-mode arrival-rate sweep (admission/backpressure curves) instead of the speedup tables; writes BENCH_serve.json unless -json overrides")
+	serveDur := flag.Duration("serve-dur", time.Second, "with -serve: generation time per rate point")
+	jsonFlag := flag.String("json", "", "with -micro or -serve: also write the results as JSON to this path")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *serve {
+		variants, err := parseVariants(*variantsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		out := *jsonFlag
+		if out == "" {
+			out = "BENCH_serve.json"
+		}
+		runServe(variants, *serveDur, out)
+		return
 	}
 	if *micro {
 		variants, err := parseVariants(*variantsFlag)
@@ -323,6 +339,76 @@ func microSpawnRecording(v nowa.Variant) testing.BenchmarkResult {
 			}
 		})
 	})
+}
+
+// runServe is the -serve mode: the service-mode admission/backpressure
+// sweep, shared with cmd/nowa-serve (which exposes more knobs). Only
+// the vessel-model variants can serve; comparators are skipped.
+func runServe(variants []nowa.Variant, pointDur time.Duration, jsonPath string) {
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	const depth = 32
+	rep := loadgen.Report{
+		Workers:    workers,
+		Depth:      depth,
+		StartRate:  500,
+		PointDur:   pointDur.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	bad := 0
+	for _, v := range variants {
+		if !nowa.HasVesselModel(v) {
+			fmt.Printf("%s: no service mode (vessel model required), skipped\n", v)
+			continue
+		}
+		for _, pol := range []sched.OverloadPolicy{sched.OverloadFailFast, sched.OverloadShed} {
+			fmt.Printf("%s / %s:\n", v, pol)
+			curve, err := loadgen.Sweep(loadgen.SweepConfig{
+				MkRuntime: func() *sched.Runtime { return nowa.New(v, workers).(*sched.Runtime) },
+				Service:   sched.ServiceConfig{QueueDepth: depth, Policy: pol},
+				Variant:   v.String(),
+				Workers:   workers,
+				StartRate: rep.StartRate,
+				PointDur:  pointDur,
+				Retry:     true,
+				Logf: func(format string, args ...any) {
+					fmt.Printf(format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			leaks, degraded := loadgen.CheckCurve(curve)
+			for _, msg := range leaks {
+				fmt.Fprintf(os.Stderr, "  FAIL %s\n", msg)
+				bad++
+			}
+			// Degradation on the comparator variants is reported, not
+			// fatal: locked-join variants can starve the dispatcher
+			// continuation under sustained overload (see DESIGN.md §13);
+			// the hard latency gate lives in cmd/nowa-serve.
+			for _, msg := range degraded {
+				fmt.Fprintf(os.Stderr, "  WARN %s\n", msg)
+			}
+			rep.Curves = append(rep.Curves, curve)
+		}
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d curves)\n", jsonPath, len(rep.Curves))
+	if bad > 0 {
+		fatal(fmt.Errorf("%d degradation/leak check(s) failed", bad))
+	}
 }
 
 // microKernels are the end-to-end cross-check workloads.

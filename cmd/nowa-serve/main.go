@@ -1,0 +1,173 @@
+// Command nowa-serve is the service-mode load harness: it drives
+// open-loop arrival-rate curves against each continuation-stealing
+// variant's admission pipeline, locates the saturation knee, probes
+// overload at twice the knee, and writes the whole sweep to a JSON
+// report (BENCH_serve.json by default).
+//
+//	nowa-serve -variants nowa,fibril -policies failfast,shed -dur 1s
+//
+// The report records per point: offered vs admitted vs shed/rejected
+// counts, retried sheds, goodput, and p50/p99/p999 latency of admitted
+// work measured from the scheduled arrival time (coordinated-omission
+// aware). Graceful degradation holds when the overload probe's p99
+// stays within 3× of the uncontended baseline for FailFast/Shed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"nowa"
+	"nowa/internal/loadgen"
+	"nowa/internal/sched"
+)
+
+func main() {
+	variantsFlag := flag.String("variants", "nowa,nowa-the,fibril,cilkplus",
+		"comma-separated continuation-stealing variants to sweep")
+	policiesFlag := flag.String("policies", "block,failfast,shed",
+		"comma-separated overload policies to sweep")
+	workers := flag.Int("workers", defaultWorkers(), "worker count per runtime")
+	// The queue depth bounds worst-case queueing delay (≈ depth divided
+	// by the service rate); the default is sized for the latency bar
+	// rather than raw goodput.
+	depth := flag.Int("depth", 32, "admission queue depth")
+	dur := flag.Duration("dur", time.Second, "generation time per rate point")
+	startRate := flag.Float64("start-rate", 500, "lowest offered rate (submissions/s)")
+	points := flag.Int("points", 8, "max rate points per curve (each doubles the rate)")
+	iters := flag.Int("iters", 2000, "spin iterations per strand of the fork/join task")
+	submitters := flag.Int("submitters", 4, "producer goroutines")
+	retry := flag.Bool("retry", true, "retry refused/shed submissions once, honouring the hint")
+	jsonPath := flag.String("json", "BENCH_serve.json", "report output path (empty to skip)")
+	flag.Parse()
+
+	variants, err := parseVariants(*variantsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policies, err := parsePolicies(*policiesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := loadgen.Report{
+		Workers:    *workers,
+		Depth:      *depth,
+		StartRate:  *startRate,
+		PointDur:   dur.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	bad := 0
+	for _, v := range variants {
+		for _, pol := range policies {
+			fmt.Printf("%s / %s:\n", v, pol)
+			curve, err := loadgen.Sweep(loadgen.SweepConfig{
+				MkRuntime:  func() *sched.Runtime { return nowa.New(v, *workers).(*sched.Runtime) },
+				Service:    sched.ServiceConfig{QueueDepth: *depth, Policy: pol},
+				Variant:    v.String(),
+				Workers:    *workers,
+				StartRate:  *startRate,
+				MaxPoints:  *points,
+				PointDur:   *dur,
+				Submitters: *submitters,
+				Retry:      *retry,
+				TaskIters:  *iters,
+				Logf: func(format string, args ...any) {
+					fmt.Printf(format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			leaks, degraded := loadgen.CheckCurve(curve)
+			for _, msg := range append(leaks, degraded...) {
+				fmt.Fprintf(os.Stderr, "  FAIL %s\n", msg)
+				bad++
+			}
+			rep.Curves = append(rep.Curves, curve)
+		}
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d curves)\n", *jsonPath, len(rep.Curves))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "nowa-serve: %d degradation/leak check(s) failed\n", bad)
+		os.Exit(1)
+	}
+}
+
+func parseVariants(s string) ([]nowa.Variant, error) {
+	byName := map[string]nowa.Variant{}
+	for _, v := range nowa.Variants() {
+		byName[v.String()] = v
+	}
+	var out []nowa.Variant
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		v, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown variant %q", name)
+		}
+		if !nowa.HasVesselModel(v) {
+			return nil, fmt.Errorf("variant %q has no service mode (vessel model required)", name)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no variants selected")
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]sched.OverloadPolicy, error) {
+	var out []sched.OverloadPolicy
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "":
+		case "block":
+			out = append(out, sched.OverloadBlock)
+		case "failfast":
+			out = append(out, sched.OverloadFailFast)
+		case "shed":
+			out = append(out, sched.OverloadShed)
+		default:
+			return nil, fmt.Errorf("unknown policy %q (want block, failfast, shed)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies selected")
+	}
+	return out, nil
+}
+
+func defaultWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nowa-serve:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +27,11 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"nowa/internal/api"
 	"nowa/internal/apps"
 	"nowa/internal/cactus"
 	"nowa/internal/deque"
@@ -46,6 +50,7 @@ func main() {
 		ringCap    = flag.Int("ring", 1<<15, "per-worker recorder capacity (events)")
 		replayPath = flag.String("replay", "", "replay a bundle instead of soaking")
 		selftest   = flag.Bool("selftest", false, "validate the capture→replay→shrink pipeline against the planted LeakVessel bug")
+		service    = flag.Bool("service", false, "soak service mode instead of batch runs: concurrent submissions with mixed deadlines, priorities, panics and admission chaos, checking drain quiescence and accounting")
 		verbose    = flag.Bool("v", false, "log every trial")
 	)
 	flag.Parse()
@@ -64,6 +69,7 @@ func main() {
 			variants:   splitList(*variants),
 			maxWorkers: *maxWorkers,
 			ringCap:    *ringCap,
+			service:    *service,
 			verbose:    *verbose,
 		}))
 	}
@@ -108,7 +114,7 @@ func chaosFromSpec(s *replay.ChaosSpec) *sched.Chaos {
 		Seed: s.Seed, StealDelay: s.StealDelay, StealFail: s.StealFail,
 		PopBottomDelay: s.PopBottomDelay, SyncDelay: s.SyncDelay,
 		AllocFail: s.AllocFail, SyncVesselFail: s.SyncVesselFail,
-		LeakVessel: s.LeakVessel, DelaySpins: s.DelaySpins,
+		LeakVessel: s.LeakVessel, SubmitFail: s.SubmitFail, DelaySpins: s.DelaySpins,
 	}
 }
 
@@ -120,7 +126,7 @@ func specFromChaos(c *sched.Chaos) *replay.ChaosSpec {
 		Seed: c.Seed, StealDelay: c.StealDelay, StealFail: c.StealFail,
 		PopBottomDelay: c.PopBottomDelay, SyncDelay: c.SyncDelay,
 		AllocFail: c.AllocFail, SyncVesselFail: c.SyncVesselFail,
-		LeakVessel: c.LeakVessel, DelaySpins: c.DelaySpins,
+		LeakVessel: c.LeakVessel, SubmitFail: c.SubmitFail, DelaySpins: c.DelaySpins,
 	}
 }
 
@@ -226,6 +232,213 @@ func runTrial(m replay.Meta, rec *replay.Recorder, log *replay.Log) (failure str
 	return ""
 }
 
+// --- Service-mode soak (-service) ---------------------------------------
+
+// serviceSpec is one service trial's shape: the admission configuration
+// plus the submission mix the producers generate.
+type serviceSpec struct {
+	policy        sched.OverloadPolicy
+	depth         int
+	producers     int
+	perProd       int
+	panicEvery    int // every Nth submission panics at top level (0 = never)
+	deadlineEvery int // every Nth submission carries a 0–3ms deadline
+	prioEvery     int // every Nth submission is high priority
+	burst         int // submissions left in flight when Close drains
+}
+
+func drawServiceSpec(rng *uint64) serviceSpec {
+	pick := func(k int) int { return int(splitmix64(rng) % uint64(k)) }
+	return serviceSpec{
+		policy:        []sched.OverloadPolicy{sched.OverloadBlock, sched.OverloadFailFast, sched.OverloadShed}[pick(3)],
+		depth:         []int{1, 4, 16, 64}[pick(4)],
+		producers:     2 + pick(6),
+		perProd:       20 + pick(60),
+		panicEvery:    []int{0, 5, 9}[pick(3)],
+		deadlineEvery: []int{0, 3, 7}[pick(3)],
+		prioEvery:     []int{0, 4}[pick(2)],
+		burst:         pick(24),
+	}
+}
+
+func serviceLabel(m replay.Meta, sc serviceSpec) string {
+	chaos := "chaos=off"
+	if m.Chaos != nil {
+		if m.Chaos.StealFail >= 128 {
+			chaos = "chaos=heavy"
+		} else {
+			chaos = "chaos=light"
+		}
+	}
+	return fmt.Sprintf("service/%s w=%d seed=%d %s policy=%s depth=%d producers=%d×%d panic1/%d deadline1/%d burst=%d",
+		m.Variant, m.Workers, m.Seed, chaos, sc.policy, sc.depth,
+		sc.producers, sc.perProd, sc.panicEvery, sc.deadlineEvery, sc.burst)
+}
+
+// tortureSink keeps the service-trial spin work observable.
+var tortureSink atomic.Int64
+
+func spinWork(iters int) int {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return int(x & 0xff)
+}
+
+// runServiceTrial soaks one service-mode configuration: concurrent
+// producers submit fork/join tasks with mixed deadlines, priorities and
+// planted top-level panics into a serving runtime; some submissions are
+// deliberately left in flight when Close drains. Afterwards every
+// future must be resolved and the scheduler quiescent: tokens conserved,
+// deques empty, no leaked vessels/stacks/scopes, and the admission
+// accounting balanced. Service trials are wall-clock driven (external
+// arrivals are not replayable), so failures are reported by seed rather
+// than captured as schedule bundles.
+func runServiceTrial(m replay.Meta, sc serviceSpec) (failure string) {
+	m.TimeoutMS = 0 // deadlines are per-submission here
+	cfg, err := buildConfig(m)
+	if err != nil {
+		return "config: " + err.Error()
+	}
+	rt, err := sched.New(cfg)
+	if err != nil {
+		return "config: " + err.Error()
+	}
+	defer rt.Close()
+	if err := rt.StartService(sched.ServiceConfig{
+		QueueDepth: sc.depth, Policy: sc.policy, DrainTimeout: 30 * time.Second,
+	}); err != nil {
+		return "config: " + err.Error()
+	}
+
+	task := func(c api.Ctx) {
+		s := c.Scope()
+		var a, b int
+		s.Spawn(func(api.Ctx) { a = spinWork(256) })
+		s.Spawn(func(api.Ctx) { b = spinWork(256) })
+		d := spinWork(256)
+		s.Sync()
+		tortureSink.Add(int64(a + b + d))
+	}
+	// Top-level only: a panic inside an open scope legitimately reports
+	// the scope as leaked, which would drown the leak invariant below.
+	panicTask := func(api.Ctx) { panic("torture: planted submission panic") }
+
+	// A submission future may legally resolve to any of these.
+	okOutcome := func(err error) bool {
+		return err == nil ||
+			errors.Is(err, sched.ErrShed) ||
+			errors.Is(err, sched.ErrDrainForced) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			errors.As(err, new(*api.StrandPanic))
+	}
+
+	errCh := make(chan string, sc.producers)
+	var wg sync.WaitGroup
+	for p := 0; p < sc.producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			subs := make([]*sched.Submission, 0, sc.perProd)
+			for i := 0; i < sc.perProd; i++ {
+				n := p*sc.perProd + i
+				t := task
+				if sc.panicEvery > 0 && n%sc.panicEvery == 0 {
+					t = panicTask
+				}
+				var opts sched.SubmitOpts
+				if sc.deadlineEvery > 0 && n%sc.deadlineEvery == 0 {
+					// 0–3ms: some expire in the queue, some mid-flight.
+					opts.Deadline = time.Now().Add(time.Duration(n%4) * time.Millisecond)
+				}
+				if sc.prioEvery > 0 && n%sc.prioEvery == 0 {
+					opts.Priority = 1
+				}
+				sub, err := rt.Submit(t, opts)
+				if err != nil {
+					// Legal refusals: overload (policy or chaos), and a
+					// Block-policy wait outlived by the submission's own
+					// deadline.
+					if errors.Is(err, sched.ErrOverloaded) ||
+						errors.Is(err, context.DeadlineExceeded) {
+						continue
+					}
+					errCh <- "submit: unexpected error " + err.Error()
+					return
+				}
+				subs = append(subs, sub)
+			}
+			for _, sub := range subs {
+				if werr := sub.Wait(); !okOutcome(werr) {
+					errCh <- fmt.Sprintf("outcome: unexpected submission error %v", werr)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case f := <-errCh:
+		return f
+	default:
+	}
+
+	// Leave a burst in flight and drain through Close: every future must
+	// still resolve (completed, shed, or force-cancelled — never lost).
+	burst := make([]*sched.Submission, 0, sc.burst)
+	for i := 0; i < sc.burst; i++ {
+		sub, err := rt.Submit(task, sched.SubmitOpts{})
+		if err != nil {
+			continue
+		}
+		burst = append(burst, sub)
+	}
+	rt.Close()
+	for i, sub := range burst {
+		select {
+		case <-sub.Done():
+		default:
+			return fmt.Sprintf("drain: burst submission %d unresolved after Close", i)
+		}
+		if werr := sub.Err(); !okOutcome(werr) {
+			return fmt.Sprintf("outcome: burst submission %d resolved with unexpected error %v", i, werr)
+		}
+	}
+
+	// Quiescence and conservation after drain.
+	if left := rt.DebugTokensLeft(); left != 0 {
+		return fmt.Sprintf("tokens: %d tokens unaccounted after drain", left)
+	}
+	for w := 0; w < m.Workers; w++ {
+		if n := rt.DebugDequeSize(w); n != 0 {
+			return fmt.Sprintf("quiescence: deque %d holds %d continuations after drain", w, n)
+		}
+	}
+	st := rt.Stats()
+	if st.VesselsLeaked != 0 {
+		return fmt.Sprintf("vessel-leak: %d vessels never returned to a free list", st.VesselsLeaked)
+	}
+	if st.StacksLeaked != 0 {
+		return fmt.Sprintf("stack-leak: %d stacks unaccounted", st.StacksLeaked)
+	}
+	if st.ScopesLeaked != 0 {
+		return fmt.Sprintf("scope-leak: %d scopes abandoned", st.ScopesLeaked)
+	}
+	if ss, ok := rt.ServiceStats(); ok {
+		if ss.Queued != 0 || ss.InFlight != 0 {
+			return fmt.Sprintf("drain: %d queued, %d in flight after Close", ss.Queued, ss.InFlight)
+		}
+		if got := ss.Completed + ss.Panicked + ss.Cancelled + ss.Shed; got != ss.Admitted {
+			return fmt.Sprintf("accounting: admitted %d != completed %d + panicked %d + cancelled %d + shed %d",
+				ss.Admitted, ss.Completed, ss.Panicked, ss.Cancelled, ss.Shed)
+		}
+	}
+	return ""
+}
+
 // failureClass is the stable prefix of a failure string, used to decide
 // whether a rerun reproduced "the same" failure (details like leak
 // counts may vary across multi-worker schedules).
@@ -311,10 +524,11 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 			rates := []*int{
 				&m.Chaos.StealDelay, &m.Chaos.StealFail, &m.Chaos.PopBottomDelay,
 				&m.Chaos.SyncDelay, &m.Chaos.AllocFail, &m.Chaos.SyncVesselFail,
-				&m.Chaos.LeakVessel,
+				&m.Chaos.LeakVessel, &m.Chaos.SubmitFail,
 			}
 			names := []string{"steal-delay", "steal-fail", "popbottom-delay",
-				"sync-delay", "alloc-fail", "sync-vessel-fail", "leak-vessel"}
+				"sync-delay", "alloc-fail", "sync-vessel-fail", "leak-vessel",
+				"submit-fail"}
 			for i, r := range rates {
 				if *r == 0 {
 					continue
@@ -325,7 +539,7 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 				ccRates := []*int{
 					&cc.StealDelay, &cc.StealFail, &cc.PopBottomDelay,
 					&cc.SyncDelay, &cc.AllocFail, &cc.SyncVesselFail,
-					&cc.LeakVessel,
+					&cc.LeakVessel, &cc.SubmitFail,
 				}
 				*ccRates[i] = 0
 				if try(cand, "chaos "+names[i]+" dropped") {
@@ -352,7 +566,7 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 func allZero(c *replay.ChaosSpec) bool {
 	return c.StealDelay == 0 && c.StealFail == 0 && c.PopBottomDelay == 0 &&
 		c.SyncDelay == 0 && c.AllocFail == 0 && c.SyncVesselFail == 0 &&
-		c.LeakVessel == 0
+		c.LeakVessel == 0 && c.SubmitFail == 0
 }
 
 // captureFailure re-runs a failing trial with a fresh recorder, writes
@@ -400,6 +614,7 @@ type soakConfig struct {
 	variants   []string
 	maxWorkers int
 	ringCap    int
+	service    bool
 	verbose    bool
 }
 
@@ -446,6 +661,16 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 			StealDelay: 64, StealFail: 128, PopBottomDelay: 128,
 			SyncDelay: 128, AllocFail: 64, SyncVesselFail: 64,
 			DelaySpins: 4,
+		}
+	}
+	if c.service && m.Chaos != nil {
+		// Admission-time refusals only fire in service mode; batch
+		// trials leave the rate zero so the shrinker has nothing bogus
+		// to chew on.
+		if m.Chaos.StealFail >= 128 {
+			m.Chaos.SubmitFail = 128
+		} else {
+			m.Chaos.SubmitFail = 16
 		}
 	}
 	switch pick(3) {
@@ -502,6 +727,25 @@ func soak(c soakConfig) int {
 	trials, failures := 0, 0
 	var bundles []string
 	for time.Now().Before(deadline) {
+		if c.service {
+			m := drawTrial(c, &rng, trials)
+			sc := drawServiceSpec(&rng)
+			trials++
+			f := runServiceTrial(m, sc)
+			if c.verbose {
+				status := "ok"
+				if f != "" {
+					status = "FAIL " + f
+				}
+				fmt.Printf("trial %4d: %s: %s\n", trials, serviceLabel(m, sc), status)
+			}
+			if f != "" {
+				failures++
+				fmt.Printf("FAILURE in service trial %d (%s): %s\n", trials, serviceLabel(m, sc), f)
+				fmt.Printf("  (service trials are wall-clock driven and not bundle-replayable; rerun with -service -seed %d)\n", c.seed)
+			}
+			continue
+		}
 		m := drawTrial(c, &rng, trials)
 		trials++
 		rec := replay.NewRecorder(m.Workers, c.ringCap)

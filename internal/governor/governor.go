@@ -29,9 +29,12 @@ import (
 type Severity int
 
 const (
+	// None: usage below every threshold (reported only through OnGrade;
+	// trims never fire at this grade).
+	None Severity = iota
 	// Mild pressure: usage crossed the High fraction of the budget.
 	// Owners typically trim excess above a comfortable working set.
-	Mild Severity = iota + 1
+	Mild
 	// Severe pressure: usage reached the budget itself. Owners trim all
 	// the way down to their floor.
 	Severe
@@ -39,10 +42,13 @@ const (
 
 // String returns the severity name.
 func (s Severity) String() string {
-	if s == Severe {
+	switch s {
+	case Severe:
 		return "severe"
+	case Mild:
+		return "mild"
 	}
-	return "mild"
+	return "none"
 }
 
 // Report describes one pressure evaluation that resulted in a trim.
@@ -82,6 +88,12 @@ type Config struct {
 	Trim func(Severity) int
 	// OnTrim, if non-nil, observes each trim. Nil logs to stderr.
 	OnTrim func(Report)
+	// OnGrade, if non-nil, observes the pressure grade of every
+	// evaluation — including None, so a consumer tracking the grade (an
+	// admission window, a dashboard) sees pressure clear, not just rise.
+	// Called on the governor goroutine (or the Kick caller) before any
+	// trim of the same evaluation.
+	OnGrade func(Severity)
 }
 
 // Governor is a running pressure monitor. Create with Start.
@@ -160,6 +172,9 @@ func (g *Governor) evaluate() (Report, bool) {
 		budget = g.cfg.Limit()
 	}
 	if budget <= 0 {
+		if g.cfg.OnGrade != nil {
+			g.cfg.OnGrade(None)
+		}
 		return Report{}, false
 	}
 	used := g.cfg.Usage()
@@ -170,6 +185,12 @@ func (g *Governor) evaluate() (Report, bool) {
 	case float64(used) >= g.cfg.High*float64(budget):
 		sev = Mild
 	default:
+		sev = None
+	}
+	if g.cfg.OnGrade != nil {
+		g.cfg.OnGrade(sev)
+	}
+	if sev == None {
 		return Report{}, false
 	}
 	n := g.cfg.Trim(sev)

@@ -1,0 +1,260 @@
+// Package loadgen drives open-loop arrival-rate load against a serving
+// scheduler runtime and measures the latency distribution of admitted
+// work. Open-loop means arrivals are scheduled on a wall clock
+// independent of completions — the generator does not slow down when the
+// service does — so queueing delay and overload behaviour are measured
+// honestly (no coordinated omission: latency is taken from the
+// *scheduled* arrival time, not the submit call).
+package loadgen
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/sched"
+)
+
+// Config parameterises one measurement point.
+type Config struct {
+	// Runtime is the serving runtime under load (StartService already
+	// called by the harness).
+	Runtime *sched.Runtime
+	// Rate is the offered load in submissions per second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Submitters is the number of producer goroutines sharing the
+	// arrival schedule (default 4); arrivals are interleaved round-robin
+	// so no single goroutine's sleep precision bounds the rate.
+	Submitters int
+	// Retry, if true, retries a refused submission once after the
+	// retry-after hint, and a shed submission once immediately —
+	// modelling a well-behaved client honouring backpressure.
+	Retry bool
+	// Task is the work each submission performs.
+	Task func(api.Ctx)
+}
+
+// Result is the outcome of one measurement point.
+type Result struct {
+	RateRPS float64 `json:"rate_rps"` // offered arrival rate
+	Offered int64   `json:"offered"`  // arrivals generated
+	// Admission outcomes, client-side view.
+	Admitted     int64 `json:"admitted"`      // Submit accepted (incl. retries)
+	Rejected     int64 `json:"rejected"`      // refused with ErrOverloaded
+	Shed         int64 `json:"shed"`          // admitted then evicted (ErrShed)
+	ShedsRetried int64 `json:"sheds_retried"` // refusals/sheds retried once
+	RetryOK      int64 `json:"retries_ok"`    // retries that were admitted
+	Completed    int64 `json:"completed"`     // futures resolved nil
+	Failed       int64 `json:"failed"`        // futures resolved with other errors
+	// Latency of completed work from scheduled arrival, microseconds.
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+	// GoodputRPS is completions per second of generation time.
+	GoodputRPS float64 `json:"goodput_rps"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// shedBackoff is how long a retrying client waits after its queued
+// submission was shed before resubmitting once.
+const shedBackoff = time.Millisecond
+
+// submitterState collects one producer's latency samples without locks.
+type submitterState struct {
+	samples []float64 // microseconds
+	mu      sync.Mutex
+}
+
+// Run generates cfg.Duration of open-loop arrivals at cfg.Rate and
+// blocks until every in-flight future resolved.
+func Run(cfg Config) Result {
+	if cfg.Submitters <= 0 {
+		cfg.Submitters = 4
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	total := int64(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	var res Result
+	res.RateRPS = cfg.Rate
+	var admitted, rejected, shed, retried, retryOK, completed, failed atomic.Int64
+
+	states := make([]submitterState, cfg.Submitters)
+	var waiters sync.WaitGroup
+
+	// async runs f on a tracked goroutine; the Add happens on the
+	// caller's goroutine so waiters.Wait below cannot miss it.
+	async := func(f func()) {
+		waiters.Add(1)
+		go func() {
+			defer waiters.Done()
+			f()
+		}()
+	}
+
+	// retryOnce resubmits a refused or shed arrival exactly once. The
+	// retry is a fresh admission: its latency clock starts at its own
+	// submit time, so client backoff is not billed to the service.
+	retryOnce := func(st *submitterState) {
+		retried.Add(1)
+		at := time.Now()
+		sub, err := cfg.Runtime.Submit(cfg.Task, sched.SubmitOpts{})
+		if err != nil {
+			return
+		}
+		admitted.Add(1)
+		retryOK.Add(1)
+		async(func() { watchSub(st, sub, at, &completed, &shed, &failed, nil) })
+	}
+
+	// submitOnce performs one arrival. Retries never run inline on the
+	// submitter goroutine — a sleeping submitter would backlog the
+	// arrival schedule and bill generator lag as service latency.
+	submitOnce := func(st *submitterState, at time.Time) {
+		sub, err := cfg.Runtime.Submit(cfg.Task, sched.SubmitOpts{})
+		if err != nil {
+			rejected.Add(1)
+			var oe *sched.OverloadedError
+			if cfg.Retry && errors.As(err, &oe) {
+				hint := oe.RetryAfter
+				async(func() {
+					time.Sleep(hint)
+					retryOnce(st)
+				})
+			}
+			return
+		}
+		admitted.Add(1)
+		var onShed func()
+		if cfg.Retry {
+			// A shed is server backpressure too: back off before the
+			// single retry rather than amplifying the arrival storm.
+			onShed = func() {
+				time.Sleep(shedBackoff)
+				retryOnce(st)
+			}
+		}
+		async(func() { watchSub(st, sub, at, &completed, &shed, &failed, onShed) })
+	}
+
+	start := time.Now()
+	var gen sync.WaitGroup
+	for s := 0; s < cfg.Submitters; s++ {
+		gen.Add(1)
+		go func(id int) {
+			defer gen.Done()
+			st := &states[id]
+			for i := int64(id); i < total; i += int64(cfg.Submitters) {
+				at := start.Add(time.Duration(i) * interval)
+				if d := time.Until(at); d > 0 {
+					time.Sleep(d)
+				}
+				submitOnce(st, at)
+			}
+		}(s)
+	}
+	gen.Wait()
+	res.Offered = total
+	genElapsed := time.Since(start)
+	waiters.Wait()
+
+	res.Admitted = admitted.Load()
+	res.Rejected = rejected.Load()
+	res.Shed = shed.Load()
+	res.ShedsRetried = retried.Load()
+	res.RetryOK = retryOK.Load()
+	res.Completed = completed.Load()
+	res.Failed = failed.Load()
+	res.ElapsedMS = float64(genElapsed.Milliseconds())
+	if sec := genElapsed.Seconds(); sec > 0 {
+		res.GoodputRPS = float64(res.Completed) / sec
+	}
+
+	all := make([]float64, 0, res.Completed)
+	for i := range states {
+		all = append(all, states[i].samples...)
+	}
+	sort.Float64s(all)
+	res.P50us = percentile(all, 0.50)
+	res.P99us = percentile(all, 0.99)
+	res.P999us = percentile(all, 0.999)
+	return res
+}
+
+// watchSub blocks on one admitted submission's future and records its
+// latency against the scheduled arrival; a shed outcome invokes onShed
+// (at most one level of retry — retries pass onShed nil).
+func watchSub(st *submitterState, sub *sched.Submission, sched0 time.Time,
+	completed, shed, failed *atomic.Int64, onShed func()) {
+	err := sub.Wait()
+	switch {
+	case err == nil:
+		completed.Add(1)
+		lat := float64(time.Since(sched0).Microseconds())
+		st.mu.Lock()
+		st.samples = append(st.samples, lat)
+		st.mu.Unlock()
+	case errors.Is(err, sched.ErrShed):
+		shed.Add(1)
+		if onShed != nil {
+			onShed()
+		}
+	default:
+		failed.Add(1)
+	}
+}
+
+// percentile reads the q-quantile from an ascending sample slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// SpinTask returns a small fork/join task: two spawned children and the
+// parent each spin roughly `iters` iterations of integer work, so a
+// submission exercises spawn, steal, and join — the scheduler, not just
+// the admission queue.
+func SpinTask(iters int) func(api.Ctx) {
+	return func(c api.Ctx) {
+		var a, b uint64
+		s := c.Scope()
+		s.Spawn(func(api.Ctx) { a = spin(iters) })
+		s.Spawn(func(api.Ctx) { b = spin(iters) })
+		d := spin(iters)
+		s.Sync()
+		sink.Store(a ^ b ^ d)
+	}
+}
+
+// sink defeats dead-code elimination of the spin loops.
+var sink atomic.Uint64
+
+func spin(iters int) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}

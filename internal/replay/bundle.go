@@ -36,6 +36,7 @@ type ChaosSpec struct {
 	AllocFail      int   `json:"alloc_fail,omitempty"`
 	SyncVesselFail int   `json:"sync_vessel_fail,omitempty"`
 	LeakVessel     int   `json:"leak_vessel,omitempty"`
+	SubmitFail     int   `json:"submit_fail,omitempty"`
 	DelaySpins     int   `json:"delay_spins,omitempty"`
 	SyncStall      bool  `json:"sync_stall,omitempty"`
 }

@@ -82,6 +82,23 @@ const (
 	KGov
 	// KPanic is a strand panic being recorded (external stream).
 	KPanic
+	// KSubmit is a service submission being admitted (external stream);
+	// Arg is the truncated submission id. Diagnostic only — submission
+	// boundary events are never consumed as replay decisions (service
+	// schedules are not replayable; see nextDecision).
+	KSubmit
+	// KSubReject is an admission refusal (external stream): FailFast
+	// overload or an admission-time chaos injection; Site distinguishes.
+	KSubReject
+	// KSubShed is a queued submission evicted oldest-first (external
+	// stream); Arg is the victim's id.
+	KSubShed
+	// KSubStart is the dispatcher spawning an admitted submission
+	// (dispatcher worker's stream); Arg is the submission id.
+	KSubStart
+	// KSubDone is a submission's wrapper strand completing (that
+	// strand's worker stream); Arg is the submission id.
+	KSubDone
 )
 
 // String names the kind.
@@ -119,6 +136,16 @@ func (k Kind) String() string {
 		return "gov-kick"
 	case KPanic:
 		return "panic"
+	case KSubmit:
+		return "submit"
+	case KSubReject:
+		return "submit-reject"
+	case KSubShed:
+		return "submit-shed"
+	case KSubStart:
+		return "submit-start"
+	case KSubDone:
+		return "submit-done"
 	}
 	return "unknown"
 }
@@ -141,6 +168,11 @@ const (
 	// SiteLeakVessel guards the deliberately unsound vessel-leak
 	// injection (the torture harness's planted bug).
 	SiteLeakVessel
+	// SiteSubmitFail guards the admission-time failure injection in
+	// service mode. Its KChaos events live on the external stream (the
+	// admission path holds no worker token), so unlike the other sites
+	// it is never replayed.
+	SiteSubmitFail
 )
 
 // siteName names a chaos site for dumps.
@@ -160,6 +192,8 @@ func siteName(s uint8) string {
 		return "sync-vessel"
 	case SiteLeakVessel:
 		return "leak-vessel"
+	case SiteSubmitFail:
+		return "submit-fail"
 	}
 	return fmt.Sprintf("site%d", s)
 }
@@ -172,6 +206,14 @@ const (
 	BlockSync
 	// BlockDispatch: a pooled vessel blocked awaiting a dispatch.
 	BlockDispatch
+)
+
+// Admission refusal reasons, carried in the Site byte of KSubReject.
+const (
+	// SubRejectOverload: the FailFast policy refused at a full window.
+	SubRejectOverload uint8 = iota
+	// SubRejectChaos: the admission-time chaos injection fired.
+	SubRejectChaos
 )
 
 // Event is one decoded schedule event. The wire form is a packed 4-byte
@@ -209,6 +251,14 @@ func (e Event) String() string {
 		return "blocked"
 	case KGov:
 		return fmt.Sprintf("gov-kick(%d)", e.Arg)
+	case KSubmit, KSubShed, KSubStart, KSubDone:
+		return fmt.Sprintf("%s(#%d)", e.Kind, e.Arg)
+	case KSubReject:
+		why := "overload"
+		if e.Site == SubRejectChaos {
+			why = "chaos"
+		}
+		return fmt.Sprintf("submit-reject[%s](#%d)", why, e.Arg)
 	}
 	return e.Kind.String()
 }

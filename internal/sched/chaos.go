@@ -58,6 +58,14 @@ type Chaos struct {
 	// known to be there; it must stay zero in any suite that asserts the
 	// soundness property of the other injections.
 	LeakVessel int
+	// SubmitFail makes service-mode admission (Submit) behave as if the
+	// queue were overloaded: the submission is refused with an
+	// *OverloadedError before touching the queue. Sound — callers must
+	// already tolerate refusal under any policy (severe governor
+	// pressure sheds, FailFast rejects). The draws come from a dedicated
+	// mutex-guarded stream (admission runs off any worker token) and are
+	// logged on the external stream, never replayed.
+	SubmitFail int
 	// DelaySpins is the number of scheduler yields per injected delay
 	// (default 16).
 	DelaySpins int

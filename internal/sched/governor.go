@@ -223,7 +223,10 @@ type GovernorConfig struct {
 // the floors (severe pressure) or twice the floors (mild pressure).
 // Trimming never touches busy resources and is safe mid-run; the
 // owner-local caches are additionally reclaimed when the runtime is
-// idle. Stop the returned governor when done.
+// idle. On a serving runtime every evaluation also feeds the admission
+// window: mild pressure halves it, severe quarters it and sheds, and a
+// clean evaluation restores it (SetAdmissionPressure). Stop the
+// returned governor when done.
 func (rt *Runtime) StartGovernor(cfg GovernorConfig) (*governor.Governor, error) {
 	vf := cfg.VesselFloor
 	if vf <= 0 {
@@ -245,6 +248,7 @@ func (rt *Runtime) StartGovernor(cfg GovernorConfig) (*governor.Governor, error)
 			}
 			return rt.TrimToward(vfloor, sfloor)
 		},
-		OnTrim: cfg.OnTrim,
+		OnTrim:  cfg.OnTrim,
+		OnGrade: func(sev governor.Severity) { rt.SetAdmissionPressure(int(sev)) },
 	})
 }

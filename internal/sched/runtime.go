@@ -97,6 +97,12 @@ type Runtime struct {
 
 	panicMu  sync.Mutex
 	panicked *api.StrandPanic
+
+	// svc is non-nil while the runtime is in service mode (StartService):
+	// a long-lived internal run dispatches Submit traffic, Run/RunCtx are
+	// rejected, and Close drains instead of panicking. It stays set after
+	// Close so ServiceStats remains answerable.
+	svc atomic.Pointer[service]
 }
 
 // idleParker blocks idle thieves past the fail threshold so they stop
@@ -220,6 +226,9 @@ func (rt *Runtime) StackStats() cactus.Stats { return rt.pool.Stats() }
 // Run implements api.Runtime: it executes root and all transitively
 // spawned strands to completion.
 func (rt *Runtime) Run(root func(api.Ctx)) {
+	if rt.svc.Load() != nil {
+		panic("sched: Run on a Runtime in service mode (use Submit)")
+	}
 	_ = rt.runInternal(nil, root)
 }
 
@@ -230,6 +239,9 @@ func (rt *Runtime) Run(root func(api.Ctx)) {
 // and RunCtx then returns the context's error with the runtime fully
 // reusable.
 func (rt *Runtime) RunCtx(ctx context.Context, root func(api.Ctx)) error {
+	if rt.svc.Load() != nil {
+		panic("sched: RunCtx on a Runtime in service mode (use SubmitCtx)")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -318,8 +330,17 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 // recordPanic keeps the first strand panic of the current Run; later
 // panics are tallied (and their first few values kept) on the survivor
 // via StrandPanic.Suppress, so a multi-strand failure is not silently
-// reported as a single one.
-func (rt *Runtime) recordPanic(v any) {
+// reported as a single one. A strand belonging to a service submission
+// (sub non-nil) records against that submission instead: the panic
+// resolves only its future, and the batch-Run re-raise never fires.
+func (rt *Runtime) recordPanic(sub *Submission, v any) {
+	if sub != nil {
+		sub.notePanic(v, debug.Stack())
+		if rt.recordOn {
+			rt.rep.RecordExternal(replay.KPanic, 0, sub.id)
+		}
+		return
+	}
 	rt.panicMu.Lock()
 	if rt.panicked == nil {
 		rt.panicked = &api.StrandPanic{Value: v, Stack: debug.Stack()}
@@ -398,10 +419,17 @@ func (rt *Runtime) anyDequeNonEmpty() bool {
 	return false
 }
 
-// Close stops all pooled vessel goroutines. The runtime must be idle: a
-// Close during a live Run panics (it would corrupt vessel state), and Run
-// must not be called afterwards.
+// Close stops all pooled vessel goroutines. In service mode it first
+// drains: admission stops, queued and in-flight submissions run to
+// completion up to ServiceConfig.DrainTimeout, then the remainder is
+// force-cancelled through the run context — only after the service run
+// has fully wound down are the vessels stopped. Outside service mode
+// the runtime must be idle: a Close during a live Run panics (it would
+// corrupt vessel state). Run must not be called after Close.
 func (rt *Runtime) Close() {
+	if svc := rt.svc.Load(); svc != nil {
+		rt.drainService(svc)
+	}
 	if rt.running.Load() {
 		panic("sched: Close during Run")
 	}

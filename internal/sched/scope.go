@@ -13,17 +13,35 @@ type Proc struct {
 	rt     *Runtime
 	v      *vessel
 	worker int
+
+	// sub brands the strand with the service submission it belongs to
+	// (nil in batch runs and on the dispatcher). Children inherit it
+	// through dispatch, so cancellation and panic routing follow the
+	// whole subtree of a submission across steals.
+	sub *Submission
 }
 
 // Workers implements api.Ctx.
 func (p *Proc) Workers() int { return p.rt.cfg.Workers }
 
-// Done implements api.Ctx: the enclosing RunCtx context's Done channel,
-// nil under a plain Run.
-func (p *Proc) Done() <-chan struct{} { return p.rt.cancel.Done() }
+// Done implements api.Ctx: the enclosing RunCtx context's Done channel
+// (nil under a plain Run), or the submission's context in service mode.
+func (p *Proc) Done() <-chan struct{} {
+	if p.sub != nil {
+		return p.sub.cs.Done()
+	}
+	return p.rt.cancel.Done()
+}
 
-// Err implements api.Ctx: the enclosing RunCtx context's error.
-func (p *Proc) Err() error { return p.rt.cancel.Err() }
+// Err implements api.Ctx: the enclosing RunCtx context's error, or the
+// submission's in service mode (which chains to the service context, so
+// a drain force-cancel is visible here too).
+func (p *Proc) Err() error {
+	if p.sub != nil {
+		return p.sub.cs.Err()
+	}
+	return p.rt.cancel.Err()
+}
 
 // Scope implements api.Ctx. It is allocation-free on the fast path: the
 // paper's "stack object for every called spawning function" lives in a
@@ -189,7 +207,7 @@ func (s *scope) release() {
 func (s *scope) Spawn(fn func(api.Ctx)) {
 	p := s.p
 	rt := p.rt
-	if rt.cancel.Cancelled() {
+	if rt.cancel.Cancelled() || (p.sub != nil && p.sub.cs.Cancelled()) {
 		rt.runInline(p, fn)
 		return
 	}
@@ -232,7 +250,7 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 	rt.wakeThieves()
 
 	// The child executes next on this worker: hand over the token.
-	cv.disp = dispatch{fn: fn, parent: s, worker: w}
+	cv.disp = dispatch{fn: fn, parent: s, worker: w, sub: p.sub}
 	cv.pk.deliver()
 
 	// Park until the continuation is resumed.
@@ -256,7 +274,7 @@ func (rt *Runtime) runInline(p *Proc, fn func(api.Ctx)) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			rt.recordPanic(r)
+			rt.recordPanic(p.sub, r)
 		}
 	}()
 	fn(p)
@@ -276,7 +294,7 @@ func (rt *Runtime) degradeInline(p *Proc, fn func(api.Ctx)) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			rt.recordPanic(r)
+			rt.recordPanic(p.sub, r)
 		}
 	}()
 	fn(p)

@@ -24,6 +24,7 @@ type dispatch struct {
 	parent *scope // nil for the root strand and for initial thieves
 	worker int
 	stop   bool
+	sub    *Submission // service submission this strand belongs to, if any
 }
 
 // cont is the stealable continuation of a parked vessel. Each vessel owns
@@ -300,6 +301,7 @@ func (v *vessel) loop() {
 			return
 		}
 		v.proc.worker = d.worker
+		v.proc.sub = d.sub
 		if v.rt.blockRecOn && blocked {
 			// The dispatcher handed token d.worker to this vessel, so the
 			// ring write is owner-only.
@@ -324,7 +326,7 @@ func (v *vessel) runStrand(d dispatch) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			v.rt.recordPanic(r)
+			v.rt.recordPanic(v.proc.sub, r)
 			v.resetScopes()
 			v.rt.finishStrand(v, d.parent)
 		}

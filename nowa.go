@@ -31,6 +31,7 @@ package nowa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -276,22 +277,160 @@ func ScheduleDivergences(rt Runtime) (int64, bool) {
 // It defines the T_s baseline of every speedup measurement.
 func Serial() Runtime { return api.Serial{} }
 
+// ErrRunTimeout marks a RunTimeout (or RunTimeoutCtx) error as caused by
+// the call's own deadline rather than external cancellation:
+// errors.Is(err, ErrRunTimeout) distinguishes the two paths while
+// errors.Is(err, context.DeadlineExceeded) still holds.
+var ErrRunTimeout = errors.New("nowa: run timeout elapsed")
+
 // RunTimeout runs root with a deadline: a convenience wrapper around
-// Runtime.RunCtx and context.WithTimeout. Cancellation is cooperative —
-// strands observe it through Ctx.Err/Ctx.Done and Spawn degrading to
-// inline execution — so the call returns once the already-started work
-// has drained, with context.DeadlineExceeded if the deadline fired.
+// Runtime.RunCtx and context.WithTimeoutCause. Cancellation is
+// cooperative — strands observe it through Ctx.Err/Ctx.Done and Spawn
+// degrading to inline execution — so the call returns once the
+// already-started work has drained. If the deadline fired, the error
+// matches both ErrRunTimeout and context.DeadlineExceeded.
 func RunTimeout(rt Runtime, timeout time.Duration, root func(Ctx)) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	return RunTimeoutCtx(rt, context.Background(), timeout, root)
+}
+
+// RunTimeoutCtx is RunTimeout under a parent context, and the reason the
+// cause matters: when parent is cancelled externally the error is plain
+// context.Canceled (not ErrRunTimeout), so callers can tell "this run
+// was too slow" from "the caller gave up".
+func RunTimeoutCtx(rt Runtime, parent context.Context, timeout time.Duration, root func(Ctx)) error {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithTimeoutCause(parent, timeout, ErrRunTimeout)
 	defer cancel()
-	return rt.RunCtx(ctx, root)
+	err := rt.RunCtx(ctx, root)
+	if err != nil && context.Cause(ctx) == ErrRunTimeout {
+		return fmt.Errorf("%w: %w", ErrRunTimeout, err)
+	}
+	return err
 }
 
 // Close releases a runtime's resources when it has one of those to
 // release (the continuation-stealing runtimes pool goroutine vessels).
-// Safe to call on any Runtime.
+// On a serving runtime Close drains gracefully first: admission stops,
+// queued and in-flight submissions complete up to the configured drain
+// deadline, and the remainder is force-cancelled. Safe to call on any
+// Runtime.
 func Close(rt Runtime) {
 	if c, ok := rt.(interface{ Close() }); ok {
 		c.Close()
 	}
+}
+
+// Service mode turns a continuation-stealing runtime into a long-lived
+// server: StartService launches an internal dispatcher run, and from
+// then on external goroutines feed it work through Submit — each
+// submission becomes a concurrent subtree of one fork/join computation,
+// with its own future, cancellation, and panic isolation. A bounded
+// admission queue in front applies backpressure; its overload behavior
+// is policy-selectable and tightens under governor memory pressure.
+
+// ServiceConfig parameterises StartService: admission queue depth,
+// overload policy, and Close's drain deadline.
+type ServiceConfig = sched.ServiceConfig
+
+// SubmitOpts carries a submission's deadline and priority.
+type SubmitOpts = sched.SubmitOpts
+
+// Submission is the future of one submitted task; see Wait, Done, Err.
+type Submission = sched.Submission
+
+// OverloadPolicy selects Submit's behaviour at a full admission queue.
+type OverloadPolicy = sched.OverloadPolicy
+
+// ServiceStats is a point-in-time snapshot of service-mode accounting.
+type ServiceStats = sched.ServiceStats
+
+// OverloadedError is the concrete admission refusal (ErrOverloaded with
+// a RetryAfter hint); reach it with errors.As to honour backpressure.
+type OverloadedError = sched.OverloadedError
+
+// StrandPanic is the wrapped panic a run or submission resolves with
+// when a strand panics; Suppressed counts sibling panics folded into it.
+type StrandPanic = api.StrandPanic
+
+const (
+	// OverloadBlock makes Submit wait for a queue slot.
+	OverloadBlock = sched.OverloadBlock
+	// OverloadFailFast makes Submit return ErrOverloaded immediately,
+	// with a retry-after hint (see sched.OverloadedError).
+	OverloadFailFast = sched.OverloadFailFast
+	// OverloadShed admits new work by evicting the oldest queued
+	// submission, whose future resolves with ErrShed.
+	OverloadShed = sched.OverloadShed
+)
+
+// Service-mode errors; see the sched package for the full taxonomy.
+var (
+	// ErrNotServing: Submit/StartService-dependent call on a runtime
+	// that is not serving (or cannot serve — the comparators without a
+	// vessel model never can).
+	ErrNotServing = sched.ErrNotServing
+	// ErrServiceClosed: Submit after Close began draining.
+	ErrServiceClosed = sched.ErrServiceClosed
+	// ErrOverloaded: admission refused under the FailFast policy. The
+	// concrete error is a *sched.OverloadedError with a RetryAfter hint.
+	ErrOverloaded = sched.ErrOverloaded
+	// ErrShed: the submission was evicted from the queue under overload
+	// (wraps ErrOverloaded).
+	ErrShed = sched.ErrShed
+	// ErrDrainForced: Close's drain deadline elapsed and the submission
+	// was force-cancelled.
+	ErrDrainForced = sched.ErrDrainForced
+)
+
+// StartService switches a continuation-stealing runtime into service
+// mode. Only the vessel-model variants can serve; the comparators
+// return ErrNotServing.
+func StartService(rt Runtime, cfg ServiceConfig) error {
+	s, ok := rt.(*sched.Runtime)
+	if !ok {
+		return ErrNotServing
+	}
+	return s.StartService(cfg)
+}
+
+// Submit hands one task to a serving runtime and returns its future.
+// Callable from any goroutine, concurrently.
+func Submit(rt Runtime, task func(Ctx), opts SubmitOpts) (*Submission, error) {
+	s, ok := rt.(*sched.Runtime)
+	if !ok {
+		return nil, ErrNotServing
+	}
+	return s.Submit(task, opts)
+}
+
+// SubmitCtx is Submit bound to a caller context: cancelling ctx cancels
+// the submission (queued: resolved without running; mid-flight:
+// cooperatively, like RunCtx).
+func SubmitCtx(rt Runtime, ctx context.Context, task func(Ctx)) (*Submission, error) {
+	s, ok := rt.(*sched.Runtime)
+	if !ok {
+		return nil, ErrNotServing
+	}
+	return s.SubmitCtx(ctx, task)
+}
+
+// SubmitOpt is SubmitCtx with options — context, deadline and priority
+// together.
+func SubmitOpt(rt Runtime, ctx context.Context, task func(Ctx), opts SubmitOpts) (*Submission, error) {
+	s, ok := rt.(*sched.Runtime)
+	if !ok {
+		return nil, ErrNotServing
+	}
+	return s.SubmitCtxOpts(ctx, task, opts)
+}
+
+// ServiceInfo reports a serving runtime's admission and outcome
+// accounting; false when rt is not (and was never) serving.
+func ServiceInfo(rt Runtime) (ServiceStats, bool) {
+	if s, ok := rt.(*sched.Runtime); ok {
+		return s.ServiceStats()
+	}
+	return ServiceStats{}, false
 }
