@@ -1,15 +1,16 @@
 # Developer entry points. `make verify` is the full pre-merge gate: it
 # fails on unformatted files, then builds, vets, lints (nowa-vet, the
 # repo's own invariant analyzer) and tests everything, including the
-# race-enabled chaos/cancellation/misuse stress subset and a smoke run
+# race-enabled chaos/cancellation/misuse stress subset, a smoke run
 # of the spawn-overhead benchmark (catches fast-path breakage that only
-# -bench exercises).
+# -bench exercises) and the TestSpawnFloor latency gate (catches a
+# goroutine switch sneaking back onto the lazy spawn path).
 
 GO ?= go
 
 # The race-enabled stress subset, shared by `race` and `verify` so the
 # two gates cannot drift apart.
-RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestReplay|TestService|TestSubmit' ./...
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestPromote|TestReplay|TestService|TestSubmit' ./...
 
 .PHONY: verify fmt build vet lint test race bench bench-all torture serve-smoke
 
@@ -26,6 +27,7 @@ verify:
 	$(GO) test ./...
 	$(RACE_TEST)
 	$(GO) test -run '^$$' -bench SpawnOverhead -benchtime 10x .
+	$(GO) test -run 'TestSpawnFloor' -count 1 .
 
 fmt:
 	gofmt -w .
@@ -50,9 +52,12 @@ race:
 # bench regenerates the scheduler fast-path numbers: the spawn/sync
 # microbenchmarks, then nowa-bench's micro mode (spawn/sync per variant
 # plus the fib/nqueens/quicksort kernels), rewriting BENCH_sched.json.
+# -gate reads the committed report first and fails loud if any
+# vessel-model spawn median regressed more than 25% against it (the new
+# report is still written, so CI uploads the evidence either way).
 bench:
 	$(GO) test -run '^$$' -bench 'SpawnOverhead|SyncOverhead' -benchtime 100000x .
-	$(GO) run ./cmd/nowa-bench -micro -runs 3 -scale test -json BENCH_sched.json
+	$(GO) run ./cmd/nowa-bench -micro -runs 3 -scale test -gate BENCH_sched.json -json BENCH_sched.json
 
 # bench-all runs the full paper benchmark suite once through.
 bench-all:

@@ -114,7 +114,8 @@ func chaosFromSpec(s *replay.ChaosSpec) *sched.Chaos {
 		Seed: s.Seed, StealDelay: s.StealDelay, StealFail: s.StealFail,
 		PopBottomDelay: s.PopBottomDelay, SyncDelay: s.SyncDelay,
 		AllocFail: s.AllocFail, SyncVesselFail: s.SyncVesselFail,
-		LeakVessel: s.LeakVessel, SubmitFail: s.SubmitFail, DelaySpins: s.DelaySpins,
+		LeakVessel: s.LeakVessel, SubmitFail: s.SubmitFail,
+		StealInterest: s.StealInterest, DelaySpins: s.DelaySpins,
 	}
 }
 
@@ -126,7 +127,8 @@ func specFromChaos(c *sched.Chaos) *replay.ChaosSpec {
 		Seed: c.Seed, StealDelay: c.StealDelay, StealFail: c.StealFail,
 		PopBottomDelay: c.PopBottomDelay, SyncDelay: c.SyncDelay,
 		AllocFail: c.AllocFail, SyncVesselFail: c.SyncVesselFail,
-		LeakVessel: c.LeakVessel, SubmitFail: c.SubmitFail, DelaySpins: c.DelaySpins,
+		LeakVessel: c.LeakVessel, SubmitFail: c.SubmitFail,
+		StealInterest: c.StealInterest, DelaySpins: c.DelaySpins,
 	}
 }
 
@@ -219,14 +221,15 @@ func runTrial(m replay.Meta, rec *replay.Recorder, log *replay.Log) (failure str
 	if st.ScopesLeaked != 0 {
 		return fmt.Sprintf("scope-leak: %d scopes abandoned", st.ScopesLeaked)
 	}
-	// Counter conservation: every published continuation was either
-	// popped back or stolen. (Skipped under a deadline: cancellation
-	// legitimately redirects spawns inline mid-flight.)
+	// Counter conservation: every eagerly published continuation was
+	// either popped back or stolen; inline commits (lazy promotion,
+	// DESIGN.md §14) produce neither. (Skipped under a deadline:
+	// cancellation legitimately redirects spawns inline mid-flight.)
 	if m.TimeoutMS == 0 {
 		c := rt.Counters()
-		if c.LocalResumes+c.Steals != c.Spawns {
-			return fmt.Sprintf("counters: LocalResumes(%d)+Steals(%d) != Spawns(%d)",
-				c.LocalResumes, c.Steals, c.Spawns)
+		if c.LocalResumes+c.Steals != c.Spawns-c.InlineRuns {
+			return fmt.Sprintf("counters: LocalResumes(%d)+Steals(%d) != Spawns(%d)-InlineRuns(%d)",
+				c.LocalResumes, c.Steals, c.Spawns, c.InlineRuns)
 		}
 	}
 	return ""
@@ -524,11 +527,11 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 			rates := []*int{
 				&m.Chaos.StealDelay, &m.Chaos.StealFail, &m.Chaos.PopBottomDelay,
 				&m.Chaos.SyncDelay, &m.Chaos.AllocFail, &m.Chaos.SyncVesselFail,
-				&m.Chaos.LeakVessel, &m.Chaos.SubmitFail,
+				&m.Chaos.LeakVessel, &m.Chaos.SubmitFail, &m.Chaos.StealInterest,
 			}
 			names := []string{"steal-delay", "steal-fail", "popbottom-delay",
 				"sync-delay", "alloc-fail", "sync-vessel-fail", "leak-vessel",
-				"submit-fail"}
+				"submit-fail", "steal-interest"}
 			for i, r := range rates {
 				if *r == 0 {
 					continue
@@ -539,7 +542,7 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 				ccRates := []*int{
 					&cc.StealDelay, &cc.StealFail, &cc.PopBottomDelay,
 					&cc.SyncDelay, &cc.AllocFail, &cc.SyncVesselFail,
-					&cc.LeakVessel, &cc.SubmitFail,
+					&cc.LeakVessel, &cc.SubmitFail, &cc.StealInterest,
 				}
 				*ccRates[i] = 0
 				if try(cand, "chaos "+names[i]+" dropped") {
@@ -566,7 +569,7 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 func allZero(c *replay.ChaosSpec) bool {
 	return c.StealDelay == 0 && c.StealFail == 0 && c.PopBottomDelay == 0 &&
 		c.SyncDelay == 0 && c.AllocFail == 0 && c.SyncVesselFail == 0 &&
-		c.LeakVessel == 0 && c.SubmitFail == 0
+		c.LeakVessel == 0 && c.SubmitFail == 0 && c.StealInterest == 0
 }
 
 // captureFailure re-runs a failing trial with a fresh recorder, writes
@@ -648,19 +651,28 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 		Workers: w,
 		Seed:    int64(n)*37 + int64(pick(1024)) + 1,
 	}
-	switch pick(3) {
+	switch pick(4) {
 	case 1: // light chaos
 		m.Chaos = &replay.ChaosSpec{
 			Seed:      int64(splitmix64(rng)%(1<<31) + 1),
 			StealFail: 16, PopBottomDelay: 16, SyncDelay: 16,
-			DelaySpins: 2,
+			StealInterest: 16, DelaySpins: 2,
 		}
 	case 2: // heavy chaos
 		m.Chaos = &replay.ChaosSpec{
 			Seed:       int64(splitmix64(rng)%(1<<31) + 1),
 			StealDelay: 64, StealFail: 128, PopBottomDelay: 128,
 			SyncDelay: 128, AllocFail: 64, SyncVesselFail: 64,
-			DelaySpins: 4,
+			StealInterest: 128, DelaySpins: 4,
+		}
+	case 3: // promotion chaos: every lazy spawn is forced to promote
+		// mid-inline-run, hammering the record state machine against the
+		// same budget/deadline draws below. Serial equivalence and the
+		// leak bars are checked by runTrial like any other trial.
+		m.Chaos = &replay.ChaosSpec{
+			Seed:          int64(splitmix64(rng)%(1<<31) + 1),
+			StealInterest: 1024, StealFail: 16, PopBottomDelay: 16,
+			DelaySpins: 2,
 		}
 	}
 	if c.service && m.Chaos != nil {
@@ -698,9 +710,12 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 func trialLabel(m replay.Meta) string {
 	chaos := "chaos=off"
 	if m.Chaos != nil {
-		if m.Chaos.StealFail >= 128 {
+		switch {
+		case m.Chaos.StealInterest >= 512:
+			chaos = "chaos=promote"
+		case m.Chaos.StealFail >= 128:
 			chaos = "chaos=heavy"
-		} else {
+		default:
 			chaos = "chaos=light"
 		}
 	}
@@ -830,10 +845,13 @@ func replayBundle(path string, verbose bool) int {
 // Chaos.LeakVessel bug: the trial must fail, the capture must replay to
 // the same failure, and the shrinker must keep a failing configuration.
 func selfTest(out string, ringCap int) int {
+	// StealInterest 1024 promotes every lazy spawn: without it a
+	// single-worker trial runs everything inline under the default spawn
+	// policy and never churns a vessel, so the planted leak cannot fire.
 	m := replay.Meta{
 		Tool: "nowa-torture", Kernel: "fib", Scale: "test", Variant: "nowa",
 		Workers: 1, Seed: 7,
-		Chaos: &replay.ChaosSpec{Seed: 11, LeakVessel: 24, DelaySpins: 1},
+		Chaos: &replay.ChaosSpec{Seed: 11, LeakVessel: 24, StealInterest: 1024, DelaySpins: 1},
 	}
 	fmt.Printf("selftest trial: %s (planted leak-vessel bug armed)\n", trialLabel(m))
 	f := runTrial(m, replay.NewRecorder(1, ringCap), nil)

@@ -1,0 +1,91 @@
+// Spawn-floor regression gate for lazy vessel promotion.
+//
+// The eager vessel handoff pays two goroutine switches per spawn — the
+// "Gosched floor" of the vessel model, ~288 ns/round on the reference
+// host. Lazy vessel promotion (DESIGN.md §14) removes both switches
+// from the no-steal path, so the steady-state spawn must land well
+// under that floor. This test locks the property in as a CI gate: it is
+// deliberately generous (a slack multiplier over the acceptance target)
+// so shared-host noise cannot flake it, while a regression that
+// reintroduces a goroutine switch — 300 ns or more — fails loudly.
+package nowa_test
+
+import (
+	"testing"
+	"time"
+
+	"nowa"
+)
+
+// spawnFloorBudget is the gate: the acceptance target for the no-steal
+// lazy spawn is 150 ns/op on the 1-CPU reference host (measured ~70);
+// the 4x slack absorbs slower or noisier CI hosts without ever letting
+// a reintroduced goroutine switch (two of them: ~300-600 ns) pass.
+const spawnFloorBudget = 4 * 150 * time.Nanosecond
+
+// measureSpawnNs times one steady-state Spawn/Sync round trip on one
+// worker, best of several samples (best-of is the right statistic for a
+// lower-bound gate: noise only ever adds time).
+func measureSpawnNs(rt nowa.Runtime) float64 {
+	const samples, iters = 5, 50_000
+	best := 0.0
+	rt.Run(func(c nowa.Ctx) {
+		for i := 0; i < 256; i++ { // warm the vessel pool, scope ring, deque
+			s := c.Scope()
+			s.Spawn(func(nowa.Ctx) {})
+			s.Sync()
+		}
+		for r := 0; r < samples; r++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				s := c.Scope()
+				s.Spawn(func(nowa.Ctx) {})
+				s.Sync()
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / iters
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+	})
+	return best
+}
+
+// TestSpawnFloor gates the no-steal spawn cost of the flagship runtime
+// under the default (lazy) spawn policy. Allocation bounds live in
+// alloc_test.go; this is the latency half of the floor guarantee.
+func TestSpawnFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	for _, v := range []nowa.Variant{nowa.VariantNowa, nowa.VariantNowaTHE} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := nowa.New(v, 1)
+			defer nowa.Close(rt)
+			got := measureSpawnNs(rt)
+			t.Logf("%s: no-steal spawn %.1f ns/op (budget %v)", v, got, spawnFloorBudget)
+			if got > float64(spawnFloorBudget.Nanoseconds()) {
+				t.Errorf("%s: no-steal spawn %.1f ns/op exceeds the %v gate — "+
+					"a goroutine switch is back on the lazy fast path", v, got, spawnFloorBudget)
+			}
+		})
+	}
+}
+
+// TestSpawnFloorEagerStillWorks pins the other side: the explicit
+// SpawnEager policy must still take the full handoff (the gate here is
+// only that it works and stays within an order of magnitude of the old
+// behaviour, not that it is fast).
+func TestSpawnFloorEagerStillWorks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	rt := nowa.NewLimited(nowa.VariantNowa, 1, nowa.Limits{Spawn: nowa.SpawnEager})
+	defer nowa.Close(rt)
+	got := measureSpawnNs(rt)
+	t.Logf("nowa/eager: spawn %.1f ns/op", got)
+	if got > 40*150 {
+		t.Errorf("eager spawn %.1f ns/op is pathological", got)
+	}
+}

@@ -32,6 +32,15 @@ const IMax = math.MaxInt64
 //     sync round.
 //   - Rearm: by the parent after the sync point completes, so the scope can
 //     host another spawn/sync round (a function may sync repeatedly).
+//
+// Lazy vessel promotion (DESIGN.md §14) never engages a Join: a spawn
+// that commits to running its child inline publishes only a promotable
+// record, so neither OnSteal nor OnChildJoin fires for that child — the
+// inline run is serially elided below the join protocol. Promotion
+// happens strictly *before* any Join call for the affected child (the
+// owner materialises the eager handoff and only then publishes a real
+// continuation), so the invariants above see every promoted child as an
+// ordinary eager spawn and the α/ω algebra is untouched.
 type Join interface {
 	OnSteal()
 	OnChildJoin() bool

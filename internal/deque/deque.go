@@ -18,6 +18,14 @@
 //   - ABP: the non-blocking deque of Arora, Blumofe and Plaxton (SPAA'98),
 //     with the reduced-effective-capacity drawback discussed in §II-D.
 //   - Locked: a mutex around a slice; the strawman fully-synchronised queue.
+//
+// The deques are oblivious to what they carry: under lazy vessel
+// promotion (DESIGN.md §14) the scheduler pushes *promotable records* —
+// advertisements whose own atomic state word, not the deque, decides
+// whether a popped element yields work. A thief that pops such a record
+// signals interest on it and reports the attempt as StealLost so its
+// steal loop retries; no deque algorithm needed changes for this, which
+// is the point of keeping the protocol in the element.
 package deque
 
 import "fmt"

@@ -37,6 +37,7 @@ type ChaosSpec struct {
 	SyncVesselFail int   `json:"sync_vessel_fail,omitempty"`
 	LeakVessel     int   `json:"leak_vessel,omitempty"`
 	SubmitFail     int   `json:"submit_fail,omitempty"`
+	StealInterest  int   `json:"steal_interest,omitempty"`
 	DelaySpins     int   `json:"delay_spins,omitempty"`
 	SyncStall      bool  `json:"sync_stall,omitempty"`
 }

@@ -99,6 +99,17 @@ const (
 	// KSubDone is a submission's wrapper strand completing (that
 	// strand's worker stream); Arg is the submission id.
 	KSubDone
+	// KInlineRun is a lazy spawn committing to inline execution: the
+	// owner won the commit CAS against thief interest and ran the child
+	// on its own vessel. Not a decision — the commit outcome is fully
+	// determined by the (recorded) thief interleaving and chaos rolls —
+	// so replay alignment is preserved (see nextDecision).
+	KInlineRun
+	// KPromote is a lazy spawn being promoted to the full eager vessel
+	// handoff; Site is a Promote* constant naming the trigger. Recorded
+	// on the owner's stream at the promotion point. Not a decision, like
+	// KInlineRun.
+	KPromote
 )
 
 // String names the kind.
@@ -146,6 +157,10 @@ func (k Kind) String() string {
 		return "submit-start"
 	case KSubDone:
 		return "submit-done"
+	case KInlineRun:
+		return "inline-run"
+	case KPromote:
+		return "promote"
 	}
 	return "unknown"
 }
@@ -173,6 +188,10 @@ const (
 	// admission path holds no worker token), so unlike the other sites
 	// it is never replayed.
 	SiteSubmitFail
+	// SiteStealInterest guards the forced-promotion injection: a lazy
+	// spawn behaves as if a thief had signalled steal interest and takes
+	// the full eager handoff instead.
+	SiteStealInterest
 )
 
 // siteName names a chaos site for dumps.
@@ -194,6 +213,8 @@ func siteName(s uint8) string {
 		return "leak-vessel"
 	case SiteSubmitFail:
 		return "submit-fail"
+	case SiteStealInterest:
+		return "steal-interest"
 	}
 	return fmt.Sprintf("site%d", s)
 }
@@ -206,6 +227,21 @@ const (
 	BlockSync
 	// BlockDispatch: a pooled vessel blocked awaiting a dispatch.
 	BlockDispatch
+)
+
+// Promotion triggers, carried in the Site byte of KPromote events.
+const (
+	// PromoteClaim: a thief's steal-interest CAS landed on the pending
+	// record before the owner's inline commit; the owner honoured the
+	// claim with a full eager handoff of this very spawn.
+	PromoteClaim uint8 = iota + 1
+	// PromoteInterest: a thief signalled interest while the child was
+	// mid-inline-run; the owner folded it into an eager burst for the
+	// vessel's subsequent spawns.
+	PromoteInterest
+	// PromoteSuspend: a strand on the vessel suspended at a sync point,
+	// signalling a blocking-prone workload; subsequent spawns go eager.
+	PromoteSuspend
 )
 
 // Admission refusal reasons, carried in the Site byte of KSubReject.
@@ -253,6 +289,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("gov-kick(%d)", e.Arg)
 	case KSubmit, KSubShed, KSubStart, KSubDone:
 		return fmt.Sprintf("%s(#%d)", e.Kind, e.Arg)
+	case KPromote:
+		switch e.Site {
+		case PromoteClaim:
+			return "promote[claim]"
+		case PromoteInterest:
+			return "promote[interest]"
+		case PromoteSuspend:
+			return "promote[suspend]"
+		}
+		return "promote"
 	case KSubReject:
 		why := "overload"
 		if e.Site == SubRejectChaos {

@@ -53,7 +53,7 @@ func TestABPDequeVariant(t *testing.T) {
 		t.Fatalf("fib(16) = %d, want %d", got, want)
 	}
 	cnt := rt.Counters()
-	if cnt.LocalResumes+cnt.Steals != cnt.Spawns {
+	if cnt.LocalResumes+cnt.Steals != cnt.Spawns-cnt.InlineRuns {
 		t.Errorf("spawn conservation violated on ABP: %+v", cnt)
 	}
 }

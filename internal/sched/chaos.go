@@ -58,6 +58,13 @@ type Chaos struct {
 	// known to be there; it must stay zero in any suite that asserts the
 	// soundness property of the other injections.
 	LeakVessel int
+	// StealInterest makes a would-be lazy spawn behave as if a thief had
+	// already signalled steal interest on its record: the spawn takes
+	// the full eager vessel handoff instead of running the child inline.
+	// At 1024 every spawn is promoted, forcing the eager path under a
+	// lazy-mode configuration. Sound by construction — the eager handoff
+	// is the semantics lazy promotion must be equivalent to.
+	StealInterest int
 	// SubmitFail makes service-mode admission (Submit) behave as if the
 	// queue were overloaded: the submission is refused with an
 	// *OverloadedError before touching the queue. Sound — callers must
@@ -161,6 +168,14 @@ func (rt *Runtime) chaosPrePopBottom(w int) {
 //nowa:hotpath
 func (rt *Runtime) chaosAllocFail(w int) bool {
 	return rt.chaosRoll(w, rt.cfg.Chaos.AllocFail, replay.SiteAllocFail)
+}
+
+// chaosStealInterest reports whether a lazy spawn must behave as if a
+// thief had signalled steal interest and take the eager handoff.
+//
+//nowa:hotpath
+func (rt *Runtime) chaosStealInterest(w int) bool {
+	return rt.chaosRoll(w, rt.cfg.Chaos.StealInterest, replay.SiteStealInterest)
 }
 
 // chaosSyncVesselFail reports whether a suspending Sync must simulate a

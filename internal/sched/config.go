@@ -9,10 +9,10 @@
 // Go cannot steal native stack continuations, so strands execute on pooled
 // goroutines called vessels, and workers are reified as tokens: exactly
 // one strand holds worker w's token at any time, and "running on worker w"
-// means holding token w. Spawn publishes the parent's vessel as the
-// continuation in deque[w], hands token w to a fresh vessel that runs the
-// child, and parks the parent. The protocol-visible behaviour matches the
-// paper exactly:
+// means holding token w. An eager Spawn publishes the parent's vessel as
+// the continuation in deque[w], hands token w to a fresh vessel that runs
+// the child, and parks the parent. The protocol-visible behaviour matches
+// the paper exactly:
 //
 //   - child-first execution order on the spawning worker;
 //   - one stealable continuation per spawning function, no allocation per
@@ -27,6 +27,19 @@
 // Token migration reproduces the real worker's movement precisely, so the
 // deque-per-worker contents equal the real runtime's: the continuations of
 // the frames on the worker's current execution path, outermost at the top.
+//
+// # Lazy vessel promotion
+//
+// The eager handoff costs two goroutine switches per spawn — the ~290 ns
+// floor of the vessel model. Under lazy promotion (the default, see
+// Config.Spawn) Spawn instead publishes only a cheap promotable record to
+// the deque and runs the child inline on the parent's vessel; the full
+// handoff is paid only on promotion, when a thief's popTop lands a
+// steal-interest CAS on the record or a strand on the vessel suspends.
+// Work conservation is preserved — the record keeps the spawn visible to
+// thieves, and interest converts the vessel to eager spawning — while the
+// no-steal steady state never switches goroutines at all. See DESIGN.md
+// §14 for the promotion state machine and its memory-ordering argument.
 package sched
 
 import (
@@ -76,6 +89,41 @@ func (k JoinKind) String() string {
 	return "locked"
 }
 
+// SpawnMode selects how Spawn maps a child onto vessels.
+type SpawnMode int
+
+const (
+	// SpawnAdaptive (the default) spawns lazily — the child runs inline
+	// on the parent's vessel behind a promotable record — and falls back
+	// to eager bursts on the vessel whenever a thief signals interest or
+	// a strand on the vessel suspends, so steal-heavy and blocking-prone
+	// phases converge to the eager behaviour on their own.
+	SpawnAdaptive SpawnMode = iota
+	// SpawnEager always pays the full vessel handoff per spawn: the
+	// pre-promotion behaviour, and the semantics lazy spawning must stay
+	// equivalent to. Required when a child blocks on a signal that only
+	// the parent's continuation can provide (see the deviation note on
+	// scope.Spawn).
+	SpawnEager
+	// SpawnLazy spawns lazily without the adaptive eager bursts; thief
+	// interest still promotes the in-flight spawn it lands on. An
+	// ablation knob for measuring promotion pressure.
+	SpawnLazy
+)
+
+// String names the spawn mode.
+func (m SpawnMode) String() string {
+	switch m {
+	case SpawnAdaptive:
+		return "adaptive"
+	case SpawnEager:
+		return "eager"
+	case SpawnLazy:
+		return "lazy"
+	}
+	return fmt.Sprintf("SpawnMode(%d)", int(m))
+}
+
 // Config parameterises a Runtime.
 type Config struct {
 	// Name labels the variant in reports (defaults to a derived name).
@@ -86,6 +134,9 @@ type Config struct {
 	Deque deque.Algorithm
 	// Join selects the coordination protocol (default WaitFree).
 	Join JoinKind
+	// Spawn selects the child-mapping strategy (default SpawnAdaptive:
+	// lazy vessel promotion with adaptive eager bursts).
+	Spawn SpawnMode
 	// Stacks configures the cactus stack pool. Workers and PerWorkerCap
 	// are filled in automatically; set GlobalCap for the Cilk Plus bounded
 	// mode (CapMode selects abort-style or soft degradation) and Madvise
@@ -162,6 +213,9 @@ func (c *Config) fill() error {
 	}
 	if c.Join == LockedFibril && c.Deque != deque.THE {
 		return fmt.Errorf("sched: the Fibril protocol requires the THE deque (its lock couples with the frame lock); got %v", c.Deque)
+	}
+	if c.Spawn < SpawnAdaptive || c.Spawn > SpawnLazy {
+		return fmt.Errorf("sched: unknown spawn mode %v", c.Spawn)
 	}
 	c.Stacks.Workers = c.Workers
 	if c.Stacks.StackBytes <= 0 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nowa/internal/api"
+	"nowa/internal/deque"
 )
 
 // worker extracts the current worker token of a strand (test-only).
@@ -20,9 +21,18 @@ func workerOf(c api.Ctx) int { return c.(*Proc).worker }
 //   - the last joiner (the child) hands its token to the sync point, so
 //     the strand after the sync runs on the child's worker — Figure 4e's
 //     "strand 6 executed by W2, not W1".
+//
+// The child blocks on a signal only the parent's continuation provides,
+// which is exactly the shape that requires SpawnEager (see the deviation
+// note on scope.Spawn): under lazy spawning the child would run inline
+// before the continuation exists.
 func TestMappingContinuationStolen(t *testing.T) {
-	for _, mk := range []func(int) *Runtime{NewNowa, NewNowaTHE, NewFibril} {
-		rt := mk(2)
+	for _, cfg := range []Config{
+		{Name: "nowa", Workers: 2, Deque: deque.CL, Join: WaitFree, Spawn: SpawnEager},
+		{Name: "nowa-the", Workers: 2, Deque: deque.THE, Join: WaitFree, Spawn: SpawnEager},
+		{Name: "fibril", Workers: 2, Deque: deque.THE, Join: LockedFibril, Spawn: SpawnEager},
+	} {
+		rt := MustNew(cfg)
 		var rootWorker, childWorker, contWorker, afterSyncWorker int
 		release := make(chan struct{})
 		rt.Run(func(c api.Ctx) {
@@ -91,8 +101,11 @@ func TestMappingNotStolen(t *testing.T) {
 // (Figure 5's negative tryResume path) rather than idling: with two
 // blocked children and a third piece of work available, the token freed
 // by the first child's implicit sync must pick it up.
+//
+// Child A blocks on a signal provided by its sibling, which only the
+// stolen continuation spawns — the SpawnEager-requiring shape again.
 func TestMappingImplicitSyncSendsWorkerStealing(t *testing.T) {
-	rt := NewNowa(2)
+	rt := MustNew(Config{Name: "nowa", Workers: 2, Deque: deque.CL, Join: WaitFree, Spawn: SpawnEager})
 	defer rt.Close()
 	gate := make(chan struct{})
 	extraRan := make(chan int, 1)

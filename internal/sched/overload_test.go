@@ -66,9 +66,11 @@ func TestOverloadHighWater(t *testing.T) {
 // TestOverloadAllInline pins the budget to the absolute minimum on one
 // worker: the only vessel is the root's, so every spawn must degrade to
 // inline execution — effectively the serial elision — with the correct
-// answer and an accurate DegradedSpawns tally.
+// answer and an accurate DegradedSpawns tally. SpawnEager keeps this a
+// governor test: lazy spawns request no vessel in the first place, so
+// under the default mode a one-vessel budget simply never binds.
 func TestOverloadAllInline(t *testing.T) {
-	for _, cfg := range overloadVariants(func(c *Config) { c.Workers = 1; c.MaxVessels = 1 }) {
+	for _, cfg := range overloadVariants(func(c *Config) { c.Workers = 1; c.MaxVessels = 1; c.Spawn = SpawnEager }) {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
 			rt := MustNew(cfg)
@@ -129,9 +131,9 @@ func TestOverloadChaosAllocFail(t *testing.T) {
 				if c.DegradedSpawns == 0 {
 					t.Fatal("DegradedSpawns = 0, want > 0 under AllocFail chaos")
 				}
-				if c.LocalResumes+c.Steals != c.Spawns {
-					t.Fatalf("LocalResumes(%d)+Steals(%d) != Spawns(%d)",
-						c.LocalResumes, c.Steals, c.Spawns)
+				if c.LocalResumes+c.Steals != c.Spawns-c.InlineRuns {
+					t.Fatalf("LocalResumes(%d)+Steals(%d) != Spawns(%d)-InlineRuns(%d)",
+						c.LocalResumes, c.Steals, c.Spawns, c.InlineRuns)
 				}
 				if left := rt.DebugTokensLeft(); left != 0 {
 					t.Fatalf("tokensLeft = %d, want 0", left)

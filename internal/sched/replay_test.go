@@ -100,6 +100,10 @@ func leakConfig(chaosSeed int64) Config {
 	return Config{
 		Name: "nowa", Workers: 1, Deque: deque.CL, Join: WaitFree,
 		Seed: 7,
+		// Eager spawning keeps vessels churning: the leak is injected
+		// when a vessel finishes, and a single-worker lazy run dispatches
+		// almost none.
+		Spawn: SpawnEager,
 		Chaos: &Chaos{
 			Seed:       chaosSeed,
 			LeakVessel: 24,
@@ -267,7 +271,7 @@ func TestReplayDumpStateShowsSchedule(t *testing.T) {
 	var buf bytes.Buffer
 	rt.DumpState(&buf)
 	out := buf.String()
-	for _, want := range []string{"tokens", "deque", "schedule worker 0:", "pop-hit"} {
+	for _, want := range []string{"tokens", "deque", "schedule worker 0:", "inline-run"} {
 		if !bytes.Contains([]byte(out), []byte(want)) {
 			t.Errorf("DumpState output missing %q:\n%s", want, out)
 		}
@@ -293,8 +297,9 @@ func TestReplayCountersStayCoherent(t *testing.T) {
 				t.Fatalf("verify: %v", err)
 			}
 			c := rt.Counters()
-			if c.LocalResumes+c.Steals != c.Spawns {
-				t.Fatalf("LocalResumes(%d)+Steals(%d) != Spawns(%d)", c.LocalResumes, c.Steals, c.Spawns)
+			if c.LocalResumes+c.Steals != c.Spawns-c.InlineRuns {
+				t.Fatalf("LocalResumes(%d)+Steals(%d) != Spawns(%d)-InlineRuns(%d)",
+					c.LocalResumes, c.Steals, c.Spawns, c.InlineRuns)
 			}
 			if left := rt.DebugTokensLeft(); left != 0 {
 				t.Fatalf("tokensLeft = %d, want 0", left)

@@ -38,6 +38,8 @@ type Runtime struct {
 	recordOn   bool // cfg.Record != nil: schedule decisions logged
 	replayOn   bool // cfg.Replay != nil: decisions driven from a captured log
 	blockRecOn bool // recordOn && Workers > 1: KBlocked diagnostics (see note)
+	lazyOn     bool // cfg.Spawn != SpawnEager: Spawn publishes promotable records
+	adaptOn    bool // cfg.Spawn == SpawnAdaptive: promotions arm eager bursts
 
 	// Cached vessel budgets (0 = unbounded): spawnLimit gates vessel
 	// creation on the Spawn path (SoftMaxVessels), syncLimit gates thief
@@ -150,6 +152,8 @@ func New(cfg Config) (*Runtime, error) {
 		recordOn:   cfg.Record != nil,
 		replayOn:   cfg.Replay != nil,
 		blockRecOn: cfg.Record != nil && cfg.Workers > 1,
+		lazyOn:     cfg.Spawn != SpawnEager,
+		adaptOn:    cfg.Spawn == SpawnAdaptive,
 		rep:        cfg.Record,
 		spawnLimit: int64(cfg.SoftMaxVessels),
 		syncLimit:  int64(cfg.MaxVessels),
@@ -162,9 +166,11 @@ func New(cfg Config) (*Runtime, error) {
 	rt.scopePool.New = func() any {
 		// Pooled scopes rest armed, like ring slots (see Proc.Scope). The
 		// locked join's zero value is already armed; the wait-free one
-		// needs its counter raised to I_max.
+		// needs its counter raised to I_max. The embedded promotable
+		// record is branded once here, like ring slots in newVessel.
 		s := &scope{}
 		s.wf.Rearm()
+		s.rec.lazy = true
 		return s
 	}
 	rt.idle.cond = sync.NewCond(&rt.idle.mu)
@@ -333,6 +339,8 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 // reported as a single one. A strand belonging to a service submission
 // (sub non-nil) records against that submission instead: the panic
 // resolves only its future, and the batch-Run re-raise never fires.
+//
+//nowa:coldpath runs only while a strand panic unwinds; allocation is irrelevant on the failure path
 func (rt *Runtime) recordPanic(sub *Submission, v any) {
 	if sub != nil {
 		sub.notePanic(v, debug.Stack())

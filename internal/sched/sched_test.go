@@ -219,8 +219,9 @@ func TestSingleWorkerNeverSteals(t *testing.T) {
 	if cnt.Suspensions != 0 {
 		t.Errorf("Suspensions = %d, want 0 on one worker", cnt.Suspensions)
 	}
-	if cnt.LocalResumes != cnt.Spawns {
-		t.Errorf("LocalResumes = %d, want == Spawns = %d", cnt.LocalResumes, cnt.Spawns)
+	if cnt.LocalResumes != cnt.Spawns-cnt.InlineRuns {
+		t.Errorf("LocalResumes = %d, want == Spawns-InlineRuns = %d",
+			cnt.LocalResumes, cnt.Spawns-cnt.InlineRuns)
 	}
 }
 
@@ -242,9 +243,9 @@ func TestChildFirstExecutionOrder(t *testing.T) {
 }
 
 func TestCountersConservation(t *testing.T) {
-	// Every spawn is resolved exactly once: by a local resume or by a
-	// steal. Implicit syncs correspond to stolen continuations plus the
-	// root's final pop.
+	// Every spawn is resolved exactly once: inline (a lazy spawn that was
+	// never promoted), by a local resume, or by a steal. Implicit syncs
+	// correspond to stolen continuations plus the root's final pop.
 	for _, rt := range variants(4) {
 		rt := rt
 		t.Run(rt.Name(), func(t *testing.T) {
@@ -254,9 +255,9 @@ func TestCountersConservation(t *testing.T) {
 			if cnt.Spawns == 0 {
 				t.Fatal("no spawns recorded")
 			}
-			if cnt.LocalResumes+cnt.Steals != cnt.Spawns {
-				t.Errorf("LocalResumes(%d) + Steals(%d) != Spawns(%d)",
-					cnt.LocalResumes, cnt.Steals, cnt.Spawns)
+			if cnt.LocalResumes+cnt.Steals != cnt.Spawns-cnt.InlineRuns {
+				t.Errorf("LocalResumes(%d) + Steals(%d) != Spawns(%d) - InlineRuns(%d)",
+					cnt.LocalResumes, cnt.Steals, cnt.Spawns, cnt.InlineRuns)
 			}
 			// Each stolen continuation leaves one strand to implicit-sync;
 			// the root adds exactly one more.

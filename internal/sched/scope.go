@@ -123,6 +123,13 @@ type scope struct {
 	keepToken bool
 	wf        core.WaitFreeJoin
 	lj        core.LockedJoin
+	// rec is the scope's promotable record: the deque advertisement a
+	// lazy Spawn publishes in place of a parked continuation. It lives
+	// in the scope, not the vessel, because inline children spawn too —
+	// each nesting level needs its own record, and scopes already nest
+	// with the frames that own them. Its round counter survives slot
+	// reuse and pool recycling by design (see cont.state).
+	rec cont
 }
 
 // rearm readies the inline join for a fresh spawn/sync round.
@@ -188,23 +195,47 @@ func (s *scope) release() {
 }
 
 // Spawn implements lines 1–3 of Figure 5: push the continuation, then call
-// the spawned function — on this worker, via vessel handoff. When Spawn
-// returns, the strand may hold a different worker token (a thief resumed
-// the continuation) exactly as in the paper's strand-to-worker mappings
-// (Figure 4).
+// the spawned function — on this worker. Under lazy vessel promotion
+// (the default, see SpawnMode) the "continuation" published is a cheap
+// promotable record and the child runs inline on the parent's vessel;
+// under promotion — a thief's steal-interest CAS, a suspension on the
+// vessel, or SpawnEager mode — the spawn takes the full vessel handoff,
+// and when Spawn returns the strand may hold a different worker token (a
+// thief resumed the continuation) exactly as in the paper's
+// strand-to-worker mappings (Figure 4).
 //
-// The steady-state fast path performs no heap allocation and no channel
-// operation: the continuation slot lives in the vessel, the child's
-// vessel comes off the owner-local free list, and both the dispatch and
-// the park/resume rendezvous go through the atomic-state parker.
+// The steady-state fast path performs no heap allocation, no channel
+// operation, and — lazily — no goroutine switch: one deque push, two
+// CASes on the record's state word, one deque pop.
 //
 // Once the run's context is cancelled, Spawn degrades to the serial
 // elision: the child executes inline on the caller's strand, nothing is
 // published and the join protocol is not engaged, so the cancelled
 // computation winds down with full strictness but no new parallelism.
 //
+// Deviation note: a lazily spawned child completes before Spawn returns,
+// so code in which a child blocks on a signal that only the parent's
+// *continuation* can provide (a channel send after Spawn, say) deadlocks
+// under lazy spawning even though it terminates under SpawnEager. Such
+// code is outside the fully-strict fork/join model the runtime
+// reproduces — the paper's continuation-stealing semantics never
+// guarantee the continuation runs concurrently with the child either
+// (with one worker it cannot) — but SpawnEager restores the old
+// behaviour where the distinction matters.
+//
 //nowa:hotpath
 func (s *scope) Spawn(fn func(api.Ctx)) {
+	s.spawn(fn, false)
+}
+
+// spawn is Spawn with an explicit eager override, used by the service
+// dispatcher: its submissions must each get their own vessel no matter
+// the spawn mode, because the dispatch loop is exactly the shape the
+// deviation note on Spawn describes — every submission must run
+// concurrently with the loop that spawned it, not inline inside it.
+//
+//nowa:hotpath
+func (s *scope) spawn(fn func(api.Ctx), forceEager bool) {
 	p := s.p
 	rt := p.rt
 	if rt.cancel.Cancelled() || (p.sub != nil && p.sub.cs.Cancelled()) {
@@ -221,6 +252,36 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 		rt.degradeInline(p, fn)
 		return
 	}
+	if rt.lazyOn && !forceEager {
+		if p.v.eagerBurst > 0 {
+			// Promotion armed an eager burst on this vessel: pay the
+			// handoff so thieves get real continuations while demand (or
+			// blocking) is evidently present.
+			p.v.eagerBurst--
+		} else if rt.chaosOn && rt.chaosStealInterest(p.worker) {
+			// Injected thief interest: exactly a record claim, minus the
+			// thief.
+			s.promote(fn, replay.PromoteClaim)
+			return
+		} else {
+			s.spawnLazy(fn)
+			return
+		}
+	}
+	s.spawnEager(fn)
+}
+
+// spawnEager pays the full vessel handoff for one spawn: publish the
+// parent's vessel as the continuation, hand the worker token to a fresh
+// vessel running the child, park until the continuation is resumed — by
+// the child's return (popBottom hit) or by a thief. This is the
+// pre-promotion Spawn, the semantics every other spawn path must remain
+// observationally equivalent to.
+//
+//nowa:hotpath
+func (s *scope) spawnEager(fn func(api.Ctx)) {
+	p := s.p
+	rt := p.rt
 	w := p.worker
 	v := p.v
 
@@ -260,6 +321,131 @@ func (s *scope) Spawn(fn func(api.Ctx)) {
 		// Recorded on the resuming token (which this strand now holds).
 		rt.rep.Record(p.worker, replay.KBlocked, replay.BlockSpawn, 0)
 	}
+}
+
+// spawnLazy is the no-handoff fast path of lazy vessel promotion: open a
+// round on the scope's promotable record, push the record bottom-side as
+// the spawn's deque advertisement, run the child inline on the parent's
+// vessel, then retire the advertisement. Thieves never learn the child —
+// a record pop is just a read of its state word plus one steal-interest
+// CAS — so the only cross-strand communication is that one word, and the
+// owner alone materialises promotions: a claim that lands between
+// publish and commit makes the owner pay the eager handoff for this very
+// child, and interest that lands during the inline run arms an eager
+// burst for the spawns that follow (the continuation the thief wanted is
+// already running — inline — so converting future spawns is all the
+// promotion there is to do).
+//
+// Memory ordering (the full argument is DESIGN.md §14): the state word
+// is a single atomic Uint32 packing round<<3|phase, the round never
+// resets, and every transition is a CAS or swap tagged with the round it
+// read, so a thief holding a stale record — slot reuse is deliberate —
+// can only ever land its CAS on the *current* round, which is a sound
+// (merely spurious) promotion. Publish order is state.Store(pending)
+// before pushBottom; the deque's release/acquire chain on its bottom
+// index publishes the pending store to any thief that can observe the
+// record, and everything is seq-cst in Go's model anyway.
+//
+//nowa:hotpath
+func (s *scope) spawnLazy(fn func(api.Ctx)) {
+	p := s.p
+	rt := p.rt
+	w := p.worker
+	v := p.v
+	rec := &s.rec
+	// Open the round: bump the never-reset round counter, phase pending.
+	pending := (rec.state.Load()&^recPhaseMask + 1<<recRoundShift) | recPending
+	rec.state.Store(pending)
+	rt.pushBottom(w, rec)
+	rt.wakeThieves()
+	inline := pending&^recPhaseMask | recInline
+	if !rec.state.CompareAndSwap(pending, inline) {
+		// A thief claimed the round before the commit (the only other
+		// transition out of pending). The record is out of the deque on
+		// the thief's side; honour the claim by giving this child the
+		// full handoff, which publishes the real continuation the thief
+		// asked for. Counters and the EvSpawn event come from the eager
+		// path, so each logical spawn is counted exactly once.
+		s.promote(fn, replay.PromoteClaim)
+		return
+	}
+	if rt.countersOn {
+		v.pend.Spawns++
+		v.pend.InlineRuns++
+	}
+	if rt.eventsOn {
+		rt.cfg.Events.record(w, EvSpawn, 0)
+	}
+	if rt.recordOn {
+		rt.rep.Record(w, replay.KInlineRun, 0, 0)
+	}
+	rt.runPromotable(p, fn)
+	// Close the round. Only a thief's inline→interest CAS can race this
+	// swap, and either winner is sound: interest observed here arms the
+	// burst; interest that loses is a failed CAS on the thief's side,
+	// already counted as a failed steal there.
+	if rec.state.Swap(inline&^recPhaseMask|recIdle)&recPhaseMask == recInterest {
+		if rt.adaptOn {
+			v.eagerBurst = eagerBurstLen
+		}
+		if rt.countersOn {
+			v.pend.PromotedSpawns++
+		}
+		if rt.recordOn {
+			rt.rep.Record(p.worker, replay.KPromote, replay.PromoteInterest, 0)
+		}
+	}
+	// Retire the advertisement. If the child suspended and our strand was
+	// resumed on a different token, deque[w]'s bottom now belongs to that
+	// token's chain and the record stays behind as a stale entry for it
+	// to discard (see finishStrand); records are disposable because the
+	// steal-interest CAS, never deque membership, is what transfers a
+	// round. Otherwise the bottom is ours: pop, and if a thief or a
+	// descendant's drain already consumed the record, whatever surfaced
+	// belongs to an outer frame — push it straight back.
+	if p.worker != w {
+		return
+	}
+	if c, ok := rt.popBottom(w); ok && c != rec {
+		rt.pushBottom(w, c)
+	}
+}
+
+// promote pays the full eager handoff for a lazy spawn whose record was
+// claimed (by a thief's steal-interest CAS, or chaos impersonating one)
+// and, in adaptive mode, arms an eager burst so the vessel's next spawns
+// skip the record dance while thieves are evidently hungry.
+//
+//nowa:hotpath
+func (s *scope) promote(fn func(api.Ctx), site uint8) {
+	p := s.p
+	rt := p.rt
+	if rt.adaptOn {
+		p.v.eagerBurst = eagerBurstLen
+	}
+	if rt.countersOn {
+		p.v.pend.PromotedSpawns++
+	}
+	if rt.recordOn {
+		rt.rep.Record(p.worker, replay.KPromote, site, 0)
+	}
+	s.spawnEager(fn)
+}
+
+// runPromotable executes a lazily spawned child inline on the parent's
+// vessel. The fence mirrors runInline's: a panicking child is recorded
+// and contained, so it cannot unwind the parent's frame past its
+// un-synced scopes — keeping inline execution observationally equivalent
+// to the eager handoff, where runStrand contains the panic.
+//
+//nowa:hotpath
+func (rt *Runtime) runPromotable(p *Proc, fn func(api.Ctx)) {
+	defer func() { //nowa:hotpath-ok the defer is open-coded and its closure does not escape (no allocation); the panic fence is the point
+		if r := recover(); r != nil {
+			rt.recordPanic(p.sub, r)
+		}
+	}()
+	fn(p)
 }
 
 // runInline executes a spawned function on the caller's strand (the
@@ -348,6 +534,15 @@ func (s *scope) Sync() {
 	if rt.recordOn {
 		rt.rep.Record(p.worker, replay.KSuspend, 0, 0)
 	}
+	if rt.adaptOn {
+		// A suspension marks this vessel's workload as blocking-prone:
+		// arm an eager burst so its upcoming children get vessels of
+		// their own instead of serialising behind blocked inline runs.
+		p.v.eagerBurst = eagerBurstLen
+		if rt.recordOn {
+			rt.rep.Record(p.worker, replay.KPromote, replay.PromoteSuspend, 0)
+		}
+	}
 	tv := rt.getVessel(p.worker)
 	tv.disp = dispatch{worker: p.worker}
 	tv.pk.deliver()
@@ -413,6 +608,13 @@ func (s *scope) syncBudget() {
 	}
 	if rt.recordOn {
 		rt.rep.Record(w, replay.KSuspend, 0, 0)
+	}
+	if rt.adaptOn {
+		// Same blocking-prone signal as Sync's suspension path.
+		p.v.eagerBurst = eagerBurstLen
+		if rt.recordOn {
+			rt.rep.Record(w, replay.KPromote, replay.PromoteSuspend, 0)
+		}
 	}
 	if tv != nil {
 		tv.disp = dispatch{worker: w}

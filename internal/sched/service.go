@@ -576,7 +576,12 @@ func (svc *service) nextSubmission() *Submission {
 func (rt *Runtime) serviceRoot(c api.Ctx) {
 	svc := rt.svc.Load()
 	p := c.(*Proc)
-	s := c.Scope()
+	// Submissions always take the eager handoff regardless of spawn mode:
+	// the dispatch loop must run concurrently with every submission it
+	// spawns (an inline run would serialise the queue behind one
+	// submission's latency — the lazy-spawning deviation documented on
+	// scope.Spawn, here as a matter of policy rather than correctness).
+	s := c.Scope().(*scope)
 	for {
 		sub := svc.nextSubmission()
 		if sub == nil {
@@ -601,7 +606,7 @@ func (rt *Runtime) serviceRoot(c api.Ctx) {
 			// resumed with.
 			rt.rep.Record(p.worker, replay.KSubStart, 0, sub.id)
 		}
-		s.Spawn(sub.body)
+		s.spawn(sub.body, true)
 	}
 	s.Sync()
 }

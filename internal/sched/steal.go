@@ -56,7 +56,7 @@ func (rt *Runtime) stealLoop(p *Proc) {
 		}
 
 		victim := rt.stealVictim(w, rng, &rr)
-		c, outcome := rt.popTopSteal(victim)
+		c, outcome := rt.popTopSteal(w, victim)
 		if rt.recordOn {
 			// One event per attempt: the outcome kind carries the victim,
 			// and replay consumes any steal event as the victim decision
@@ -145,7 +145,15 @@ func stealOutcomeKind(o deque.StealOutcome) replay.Kind {
 // pop and overlaps the frame lock, so a joiner that subsequently observes
 // the empty deque is ordered after the thief's count increment — the
 // hazardous race of §III-C is excluded by blocking, not transformed.
-func (rt *Runtime) popTopSteal(victim int) (*cont, deque.StealOutcome) {
+//
+// In either mode the popped element may be a promotable record rather
+// than a parked continuation (lazy vessel promotion): the thief then
+// lands one steal-interest CAS on its state word and reports a lost
+// steal — the owner materialises the promotion, and the continuation the
+// thief wanted appears in a deque as a real, stealable element moments
+// later. The record branch never touches join state, so neither
+// protocol's proof obligations change.
+func (rt *Runtime) popTopSteal(w, victim int) (*cont, deque.StealOutcome) {
 	if rt.cfg.Join == LockedFibril {
 		d := rt.theDeques[victim]
 		d.Lock()
@@ -153,6 +161,15 @@ func (rt *Runtime) popTopSteal(victim int) (*cont, deque.StealOutcome) {
 		if o != deque.StealHit {
 			d.Unlock()
 			return nil, o
+		}
+		if c.lazy {
+			// Release the deque lock before signalling: a record carries
+			// no frame, so there is no frame lock to couple with —
+			// promotion happens entirely outside Listing 2's critical
+			// sections.
+			d.Unlock()
+			rt.claimRecord(w, c)
+			return nil, deque.StealLost
 		}
 		lj := &c.scope.lj
 		lj.Lock()
@@ -165,8 +182,39 @@ func (rt *Runtime) popTopSteal(victim int) (*cont, deque.StealOutcome) {
 	if o != deque.StealHit {
 		return nil, o
 	}
+	if c.lazy {
+		rt.claimRecord(w, c)
+		return nil, deque.StealLost
+	}
 	c.scope.wf.OnSteal()
 	return c, deque.StealHit
+}
+
+// claimRecord lands the thief side of lazy vessel promotion on a popped
+// promotable record: one steal-interest CAS on the record's state word,
+// tagged with the round the thief read, so a record that went stale in
+// the thief's hands (slot reuse is deliberate) can only ever promote the
+// slot's *current* round — sound, merely spurious. Landing on pending
+// claims the in-flight spawn: the owner's commit CAS fails and it pays
+// the eager handoff for that very child. Landing on inline folds into
+// the owner's resolve swap and arms its eager burst. A record already
+// idle (or one that resolves mid-loop) needs nothing. In every case the
+// thief's attempt counts as a lost steal and it retries elsewhere.
+//
+//nowa:hotpath
+func (rt *Runtime) claimRecord(w int, c *cont) {
+	for {
+		st := c.state.Load()
+		if ph := st & recPhaseMask; ph != recPending && ph != recInline {
+			return
+		}
+		if c.state.CompareAndSwap(st, st&^recPhaseMask|recInterest) {
+			if rt.countersOn {
+				rt.rec.Worker(w).InterestSignals.Add(1)
+			}
+			return
+		}
+	}
 }
 
 // stealBackoff yields progressively: spin-yield first for low latency,

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"nowa/internal/api"
@@ -27,13 +28,62 @@ type dispatch struct {
 	sub    *Submission // service submission this strand belongs to, if any
 }
 
-// cont is the stealable continuation of a parked vessel. Each vessel owns
-// exactly one cont slot — a spawning function has at most one pending
-// continuation at a time (§II-B), so no allocation happens per spawn.
+// cont is a deque element of two flavours: the stealable continuation of
+// a parked vessel (lazy == false), or the promotable record a lazy Spawn
+// advertises while running its child inline (lazy == true, embedded in
+// the spawning scope — see scope.rec). Each vessel owns exactly one
+// continuation slot — a spawning function has at most one pending
+// continuation at a time (§II-B) — and each scope owns one record, so
+// neither path allocates per spawn.
+//
+// A record in the deque is an advertisement, not the work itself: the
+// child already runs (or ran) inline on the owner's vessel, and a thief
+// that pops the record only lands a steal-interest CAS on its state word
+// — ownership never transfers through deque membership. Records are
+// therefore disposable: a stale one (outliving its round because the
+// owner resolved on a migrated token, or because a thief consumed the
+// entry without winning the round) is simply discarded by whoever pops
+// it, and never carries a child that could be lost with it.
+//
+//nowa:nopad embedded in vessel and scope, which own the padding layout; the state word is touched by other workers only at promotion events, which are rare by design
 type cont struct {
 	v     *vessel
 	scope *scope // the spawning function's scope, for the thief's OnSteal
+	// lazy brands the cont as a promotable record. Immutable after
+	// construction — vessel continuations are always eager, scope
+	// records always lazy — so a popped element branches on a plain
+	// bool, with no per-publish flag write to race on.
+	lazy bool
+	// state is the record's packed promotion word: round<<recRoundShift
+	// | phase (a rec* constant). The round counter versions each spawn
+	// round and is NEVER reset — not on resolve, not on scope recycling
+	// through the ring or pool — so a thief's CAS against a stale load
+	// fails on the round mismatch (ABA defense; the 2^29-round
+	// wraparound window is accepted).
+	state atomic.Uint32
 }
+
+// Promotion phases of a record's spawn round, in the low bits of
+// cont.state. Owner transitions: idle→pending (publish, a release
+// store), pending→inline (commit CAS), any→idle (resolve swap; the round
+// stays). Thief transition: pending→inline→interest via CAS only — on
+// pending it claims the in-flight spawn (the owner's commit fails and
+// honours it with the eager handoff), on inline it requests promotion of
+// the vessel's future spawns.
+const (
+	recIdle       uint32 = 0 // no spawn round in flight on this record
+	recPending    uint32 = 1 // advertisement published, owner not yet committed
+	recInline     uint32 = 2 // owner committed: child running inline
+	recInterest   uint32 = 3 // a thief signalled steal interest this round
+	recPhaseMask  uint32 = 7
+	recRoundShift        = 3
+)
+
+// eagerBurstLen is how many consecutive spawns a vessel runs eagerly
+// after a promotion signal (thief interest or a suspension). Long enough
+// to re-fill the deque with real continuations while thieves are hungry;
+// short enough that a workload phase change decays back to lazy quickly.
+const eagerBurstLen = 64
 
 // vessel is a pooled goroutine that executes strands. It stands in for a
 // linear stack of the original runtime; its cactus.Stack payloads carry
@@ -51,6 +101,11 @@ type vessel struct {
 	disp      dispatch // payload of a dispatch delivery
 	proc      Proc
 	cont      cont
+	// eagerBurst is the number of upcoming spawns this vessel runs
+	// eagerly before returning to lazy publication; armed by promotion
+	// signals (thief interest, claim, suspension). Owner-only, like the
+	// scope ring: only the strand running on this vessel touches it.
+	eagerBurst int
 	// scopes is the strand-local LIFO ring backing Proc.Scope, with
 	// overflow spilling to the runtime's scope pool (see scope.go).
 	scopes   [scopeRingCap]scope
@@ -77,6 +132,12 @@ func (v *vessel) flushCounters(w int) {
 	}
 	if v.pend.InlineSpawns != 0 {
 		wc.InlineSpawns.Add(v.pend.InlineSpawns)
+	}
+	if v.pend.InlineRuns != 0 {
+		wc.InlineRuns.Add(v.pend.InlineRuns)
+	}
+	if v.pend.PromotedSpawns != 0 {
+		wc.PromotedSpawns.Add(v.pend.PromotedSpawns)
 	}
 	if v.pend.DegradedSpawns != 0 {
 		wc.DegradedSpawns.Add(v.pend.DegradedSpawns)
@@ -176,6 +237,7 @@ func (rt *Runtime) newVessel() *vessel {
 	for i := range v.scopes {
 		v.scopes[i].p = &v.proc
 		v.scopes[i].wfMode = rt.waitFree
+		v.scopes[i].rec.lazy = true
 		// Establish the armed-at-rest invariant Scope relies on.
 		v.scopes[i].rearm()
 	}
@@ -389,7 +451,17 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 	if rt.chaosOn {
 		rt.chaosPrePopBottom(w)
 	}
-	if c, ok := rt.popBottom(w); ok {
+	c, ok := rt.popBottom(w)
+	for ok && c.lazy {
+		// A promotable record left behind by a lazy spawn on this token
+		// chain: either stale (its owner resolved on a migrated token) or
+		// a live advertisement shadowed by the continuation we were
+		// looking for having been stolen. Records are disposable — the
+		// steal-interest CAS, never deque membership, is what transfers a
+		// round — so discard and keep draining toward the continuation.
+		c, ok = rt.popBottom(w)
+	}
+	if ok {
 		if rt.countersOn {
 			v.pend.LocalResumes++
 			v.flushCounters(w)

@@ -17,6 +17,8 @@ import (
 type Counters struct {
 	Spawns          int64 // Spawn calls executed on this worker
 	InlineSpawns    int64 // Spawns degraded to inline execution (cancelled run)
+	InlineRuns      int64 // lazy spawns committed to inline execution (no handoff paid)
+	PromotedSpawns  int64 // lazy spawns promoted to the eager handoff (claim, interest fold or suspension)
 	DegradedSpawns  int64 // Spawns degraded inline by the resource governor (budget/pressure)
 	TokenKeepSyncs  int64 // sync suspensions that kept their token (no thief vessel in budget)
 	LocalResumes    int64 // popBottom hits: continuation not stolen
@@ -30,6 +32,7 @@ type Counters struct {
 	StackGlobalGets int64 // stacks served from the global pool
 	ThiefParks      int64 // idle thieves parked after the fail threshold
 	ThiefWakeups    int64 // parked thieves woken by a spawn, finish or cancel
+	InterestSignals int64 // thief-side steal-interest CASes landed on promotable records
 }
 
 // WorkerCounters is one worker's live tally block. Each field is mutated
@@ -38,6 +41,8 @@ type Counters struct {
 type WorkerCounters struct {
 	Spawns          atomic.Int64
 	InlineSpawns    atomic.Int64
+	InlineRuns      atomic.Int64
+	PromotedSpawns  atomic.Int64
 	DegradedSpawns  atomic.Int64
 	TokenKeepSyncs  atomic.Int64
 	LocalResumes    atomic.Int64
@@ -51,6 +56,7 @@ type WorkerCounters struct {
 	StackGlobalGets atomic.Int64
 	ThiefParks      atomic.Int64
 	ThiefWakeups    atomic.Int64
+	InterestSignals atomic.Int64
 }
 
 // Snapshot reads the block atomically field by field. The result is a
@@ -60,6 +66,8 @@ func (w *WorkerCounters) Snapshot() Counters {
 	return Counters{
 		Spawns:          w.Spawns.Load(),
 		InlineSpawns:    w.InlineSpawns.Load(),
+		InlineRuns:      w.InlineRuns.Load(),
+		PromotedSpawns:  w.PromotedSpawns.Load(),
 		DegradedSpawns:  w.DegradedSpawns.Load(),
 		TokenKeepSyncs:  w.TokenKeepSyncs.Load(),
 		LocalResumes:    w.LocalResumes.Load(),
@@ -73,23 +81,24 @@ func (w *WorkerCounters) Snapshot() Counters {
 		StackGlobalGets: w.StackGlobalGets.Load(),
 		ThiefParks:      w.ThiefParks.Load(),
 		ThiefWakeups:    w.ThiefWakeups.Load(),
+		InterestSignals: w.InterestSignals.Load(),
 	}
 }
 
 // pad separates counter blocks by two cache lines to avoid false sharing,
-// including through the adjacent-line prefetcher (15 × 8 = 120 B of
-// counters, padded to 128 B). The compile-time guard below keeps the pad
-// honest when counters are added or removed.
+// including through the adjacent-line prefetcher (18 × 8 = 144 B of
+// counters, padded to 256 B — two 128-byte units). The compile-time guard
+// below keeps the pad honest when counters are added or removed.
 type paddedCounters struct {
 	WorkerCounters
 	_ [128 - unsafe.Sizeof(WorkerCounters{})%128]byte
 }
 
 // Both constants underflow (a compile error) unless the block is exactly
-// one 128-byte unit.
+// two 128-byte units.
 const (
-	_ uintptr = unsafe.Sizeof(paddedCounters{}) - 128
-	_ uintptr = 128 - unsafe.Sizeof(paddedCounters{})
+	_ uintptr = unsafe.Sizeof(paddedCounters{}) - 256
+	_ uintptr = 256 - unsafe.Sizeof(paddedCounters{})
 )
 
 // Recorder holds one counter block per worker.
@@ -115,6 +124,8 @@ func (r *Recorder) Aggregate() Counters {
 		b := r.blocks[i].Snapshot()
 		c.Spawns += b.Spawns
 		c.InlineSpawns += b.InlineSpawns
+		c.InlineRuns += b.InlineRuns
+		c.PromotedSpawns += b.PromotedSpawns
 		c.DegradedSpawns += b.DegradedSpawns
 		c.TokenKeepSyncs += b.TokenKeepSyncs
 		c.LocalResumes += b.LocalResumes
@@ -128,6 +139,7 @@ func (r *Recorder) Aggregate() Counters {
 		c.StackGlobalGets += b.StackGlobalGets
 		c.ThiefParks += b.ThiefParks
 		c.ThiefWakeups += b.ThiefWakeups
+		c.InterestSignals += b.InterestSignals
 	}
 	return c
 }
@@ -136,8 +148,11 @@ func (r *Recorder) Aggregate() Counters {
 // scheduler makes forward progress. FailedSteals is deliberately
 // excluded: an idle or stuck thief fails steals forever without the
 // computation advancing, and the watchdog must tell those apart.
+// InterestSignals is excluded for the same reason — a thief repeatedly
+// signalling interest on records is still a thief without work.
 func (c Counters) ProgressSum() int64 {
-	return c.Spawns + c.InlineSpawns + c.DegradedSpawns + c.TokenKeepSyncs +
+	return c.Spawns + c.InlineSpawns + c.InlineRuns + c.PromotedSpawns +
+		c.DegradedSpawns + c.TokenKeepSyncs +
 		c.LocalResumes + c.Steals +
 		c.ImplicitSyncs + c.ExplicitSyncs + c.Suspensions +
 		c.VesselDispatch + c.ThiefParks + c.ThiefWakeups

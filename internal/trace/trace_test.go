@@ -24,6 +24,8 @@ func TestAggregateAllFields(t *testing.T) {
 	w := r.Worker(0)
 	w.Spawns.Store(1)
 	w.InlineSpawns.Store(2)
+	w.InlineRuns.Store(16)
+	w.PromotedSpawns.Store(17)
 	w.DegradedSpawns.Store(14)
 	w.TokenKeepSyncs.Store(15)
 	w.LocalResumes.Store(3)
@@ -37,8 +39,9 @@ func TestAggregateAllFields(t *testing.T) {
 	w.StackGlobalGets.Store(11)
 	w.ThiefParks.Store(12)
 	w.ThiefWakeups.Store(13)
+	w.InterestSignals.Store(18)
 	c := r.Aggregate()
-	want := Counters{1, 2, 14, 15, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	want := Counters{1, 2, 16, 17, 14, 15, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 18}
 	if c != want {
 		t.Errorf("aggregate = %+v, want %+v", c, want)
 	}

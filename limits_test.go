@@ -76,10 +76,34 @@ func TestLimitedCorrectAcrossBudgets(t *testing.T) {
 	}
 }
 
-// TestLimitedSerialBudgetMatchesElision: with one worker and a
-// one-vessel budget every spawn degrades, so the answer must equal the
-// serial elision's and the parallel spawn counter must stay zero.
+// TestLimitedSerialBudgetMatchesElision: with one worker, a one-vessel
+// budget and eager spawning, every spawn degrades, so the answer must
+// equal the serial elision's and the parallel spawn counter must stay
+// zero. (Under the default lazy policy the budget never binds — see
+// TestLimitedSerialBudgetLazy.)
 func TestLimitedSerialBudget(t *testing.T) {
+	for _, v := range limitedVariants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			rt := NewLimited(v, 1, Limits{MaxVessels: 1, Spawn: SpawnEager})
+			defer Close(rt)
+			checkKernels(t, rt)
+			rs, _ := Resources(rt)
+			if rs.DegradedSpawns == 0 {
+				t.Fatal("DegradedSpawns = 0 under a one-vessel budget")
+			}
+			if rs.VesselHighWater != 1 {
+				t.Fatalf("high water = %d, want 1", rs.VesselHighWater)
+			}
+		})
+	}
+}
+
+// TestLimitedSerialBudgetLazy is the same one-vessel budget under the
+// default lazy spawn policy: inline children consume no vessel budget at
+// all, so the run completes with neither degradation nor vessel growth —
+// the budget simply never binds on the no-steal path.
+func TestLimitedSerialBudgetLazy(t *testing.T) {
 	for _, v := range limitedVariants {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
@@ -87,8 +111,8 @@ func TestLimitedSerialBudget(t *testing.T) {
 			defer Close(rt)
 			checkKernels(t, rt)
 			rs, _ := Resources(rt)
-			if rs.DegradedSpawns == 0 {
-				t.Fatal("DegradedSpawns = 0 under a one-vessel budget")
+			if rs.DegradedSpawns != 0 {
+				t.Fatalf("DegradedSpawns = %d, want 0 (lazy spawns request no vessel)", rs.DegradedSpawns)
 			}
 			if rs.VesselHighWater != 1 {
 				t.Fatalf("high water = %d, want 1", rs.VesselHighWater)

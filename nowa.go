@@ -151,6 +151,26 @@ func schedConfig(v Variant, workers int) (sched.Config, bool) {
 	return sched.Config{}, false
 }
 
+// SpawnPolicy selects how the continuation-stealing runtimes map
+// spawned children onto execution goroutines (vessels); see the
+// internal/sched SpawnMode documentation for the full semantics.
+type SpawnPolicy = sched.SpawnMode
+
+const (
+	// SpawnAdaptive (the default everywhere) spawns lazily — the child
+	// runs inline behind a promotable record, paying no goroutine
+	// handoff — and converts to eager bursts when thieves signal
+	// interest or the vessel suspends.
+	SpawnAdaptive = sched.SpawnAdaptive
+	// SpawnEager pays the full vessel handoff on every spawn: the
+	// pre-promotion behaviour. Required when a child blocks on a signal
+	// that only the code after the Spawn call can provide.
+	SpawnEager = sched.SpawnEager
+	// SpawnLazy spawns lazily without the adaptive bursts (an ablation
+	// knob).
+	SpawnLazy = sched.SpawnLazy
+)
+
 // Limits bounds a runtime's resources. Exhaustion degrades gracefully —
 // spawns run inline on the caller's strand, preserving correctness while
 // shedding parallelism — instead of growing without bound or aborting.
@@ -169,6 +189,13 @@ type Limits struct {
 	// execution until stacks are returned or trimmed. Zero means
 	// unbounded.
 	MaxStacks int
+	// Spawn selects the spawn policy the budgets apply to. Under the
+	// default (SpawnAdaptive) a vessel budget binds only on promoted
+	// spawns: lazily spawned children run inline on the parent's vessel
+	// and consume no vessel at all. SpawnEager restores the
+	// pre-promotion accounting in which every spawn requests a vessel
+	// and a tight budget forces inline degradation.
+	Spawn SpawnPolicy
 }
 
 // ResourceStats is a snapshot of a runtime's resource accounting; see
@@ -194,6 +221,7 @@ func NewLimited(v Variant, workers int, lim Limits) Runtime {
 	}
 	cfg.MaxVessels = lim.MaxVessels
 	cfg.SoftMaxVessels = lim.SoftMaxVessels
+	cfg.Spawn = lim.Spawn
 	if lim.MaxStacks > 0 {
 		cfg.Stacks.GlobalCap = lim.MaxStacks
 		cfg.Stacks.CapMode = cactus.CapSoft
