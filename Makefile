@@ -38,8 +38,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs nowa-vet, the stdlib-only static analyzer that enforces the
-# scheduler's concurrency and hot-path invariants (see DESIGN.md §10).
+# lint runs nowa-vet, the stdlib-only static analyzer suite that
+# enforces the scheduler's concurrency and hot-path invariants —
+# atomicmix, hotpath, padguard, joinenc, lockorder, fsm, replaycover
+# (see DESIGN.md §10). Human-readable output; CI additionally captures
+# `nowa-vet -json` as an artifact.
 lint:
 	$(GO) run ./cmd/nowa-vet ./...
 

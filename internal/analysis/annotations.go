@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"strconv"
 	"strings"
 )
 
@@ -41,21 +42,74 @@ import (
 //	    protocol state: its fields may be operated on only inside
 //	    internal/core and internal/sched (the joinenc analyzer).
 //
+//	//nowa:lock level=N name=<name>
+//	    Declaration-scoped, on a sync.Mutex struct field. Enrolls the
+//	    mutex in the module lock hierarchy at level N (levels strictly
+//	    increase along any acquisition chain). The lockorder analyzer
+//	    flags out-of-order acquisition, double-lock, and an enrolled
+//	    lock held across a blocking boundary (channel op, select
+//	    without default, Cond.Wait, time.Sleep — directly or through
+//	    any statically resolvable callee).
+//
+//	//nowa:lock-ok <reason>
+//	    Line-scoped. Permits one flagged lockorder construct — a
+//	    documented blocking call made while holding an enrolled lock
+//	    (vessel teardown delivering a wake under govMu). The reason is
+//	    mandatory.
+//
+//	//nowa:fsm phases=<p1,p2,...> transitions=<a>b,c>d,...> [mask=<M>]
+//	    Declaration-scoped, on an atomic struct field (wrapper type or
+//	    raw word accessed via sync/atomic). Declares the field's packed
+//	    state machine: phases name constants of the field's package
+//	    (or the literals false,true for atomic.Bool); transitions list
+//	    the legal phase edges as from>to pairs. With mask=M, the phase
+//	    lives in the bits of constant M and x&^M is phase-neutral (the
+//	    other bits are free payload, e.g. an ABA round counter). The
+//	    fsm analyzer checks every CompareAndSwap/Swap/Store/plain
+//	    write against the declared machine.
+//
+//	//nowa:fsm-ok <reason>
+//	    Line-scoped. Permits one atomic operation on an fsm field whose
+//	    phases the analyzer cannot infer statically (a CAS whose old
+//	    value was loaded and dynamically guarded). The reason is
+//	    mandatory.
+//
+//	//nowa:replay-diagnostic <reason>
+//	    Declaration-scoped, on a replay.Kind constant. Marks the event
+//	    kind as trace-only: it is recorded for divergence checking and
+//	    diagnostics but intentionally never consulted by the replay
+//	    cursor. The replaycover analyzer requires every non-diagnostic
+//	    kind to be consumed on the replay path.
+//
+//	//nowa:replay-reserved <reason>
+//	    Declaration-scoped, on a replay.Kind constant. Marks the kind
+//	    as deliberately unemitted (reserved encoding space or emitted
+//	    only by external tooling); replaycover otherwise requires every
+//	    kind to have at least one record site.
+//
 // Line-scoped annotations cover the line they sit on (trailing comment)
 // or the line immediately below (comment on its own line). A reason, when
-// required, is free text to end of line and must be non-empty; malformed
-// annotations are themselves reported as findings.
+// required, is free text to end of line and must be non-empty; for verbs
+// taking key=value arguments (lock, fsm) the argument string is carried
+// in the same field and parsed by the analyzer. Malformed annotations are
+// themselves reported as findings.
 
 const notePrefix = "//nowa:"
 
 // noteVerbs maps each verb to whether it requires a reason.
 var noteVerbs = map[string]bool{
-	"hotpath":    false,
-	"coldpath":   true,
-	"hotpath-ok": true,
-	"plain-ok":   true,
-	"nopad":      true,
-	"join-state": false,
+	"hotpath":           false,
+	"coldpath":          true,
+	"hotpath-ok":        true,
+	"plain-ok":          true,
+	"nopad":             true,
+	"join-state":        false,
+	"lock":              true, // "reason" carries the key=value args
+	"lock-ok":           true,
+	"fsm":               true, // "reason" carries the key=value args
+	"fsm-ok":            true,
+	"replay-diagnostic": true,
+	"replay-reserved":   true,
 }
 
 // Note is one parsed //nowa: annotation.
@@ -142,14 +196,21 @@ func (n *Notes) lineNote(pos token.Position, verb string) bool {
 // declNote reports whether verb annotates a declaration: anywhere in the
 // doc comment group, or trailing on the declaration's first line.
 func (n *Notes) declNote(m *Module, doc *ast.CommentGroup, declPos token.Pos, verb string) bool {
+	_, ok := n.declNoteGet(m, doc, declPos, verb)
+	return ok
+}
+
+// declNoteGet returns the verb's Note on a declaration (doc comment group
+// or the declaration's first line), for verbs that carry arguments.
+func (n *Notes) declNoteGet(m *Module, doc *ast.CommentGroup, declPos token.Pos, verb string) (Note, bool) {
 	pos := m.position(declPos)
 	byLine := n.byFileLine[pos.Filename]
 	if byLine == nil {
-		return false
+		return Note{}, false
 	}
 	for _, note := range byLine[pos.Line] {
 		if note.Verb == verb {
-			return true
+			return note, true
 		}
 	}
 	if doc != nil {
@@ -158,10 +219,29 @@ func (n *Notes) declNote(m *Module, doc *ast.CommentGroup, declPos token.Pos, ve
 		for l := start; l <= end; l++ {
 			for _, note := range byLine[l] {
 				if note.Verb == verb {
-					return true
+					return note, true
 				}
 			}
 		}
 	}
-	return false
+	return Note{}, false
+}
+
+// parseArgs splits an annotation payload of whitespace-separated
+// key=value tokens ("level=2 name=allMu"). Tokens without '=' or with an
+// empty key/value, and repeated keys, return an error message; "" on
+// success.
+func parseArgs(s string) (map[string]string, string) {
+	args := make(map[string]string)
+	for _, tok := range strings.Fields(s) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || k == "" || v == "" {
+			return nil, "malformed argument " + strconv.Quote(tok) + " (want key=value)"
+		}
+		if _, dup := args[k]; dup {
+			return nil, "duplicate argument key " + strconv.Quote(k)
+		}
+		args[k] = v
+	}
+	return args, ""
 }

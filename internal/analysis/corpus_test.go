@@ -82,6 +82,38 @@ func TestJoinencCorpus(t *testing.T) {
 	})
 }
 
+func TestLockorderCorpus(t *testing.T) {
+	m := loadCorpus(t, "lockorder")
+	wantFindings(t, RunAll(m, []*Analyzer{Lockorder()}), []string{
+		"lock outer (level 1) acquired while holding inner (level 2)",
+		"lock outer acquired while already held (double-lock)",
+		"call to (*state).lockInner re-acquires inner already held (double-lock)",
+		"channel send while holding outer (level 1)",
+		"call to sleeper (which may block on a channel or park) while holding outer (level 1)",
+	})
+}
+
+func TestFsmCorpus(t *testing.T) {
+	m := loadCorpus(t, "fsm")
+	wantFindings(t, RunAll(m, []*Analyzer{Fsm()}), []string{
+		"CompareAndSwap on fsm field gate.word implements undeclared transition idle>firing",
+		"Store on fsm field gate.word: cannot infer the stored phase statically",
+		"Add on fsm field gate.word",
+		"CompareAndSwap on fsm field rawGate.raw implements undeclared transition armed>idle",
+	})
+}
+
+func TestReplaycoverCorpus(t *testing.T) {
+	m := loadCorpus(t, "replaycover")
+	wantFindings(t, RunAll(m, []*Analyzer{Replaycover()}), []string{
+		"replay.Kind KDead is never emitted",
+		"replay.Kind KAsym is recorded but never consulted",
+		"replay.Kind KOdd is annotated //nowa:replay-diagnostic but the replay cursor consumes it",
+		"replay.Kind KOver is annotated //nowa:replay-reserved but has a record site",
+		"replay.Kind KOver is recorded but never consulted",
+	})
+}
+
 func TestAnnotationGrammarCorpus(t *testing.T) {
 	m := loadCorpus(t, "annotation")
 	wantFindings(t, RunAll(m, nil), []string{

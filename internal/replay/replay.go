@@ -38,14 +38,17 @@ const (
 	// KNone is the zero Kind; it never appears in a log.
 	KNone Kind = iota
 	// KRunStart marks a Run beginning (worker 0's stream).
+	//nowa:replay-diagnostic run boundary marker for log inspection; alignment is positional, not consumed
 	KRunStart
 	// KRunEnd marks a Run completing (worker 0's stream).
+	//nowa:replay-diagnostic run boundary marker for log inspection; alignment is positional, not consumed
 	KRunEnd
 	// KVictim is a bare steal-victim draw; Arg is the chosen victim. The
 	// scheduler folds the draw into the KSteal* outcome events instead of
 	// emitting this — every victim-bearing kind replays as a victim
 	// decision — but the kind is reserved for logs that record draws
 	// without outcomes.
+	//nowa:replay-reserved victim draws are folded into the KSteal* outcome kinds; reserved for logs that record draws without outcomes
 	KVictim
 	// KStealHit is a steal attempt whose popTop succeeded; Arg is the
 	// drawn victim. A decision: replay feeds the victim back in.
@@ -58,20 +61,27 @@ const (
 	// KStealHit.
 	KStealLost
 	// KPopHit is a popBottom hit at strand end (continuation not stolen).
+	//nowa:replay-diagnostic deterministic outcome of the replayed interleaving; logged for divergence context
 	KPopHit
 	// KPopMiss is a popBottom miss at strand end (implicit sync).
+	//nowa:replay-diagnostic deterministic outcome of the replayed interleaving; logged for divergence context
 	KPopMiss
 	// KPark is an idle thief parking past the fail threshold.
+	//nowa:replay-diagnostic idle-loop trace; park points are derived from the replayed steal decisions
 	KPark
 	// KWake is a parked thief waking.
+	//nowa:replay-diagnostic idle-loop trace; wake points are derived from the replayed steal decisions
 	KWake
 	// KSuspend is a parent suspending at an explicit sync point.
+	//nowa:replay-diagnostic join-boundary trace; suspension is determined by the replayed steal outcomes
 	KSuspend
 	// KResume is a suspended parent resuming; recorded on the worker
 	// token the parent resumed with.
+	//nowa:replay-diagnostic join-boundary trace; resumption is determined by the replayed steal outcomes
 	KResume
 	// KBlocked marks a parker rendezvous that exhausted its spin budget
 	// and took the blocking channel path; Site is a Block* constant.
+	//nowa:replay-diagnostic rendezvous-path trace; spin-vs-block is host timing, not a schedule decision
 	KBlocked
 	// KChaos is a chaos roll; Site is a Site* constant and Arg is 1 when
 	// the injection fired. A decision: replay feeds the outcome back in
@@ -79,36 +89,45 @@ const (
 	KChaos
 	// KGov is a governor kick (external stream); Arg is the number of
 	// resources reclaimed, saturating at 65535.
+	//nowa:replay-diagnostic external governor trace; trims are not replayed
 	KGov
 	// KPanic is a strand panic being recorded (external stream).
+	//nowa:replay-diagnostic failure forensics only
 	KPanic
 	// KSubmit is a service submission being admitted (external stream);
 	// Arg is the truncated submission id. Diagnostic only — submission
 	// boundary events are never consumed as replay decisions (service
 	// schedules are not replayable; see nextDecision).
+	//nowa:replay-diagnostic service boundary trace; service schedules are not replayable (see nextDecision)
 	KSubmit
 	// KSubReject is an admission refusal (external stream): FailFast
 	// overload or an admission-time chaos injection; Site distinguishes.
+	//nowa:replay-diagnostic service boundary trace; service schedules are not replayable (see nextDecision)
 	KSubReject
 	// KSubShed is a queued submission evicted oldest-first (external
 	// stream); Arg is the victim's id.
+	//nowa:replay-diagnostic service boundary trace; service schedules are not replayable (see nextDecision)
 	KSubShed
 	// KSubStart is the dispatcher spawning an admitted submission
 	// (dispatcher worker's stream); Arg is the submission id.
+	//nowa:replay-diagnostic service boundary trace; service schedules are not replayable (see nextDecision)
 	KSubStart
 	// KSubDone is a submission's wrapper strand completing (that
 	// strand's worker stream); Arg is the submission id.
+	//nowa:replay-diagnostic service boundary trace; service schedules are not replayable (see nextDecision)
 	KSubDone
 	// KInlineRun is a lazy spawn committing to inline execution: the
 	// owner won the commit CAS against thief interest and ran the child
 	// on its own vessel. Not a decision — the commit outcome is fully
 	// determined by the (recorded) thief interleaving and chaos rolls —
 	// so replay alignment is preserved (see nextDecision).
+	//nowa:replay-diagnostic commit outcome is fully determined by the recorded thief interleaving and chaos rolls
 	KInlineRun
 	// KPromote is a lazy spawn being promoted to the full eager vessel
 	// handoff; Site is a Promote* constant naming the trigger. Recorded
 	// on the owner's stream at the promotion point. Not a decision, like
 	// KInlineRun.
+	//nowa:replay-diagnostic promotion trigger trace, fully determined by the recorded decisions
 	KPromote
 )
 

@@ -53,6 +53,7 @@ func (r *subRing) pop() *Submission {
 //
 //nowa:nopad one admitQueue per service, embedded in the service singleton; no adjacent instances to false-share with
 type admitQueue struct {
+	//nowa:lock level=4 name=adm.mu
 	mu     sync.Mutex
 	high   subRing
 	norm   subRing

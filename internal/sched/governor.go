@@ -169,7 +169,7 @@ func (rt *Runtime) trimVessels(floor int) int {
 		}
 	}
 	for _, v := range victims {
-		rt.stopVessel(v)
+		rt.stopVessel(v) //nowa:lock-ok the victims are pooled (parked) vessels already unlinked from every free list; their parkers have a spinning or blocked owner, so deliver's buffered send cannot block
 	}
 	return len(victims)
 }

@@ -55,6 +55,7 @@ import (
 //
 //nowa:nopad parkers live inside individually heap-allocated vessels; there are no adjacent parker instances to false-share with
 type parker struct {
+	//nowa:fsm phases=parkerIdle,parkerWaiting,parkerReady transitions=parkerIdle>parkerWaiting,parkerIdle>parkerReady,parkerWaiting>parkerReady,parkerReady>parkerIdle
 	state uint32
 	wake  chan struct{}
 }

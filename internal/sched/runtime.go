@@ -58,6 +58,7 @@ type Runtime struct {
 	vglobal   vesselGlobalList
 	scopePool sync.Pool
 
+	//nowa:lock level=2 name=allMu
 	allMu      sync.Mutex
 	allVessels []*vessel
 	closed     bool
@@ -73,7 +74,12 @@ type Runtime struct {
 
 	// govMu serialises governor trims (which touch the owner-local vessel
 	// caches when the runtime is idle) against Run start and Close; Run
-	// acquires it only for the instant of the running transition.
+	// acquires it only for the instant of the running transition. Its
+	// place in the runtime's lock hierarchy — always before allMu and
+	// the pool's vglobal.mu — is declared by the //nowa:lock levels on
+	// the three fields; the lockorder analyzer enforces the order at
+	// build time, so the annotation below is the source of truth.
+	//nowa:lock level=1 name=govMu
 	govMu sync.Mutex
 
 	running    atomic.Bool
@@ -454,7 +460,7 @@ func (rt *Runtime) Close() {
 	rt.closed = true
 	for _, v := range rt.allVessels {
 		v.disp = dispatch{stop: true}
-		v.pk.deliver()
+		v.pk.deliver() //nowa:lock-ok shutdown broadcast: every vessel is parked awaiting a dispatch and each parker's wake channel holds a one-slot buffer, so the send cannot block the closer
 	}
 }
 

@@ -289,6 +289,10 @@ type service struct {
 	adm     admitQueue
 	runDone chan struct{}
 	runErr  error // runInternal's result, set before runDone closes
+	// closing latches the drain decision: exactly one Close wins the CAS
+	// and runs the wind-down; the latch never resets for the service's
+	// lifetime.
+	//nowa:fsm phases=false,true transitions=false>true
 	closing atomic.Bool
 
 	subSeq   atomic.Uint32

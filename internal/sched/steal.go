@@ -208,7 +208,7 @@ func (rt *Runtime) claimRecord(w int, c *cont) {
 		if ph := st & recPhaseMask; ph != recPending && ph != recInline {
 			return
 		}
-		if c.state.CompareAndSwap(st, st&^recPhaseMask|recInterest) {
+		if c.state.CompareAndSwap(st, st&^recPhaseMask|recInterest) { //nowa:fsm-ok the old word is a dynamically guarded load: the line above restricts its phase to pending or inline, and both pending>interest and inline>interest are declared transitions
 			if rt.countersOn {
 				rt.rec.Worker(w).InterestSignals.Add(1)
 			}

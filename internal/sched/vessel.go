@@ -60,6 +60,7 @@ type cont struct {
 	// through the ring or pool — so a thief's CAS against a stale load
 	// fails on the round mismatch (ABA defense; the 2^29-round
 	// wraparound window is accepted).
+	//nowa:fsm mask=recPhaseMask phases=recIdle,recPending,recInline,recInterest transitions=recIdle>recPending,recPending>recInline,recPending>recInterest,recInline>recInterest,recInline>recIdle,recInterest>recIdle
 	state atomic.Uint32
 }
 
@@ -181,6 +182,7 @@ type vesselFreeList struct {
 // vesselGlobalList is the shared overflow list behind the owner-local
 // caches; the mutex is only taken when a local list misses or overflows.
 type vesselGlobalList struct {
+	//nowa:lock level=3 name=vglobal.mu
 	mu   sync.Mutex
 	free []*vessel
 }
