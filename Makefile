@@ -10,9 +10,9 @@ GO ?= go
 
 # The race-enabled stress subset, shared by `race` and `verify` so the
 # two gates cannot drift apart.
-RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestPromote|TestReplay|TestService|TestSubmit' ./...
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestPromote|TestReplay|TestService|TestSubmit|TestStall|TestHedge|TestResilience' ./...
 
-.PHONY: verify fmt build vet lint test race bench bench-all torture serve-smoke
+.PHONY: verify fmt build vet lint test race bench bench-all torture serve-smoke fault-smoke
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -88,3 +88,15 @@ serve-smoke:
 	$(GO) run ./cmd/nowa-serve -variants nowa -policies failfast,shed \
 		-dur 300ms -points 6 -start-rate 1000 -json BENCH_serve.json
 	$(GO) run ./cmd/nowa-torture -service -duration 10s -out torture-out
+
+# fault-smoke exercises the fault-tolerance stack (DESIGN.md §15): a
+# stall-classed torture soak (injected worker stalls with stall recovery
+# armed, batch and service, conservation checked every trial) and the
+# nowa-serve fault campaign (baseline vs stall vs stall+supplement vs
+# stall+supplement+hedge), which fails on any leak, unretired
+# supplement, never-seized recovery run, or goodput dropping below 80%
+# of the clean baseline while supplemented.
+fault-smoke:
+	$(GO) run ./cmd/nowa-torture -duration 15s -chaos stall -out torture-out
+	$(GO) run ./cmd/nowa-torture -service -duration 15s -chaos stall -out torture-out
+	$(GO) run ./cmd/nowa-serve -faults-only -workers 4 -dur 1s -json BENCH_serve_faults.json

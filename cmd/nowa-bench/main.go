@@ -436,6 +436,30 @@ func runServe(variants []nowa.Variant, pointDur time.Duration, jsonPath string) 
 			rep.Curves = append(rep.Curves, curve)
 		}
 	}
+
+	// The fault campaign: injected worker stalls measured bare, with
+	// stall recovery armed, and with a hedging client — the resilience
+	// counterpart of the overload curves above. Leaks are fatal; the
+	// throughput-recovery ratio is reported (the hard gate lives in
+	// cmd/nowa-serve -faults, like the latency gate).
+	fmt.Println("fault campaign:")
+	frep := loadgen.FaultSweep(loadgen.FaultSweepConfig{
+		Workers:  workers,
+		PointDur: pointDur,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	rep.Faults = &frep
+	leaks, degraded := loadgen.CheckFaultReport(frep)
+	for _, msg := range leaks {
+		fmt.Fprintf(os.Stderr, "  FAIL %s\n", msg)
+		bad++
+	}
+	for _, msg := range degraded {
+		fmt.Fprintf(os.Stderr, "  WARN %s\n", msg)
+	}
+
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -43,8 +43,17 @@ func main() {
 	iters := flag.Int("iters", 2000, "spin iterations per strand of the fork/join task")
 	submitters := flag.Int("submitters", 4, "producer goroutines")
 	retry := flag.Bool("retry", true, "retry refused/shed submissions once, honouring the hint")
+	faults := flag.Bool("faults", false,
+		"append the fault campaign: injected worker stalls measured bare, with stall recovery, and with a hedging client")
+	faultsOnly := flag.Bool("faults-only", false, "run only the fault campaign, skipping the rate sweep")
+	stallFor := flag.Duration("stall-for", 20*time.Millisecond, "with -faults: injected stall length")
+	stallEvery := flag.Int("stall-every", 300, "with -faults: one injected stall per N finish-window rolls")
+	stallThreshold := flag.Duration("stall-threshold", time.Millisecond, "with -faults: stall-recovery seizure threshold")
 	jsonPath := flag.String("json", "BENCH_serve.json", "report output path (empty to skip)")
 	flag.Parse()
+	if *faultsOnly {
+		*faults = true
+	}
 
 	variants, err := parseVariants(*variantsFlag)
 	if err != nil {
@@ -63,6 +72,9 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	bad := 0
+	if *faultsOnly {
+		variants = nil
+	}
 	for _, v := range variants {
 		for _, pol := range policies {
 			fmt.Printf("%s / %s:\n", v, pol)
@@ -90,6 +102,32 @@ func main() {
 				bad++
 			}
 			rep.Curves = append(rep.Curves, curve)
+		}
+	}
+
+	if *faults {
+		fmt.Println("fault campaign:")
+		frep := loadgen.FaultSweep(loadgen.FaultSweepConfig{
+			Workers:        *workers,
+			QueueDepth:     *depth,
+			PointDur:       *dur,
+			Submitters:     *submitters,
+			StallEvery:     *stallEvery,
+			StallFor:       *stallFor,
+			StallThreshold: *stallThreshold,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		rep.Faults = &frep
+		leaks, degraded := loadgen.CheckFaultReport(frep)
+		for _, msg := range leaks {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", msg)
+			bad++
+		}
+		for _, msg := range degraded {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", msg)
+			bad++
 		}
 	}
 

@@ -41,11 +41,13 @@ import (
 
 func main() {
 	var (
-		duration   = flag.Duration("duration", 30*time.Second, "soak duration")
-		seed       = flag.Int64("seed", 1, "trial-matrix seed")
-		out        = flag.String("out", "torture-out", "directory for repro bundles")
-		kernels    = flag.String("kernels", "fib,integrate,quicksort,nqueens", "comma-separated kernel list (test scale)")
-		variants   = flag.String("variants", "nowa,nowa-the,fibril,cilkplus", "comma-separated variant list")
+		duration = flag.Duration("duration", 30*time.Second, "soak duration")
+		seed     = flag.Int64("seed", 1, "trial-matrix seed")
+		out      = flag.String("out", "torture-out", "directory for repro bundles")
+		kernels  = flag.String("kernels", "fib,integrate,quicksort,nqueens", "comma-separated kernel list (test scale)")
+		variants = flag.String("variants", "nowa,nowa-the,fibril,cilkplus", "comma-separated variant list")
+		chaos    = flag.String("chaos", strings.Join(chaosClasses, ","),
+			"comma-separated chaos classes the matrix may draw (off, light, heavy, promote, stall)")
 		maxWorkers = flag.Int("workers", runtime.NumCPU(), "cap on trial worker counts")
 		ringCap    = flag.Int("ring", 1<<15, "per-worker recorder capacity (events)")
 		replayPath = flag.String("replay", "", "replay a bundle instead of soaking")
@@ -67,6 +69,7 @@ func main() {
 			out:        *out,
 			kernels:    splitList(*kernels),
 			variants:   splitList(*variants),
+			chaos:      splitList(*chaos),
 			maxWorkers: *maxWorkers,
 			ringCap:    *ringCap,
 			service:    *service,
@@ -116,6 +119,9 @@ func chaosFromSpec(s *replay.ChaosSpec) *sched.Chaos {
 		AllocFail: s.AllocFail, SyncVesselFail: s.SyncVesselFail,
 		LeakVessel: s.LeakVessel, SubmitFail: s.SubmitFail,
 		StealInterest: s.StealInterest, DelaySpins: s.DelaySpins,
+		StallWorker: s.StallWorker, StallFor: time.Duration(s.StallForUS) * time.Microsecond,
+		SubmitLatency:    s.SubmitLatency,
+		SubmitLatencyFor: time.Duration(s.SubmitLatencyForUS) * time.Microsecond,
 	}
 }
 
@@ -129,6 +135,9 @@ func specFromChaos(c *sched.Chaos) *replay.ChaosSpec {
 		AllocFail: c.AllocFail, SyncVesselFail: c.SyncVesselFail,
 		LeakVessel: c.LeakVessel, SubmitFail: c.SubmitFail,
 		StealInterest: c.StealInterest, DelaySpins: c.DelaySpins,
+		StallWorker: c.StallWorker, StallForUS: c.StallFor.Microseconds(),
+		SubmitLatency:      c.SubmitLatency,
+		SubmitLatencyForUS: c.SubmitLatencyFor.Microseconds(),
 	}
 }
 
@@ -149,7 +158,22 @@ func buildConfig(m replay.Meta) (sched.Config, error) {
 	}
 	cfg.ParkAfter = m.ParkAfter
 	cfg.Chaos = chaosFromSpec(m.Chaos)
+	cfg.StallThreshold = time.Duration(m.StallThresholdUS) * time.Microsecond
+	cfg.MaxSupplements = m.MaxSupplements
 	return cfg, nil
+}
+
+// recSlots is the recorder width a trial needs: base workers plus the
+// supplemental slots stall recovery may occupy (supplements record
+// scheduling decisions on extended slot indices).
+func recSlots(m replay.Meta) int {
+	if m.StallThresholdUS <= 0 {
+		return m.Workers
+	}
+	if m.MaxSupplements > 0 {
+		return m.Workers + m.MaxSupplements
+	}
+	return 2 * m.Workers // MaxSupplements defaults to Workers
 }
 
 // runTrial executes one trial and checks every invariant, returning ""
@@ -204,14 +228,21 @@ func runTrial(m replay.Meta, rec *replay.Recorder, log *replay.Log) (failure str
 	if left := rt.DebugTokensLeft(); left != 0 {
 		return fmt.Sprintf("tokens: %d tokens unaccounted after Run", left)
 	}
-	// Quiescence: no continuation may survive in any deque.
-	for w := 0; w < m.Workers; w++ {
+	// Quiescence: no continuation may survive in any deque, including
+	// the extended slots stall-recovery supplements ran on.
+	for w := 0; w < rt.DebugSlots(); w++ {
 		if n := rt.DebugDequeSize(w); n != 0 {
 			return fmt.Sprintf("quiescence: deque %d holds %d continuations after Run", w, n)
 		}
 	}
 	// Leak reconciliation: idle-time resource accounting must balance.
 	st := rt.Stats()
+	// Supplement conservation: every supplemental worker dispatched by
+	// stall recovery retired its token by the end of the run.
+	if st.WorkersSupplemented != st.SupplementsRetired {
+		return fmt.Sprintf("supplement-leak: %d supplements dispatched, %d retired",
+			st.WorkersSupplemented, st.SupplementsRetired)
+	}
 	if st.VesselsLeaked != 0 {
 		return fmt.Sprintf("vessel-leak: %d vessels never returned to a free list", st.VesselsLeaked)
 	}
@@ -247,6 +278,7 @@ type serviceSpec struct {
 	panicEvery    int // every Nth submission panics at top level (0 = never)
 	deadlineEvery int // every Nth submission carries a 0–3ms deadline
 	prioEvery     int // every Nth submission is high priority
+	stallEvery    int // every Nth submission sleeps 2ms mid-strand (0 = never)
 	burst         int // submissions left in flight when Close drains
 }
 
@@ -260,22 +292,15 @@ func drawServiceSpec(rng *uint64) serviceSpec {
 		panicEvery:    []int{0, 5, 9}[pick(3)],
 		deadlineEvery: []int{0, 3, 7}[pick(3)],
 		prioEvery:     []int{0, 4}[pick(2)],
+		stallEvery:    []int{0, 0, 7}[pick(3)],
 		burst:         pick(24),
 	}
 }
 
 func serviceLabel(m replay.Meta, sc serviceSpec) string {
-	chaos := "chaos=off"
-	if m.Chaos != nil {
-		if m.Chaos.StealFail >= 128 {
-			chaos = "chaos=heavy"
-		} else {
-			chaos = "chaos=light"
-		}
-	}
-	return fmt.Sprintf("service/%s w=%d seed=%d %s policy=%s depth=%d producers=%d×%d panic1/%d deadline1/%d burst=%d",
-		m.Variant, m.Workers, m.Seed, chaos, sc.policy, sc.depth,
-		sc.producers, sc.perProd, sc.panicEvery, sc.deadlineEvery, sc.burst)
+	return fmt.Sprintf("service/%s w=%d seed=%d %s policy=%s depth=%d producers=%d×%d panic1/%d deadline1/%d stall1/%d burst=%d",
+		m.Variant, m.Workers, m.Seed, chaosLabel(m.Chaos), sc.policy, sc.depth,
+		sc.producers, sc.perProd, sc.panicEvery, sc.deadlineEvery, sc.stallEvery, sc.burst)
 }
 
 // tortureSink keeps the service-trial spin work observable.
@@ -326,6 +351,20 @@ func runServiceTrial(m replay.Meta, sc serviceSpec) (failure string) {
 		s.Sync()
 		tortureSink.Add(int64(a + b + d))
 	}
+	// stallTask plants an application-level mid-strand stall: a spawned
+	// strand sleeps while holding its worker token, exactly the fault
+	// stall recovery (Config.StallThreshold) exists to survive. When the
+	// trial arms recovery, these sleeps drive seize/supplement cycles
+	// concurrently with panics, deadlines and admission chaos.
+	stallTask := func(c api.Ctx) {
+		s := c.Scope()
+		var a, b int
+		s.Spawn(func(api.Ctx) { time.Sleep(2 * time.Millisecond); a = spinWork(256) })
+		s.Spawn(func(api.Ctx) { b = spinWork(256) })
+		d := spinWork(256)
+		s.Sync()
+		tortureSink.Add(int64(a + b + d))
+	}
 	// Top-level only: a panic inside an open scope legitimately reports
 	// the scope as leaked, which would drown the leak invariant below.
 	panicTask := func(api.Ctx) { panic("torture: planted submission panic") }
@@ -349,6 +388,9 @@ func runServiceTrial(m replay.Meta, sc serviceSpec) (failure string) {
 			for i := 0; i < sc.perProd; i++ {
 				n := p*sc.perProd + i
 				t := task
+				if sc.stallEvery > 0 && n%sc.stallEvery == 0 {
+					t = stallTask
+				}
 				if sc.panicEvery > 0 && n%sc.panicEvery == 0 {
 					t = panicTask
 				}
@@ -411,16 +453,21 @@ func runServiceTrial(m replay.Meta, sc serviceSpec) (failure string) {
 		}
 	}
 
-	// Quiescence and conservation after drain.
+	// Quiescence and conservation after drain, over every slot the run
+	// could schedule on (supplements included).
 	if left := rt.DebugTokensLeft(); left != 0 {
 		return fmt.Sprintf("tokens: %d tokens unaccounted after drain", left)
 	}
-	for w := 0; w < m.Workers; w++ {
+	for w := 0; w < rt.DebugSlots(); w++ {
 		if n := rt.DebugDequeSize(w); n != 0 {
 			return fmt.Sprintf("quiescence: deque %d holds %d continuations after drain", w, n)
 		}
 	}
 	st := rt.Stats()
+	if st.WorkersSupplemented != st.SupplementsRetired {
+		return fmt.Sprintf("supplement-leak: %d supplements dispatched, %d retired",
+			st.WorkersSupplemented, st.SupplementsRetired)
+	}
 	if st.VesselsLeaked != 0 {
 		return fmt.Sprintf("vessel-leak: %d vessels never returned to a free list", st.VesselsLeaked)
 	}
@@ -461,7 +508,7 @@ func reproduces(m replay.Meta, class string, ringCap int) bool {
 		attempts = 3
 	}
 	for i := 0; i < attempts; i++ {
-		rec := replay.NewRecorder(m.Workers, ringCap)
+		rec := replay.NewRecorder(recSlots(m), ringCap)
 		if f := runTrial(m, rec, nil); failureClass(f) == class {
 			return true
 		}
@@ -522,16 +569,27 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 				changed = true
 			}
 		}
+		if m.StallThresholdUS > 0 {
+			// Disarming recovery removes the supplement machinery from
+			// the repro; a failure that survives was never about it.
+			cand := m
+			cand.StallThresholdUS, cand.MaxSupplements = 0, 0
+			if try(cand, "stall recovery disarmed") {
+				m = cand
+				changed = true
+			}
+		}
 		if m.Chaos != nil {
 			// Try dropping each injection outright, then halving it.
 			rates := []*int{
 				&m.Chaos.StealDelay, &m.Chaos.StealFail, &m.Chaos.PopBottomDelay,
 				&m.Chaos.SyncDelay, &m.Chaos.AllocFail, &m.Chaos.SyncVesselFail,
 				&m.Chaos.LeakVessel, &m.Chaos.SubmitFail, &m.Chaos.StealInterest,
+				&m.Chaos.StallWorker, &m.Chaos.SubmitLatency,
 			}
 			names := []string{"steal-delay", "steal-fail", "popbottom-delay",
 				"sync-delay", "alloc-fail", "sync-vessel-fail", "leak-vessel",
-				"submit-fail", "steal-interest"}
+				"submit-fail", "steal-interest", "stall-worker", "submit-latency"}
 			for i, r := range rates {
 				if *r == 0 {
 					continue
@@ -543,6 +601,7 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 					&cc.StealDelay, &cc.StealFail, &cc.PopBottomDelay,
 					&cc.SyncDelay, &cc.AllocFail, &cc.SyncVesselFail,
 					&cc.LeakVessel, &cc.SubmitFail, &cc.StealInterest,
+					&cc.StallWorker, &cc.SubmitLatency,
 				}
 				*ccRates[i] = 0
 				if try(cand, "chaos "+names[i]+" dropped") {
@@ -558,6 +617,14 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 					}
 				}
 			}
+			// Dropped rates leave their duration knobs inert; clear them
+			// so the minimal bundle does not advertise dead injections.
+			if m.Chaos.StallWorker == 0 {
+				m.Chaos.StallForUS = 0
+			}
+			if m.Chaos.SubmitLatency == 0 {
+				m.Chaos.SubmitLatencyForUS = 0
+			}
 			if allZero(m.Chaos) {
 				m.Chaos = nil
 			}
@@ -569,19 +636,20 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 func allZero(c *replay.ChaosSpec) bool {
 	return c.StealDelay == 0 && c.StealFail == 0 && c.PopBottomDelay == 0 &&
 		c.SyncDelay == 0 && c.AllocFail == 0 && c.SyncVesselFail == 0 &&
-		c.LeakVessel == 0 && c.SubmitFail == 0 && c.StealInterest == 0
+		c.LeakVessel == 0 && c.SubmitFail == 0 && c.StealInterest == 0 &&
+		c.StallWorker == 0 && c.SubmitLatency == 0
 }
 
 // captureFailure re-runs a failing trial with a fresh recorder, writes
 // the repro bundle, and confirms the bundle replays to the same failure
 // class. Returns the bundle path ("" if the failure evaporated).
 func captureFailure(m replay.Meta, class, dir string, ringCap int, suffix string) (string, error) {
-	rec := replay.NewRecorder(m.Workers, ringCap)
+	rec := replay.NewRecorder(recSlots(m), ringCap)
 	f := runTrial(m, rec, nil)
 	if failureClass(f) != class {
 		// Flaky beyond the recorder's reach; try a couple more times.
 		for i := 0; i < 2 && failureClass(f) != class; i++ {
-			rec = replay.NewRecorder(m.Workers, ringCap)
+			rec = replay.NewRecorder(recSlots(m), ringCap)
 			f = runTrial(m, rec, nil)
 		}
 		if failureClass(f) != class {
@@ -615,6 +683,7 @@ type soakConfig struct {
 	out        string
 	kernels    []string
 	variants   []string
+	chaos      []string
 	maxWorkers int
 	ringCap    int
 	service    bool
@@ -630,9 +699,58 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// drawTrial picks one point in the trial matrix. Chaos.LeakVessel stays
-// zero here by design: it is the planted bug, exercised only by
-// -selftest, and arming it in the soak would make every trial fail.
+// chaosClasses is the trial-matrix chaos vocabulary, selectable with
+// the -chaos flag.
+var chaosClasses = []string{"off", "light", "heavy", "promote", "stall"}
+
+// drawChaos builds one chaos class's injection spec. Chaos.LeakVessel
+// stays zero in every class by design: it is the planted bug, exercised
+// only by -selftest, and arming it in the soak would make every trial
+// fail.
+func drawChaos(class string, rng *uint64) *replay.ChaosSpec {
+	seed := func() int64 { return int64(splitmix64(rng)%(1<<31) + 1) }
+	switch class {
+	case "off":
+		return nil
+	case "light":
+		return &replay.ChaosSpec{
+			Seed:      seed(),
+			StealFail: 16, PopBottomDelay: 16, SyncDelay: 16,
+			StealInterest: 16, DelaySpins: 2,
+		}
+	case "heavy":
+		return &replay.ChaosSpec{
+			Seed:       seed(),
+			StealDelay: 64, StealFail: 128, PopBottomDelay: 128,
+			SyncDelay: 128, AllocFail: 64, SyncVesselFail: 64,
+			StealInterest: 128, DelaySpins: 4,
+		}
+	case "promote":
+		// Promotion chaos: every lazy spawn is forced to promote
+		// mid-inline-run, hammering the record state machine against the
+		// same budget/deadline draws below. Serial equivalence and the
+		// leak bars are checked by runTrial like any other trial.
+		return &replay.ChaosSpec{
+			Seed:          seed(),
+			StealInterest: 1024, StealFail: 16, PopBottomDelay: 16,
+			DelaySpins: 2,
+		}
+	case "stall":
+		// Stall chaos: random strands pin their worker token for 2ms at
+		// chaos sites, shrinking effective parallelism mid-run. Trials in
+		// this class arm stall recovery (drawTrial), so every trial
+		// exercises seize → supplement → retire alongside light steal
+		// chaos, with conservation checked like any other trial.
+		return &replay.ChaosSpec{
+			Seed:        seed(),
+			StallWorker: 48, StallForUS: 2000,
+			StealFail: 16, DelaySpins: 2,
+		}
+	}
+	panic("unknown chaos class " + class)
+}
+
+// drawTrial picks one point in the trial matrix.
 func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 	pick := func(k int) int { return int(splitmix64(rng) % uint64(k)) }
 	workersChoices := []int{1, 2, 4, c.maxWorkers}
@@ -651,28 +769,15 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 		Workers: w,
 		Seed:    int64(n)*37 + int64(pick(1024)) + 1,
 	}
-	switch pick(4) {
-	case 1: // light chaos
-		m.Chaos = &replay.ChaosSpec{
-			Seed:      int64(splitmix64(rng)%(1<<31) + 1),
-			StealFail: 16, PopBottomDelay: 16, SyncDelay: 16,
-			StealInterest: 16, DelaySpins: 2,
-		}
-	case 2: // heavy chaos
-		m.Chaos = &replay.ChaosSpec{
-			Seed:       int64(splitmix64(rng)%(1<<31) + 1),
-			StealDelay: 64, StealFail: 128, PopBottomDelay: 128,
-			SyncDelay: 128, AllocFail: 64, SyncVesselFail: 64,
-			StealInterest: 128, DelaySpins: 4,
-		}
-	case 3: // promotion chaos: every lazy spawn is forced to promote
-		// mid-inline-run, hammering the record state machine against the
-		// same budget/deadline draws below. Serial equivalence and the
-		// leak bars are checked by runTrial like any other trial.
-		m.Chaos = &replay.ChaosSpec{
-			Seed:          int64(splitmix64(rng)%(1<<31) + 1),
-			StealInterest: 1024, StealFail: 16, PopBottomDelay: 16,
-			DelaySpins: 2,
+	class := c.chaos[pick(len(c.chaos))]
+	m.Chaos = drawChaos(class, rng)
+	if class == "stall" {
+		// Arm recovery well under the injected 2ms stall so every stall
+		// that backs work up is seizable; sometimes cap the supplement
+		// pool at one to cover the all-slots-busy stand-down path.
+		m.StallThresholdUS = 500
+		if pick(2) == 1 {
+			m.MaxSupplements = 1
 		}
 	}
 	if c.service && m.Chaos != nil {
@@ -683,6 +788,12 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 			m.Chaos.SubmitFail = 128
 		} else {
 			m.Chaos.SubmitFail = 16
+		}
+		if class == "stall" {
+			// Stalled service trials also jitter the admission path so
+			// seizures race queued arrivals and slow submitters at once.
+			m.Chaos.SubmitLatency = 16
+			m.Chaos.SubmitLatencyForUS = 500
 		}
 	}
 	switch pick(3) {
@@ -707,20 +818,30 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 	return m
 }
 
-func trialLabel(m replay.Meta) string {
-	chaos := "chaos=off"
-	if m.Chaos != nil {
-		switch {
-		case m.Chaos.StealInterest >= 512:
-			chaos = "chaos=promote"
-		case m.Chaos.StealFail >= 128:
-			chaos = "chaos=heavy"
-		default:
-			chaos = "chaos=light"
-		}
+// chaosLabel classifies a chaos spec back into its matrix class name.
+func chaosLabel(c *replay.ChaosSpec) string {
+	switch {
+	case c == nil:
+		return "chaos=off"
+	case c.StallWorker > 0:
+		return "chaos=stall"
+	case c.StealInterest >= 512:
+		return "chaos=promote"
+	case c.StealFail >= 128:
+		return "chaos=heavy"
+	default:
+		return "chaos=light"
 	}
-	return fmt.Sprintf("%s/%s w=%d seed=%d %s vessels=%d stacks=%d timeout=%dms",
-		m.Kernel, m.Variant, m.Workers, m.Seed, chaos, m.MaxVessels, m.MaxStacks, m.TimeoutMS)
+}
+
+func trialLabel(m replay.Meta) string {
+	label := fmt.Sprintf("%s/%s w=%d seed=%d %s vessels=%d stacks=%d timeout=%dms",
+		m.Kernel, m.Variant, m.Workers, m.Seed, chaosLabel(m.Chaos),
+		m.MaxVessels, m.MaxStacks, m.TimeoutMS)
+	if m.StallThresholdUS > 0 {
+		label += fmt.Sprintf(" recovery=%dµs/sup%d", m.StallThresholdUS, m.MaxSupplements)
+	}
+	return label
 }
 
 func soak(c soakConfig) int {
@@ -737,6 +858,21 @@ func soak(c soakConfig) int {
 			return 2
 		}
 	}
+	if len(c.chaos) == 0 {
+		fmt.Fprintln(os.Stderr, "nowa-torture: empty -chaos class list")
+		return 2
+	}
+	for _, cl := range c.chaos {
+		ok := false
+		for _, known := range chaosClasses {
+			ok = ok || cl == known
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nowa-torture: unknown chaos class %q (want %s)\n",
+				cl, strings.Join(chaosClasses, ", "))
+			return 2
+		}
+	}
 	rng := uint64(c.seed)*0x9e3779b97f4a7c15 + 1
 	deadline := time.Now().Add(c.duration)
 	trials, failures := 0, 0
@@ -745,6 +881,12 @@ func soak(c soakConfig) int {
 		if c.service {
 			m := drawTrial(c, &rng, trials)
 			sc := drawServiceSpec(&rng)
+			if sc.stallEvery > 0 && m.StallThresholdUS == 0 {
+				// Planted mid-strand stalls are the application-level
+				// fault; arm recovery so they drive seize/supplement
+				// cycles rather than just slow the trial down.
+				m.StallThresholdUS = 500
+			}
 			trials++
 			f := runServiceTrial(m, sc)
 			if c.verbose {
@@ -763,7 +905,7 @@ func soak(c soakConfig) int {
 		}
 		m := drawTrial(c, &rng, trials)
 		trials++
-		rec := replay.NewRecorder(m.Workers, c.ringCap)
+		rec := replay.NewRecorder(recSlots(m), c.ringCap)
 		f := runTrial(m, rec, nil)
 		if c.verbose {
 			status := "ok"

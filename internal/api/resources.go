@@ -32,6 +32,14 @@ type ResourceStats struct {
 	TokenKeepSyncs int64
 	// ScopesLeaked counts join scopes abandoned on panic paths.
 	ScopesLeaked int64
+	// Stall-recovery tallies (all zero unless the runtime was built
+	// with a stall threshold): WorkersSeized counts stall judgements,
+	// WorkersSupplemented counts supplemental workers dispatched, and
+	// SupplementsRetired counts supplements that returned their token —
+	// equal to WorkersSupplemented at quiescence.
+	WorkersSeized       int64
+	WorkersSupplemented int64
+	SupplementsRetired  int64
 }
 
 // ResourceReporter is implemented by runtimes that keep resource

@@ -1,0 +1,284 @@
+package loadgen
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nowa/internal/deque"
+	"nowa/internal/resilience"
+	"nowa/internal/sched"
+)
+
+// FaultSweepConfig parameterises the fault campaign: the same open-loop
+// load measured across four scenarios — clean baseline, injected
+// worker stalls with no defence, stalls with stall recovery
+// (seize/supplement) armed, and stalls with recovery plus a hedging
+// client — so the report shows what each layer buys back.
+type FaultSweepConfig struct {
+	// Workers per runtime (default 4).
+	Workers int
+	// QueueDepth of the admission queue (default 64).
+	QueueDepth int
+	// Rate is the offered load; zero self-calibrates to ~60% of the
+	// host's measured task throughput. The sweep needs real queue
+	// pressure — a stall only reads as a stall while runnable work
+	// exists — but must stay under the clean knee, because it measures
+	// fault damage, not saturation.
+	Rate float64
+	// PointDur is the generation time per scenario (default 1s).
+	PointDur time.Duration
+	// Submitters is the producer goroutine count (default 4).
+	Submitters int
+	// TaskIters sizes the fork/join spin task (default 2000).
+	TaskIters int
+	// StallEvery injects one chaos stall per N finish-window rolls
+	// (default 300); StallFor is the injected stall length (default
+	// 20ms) — far past StallThreshold (default 1ms), so every injected
+	// stall is seizable when recovery is armed.
+	StallEvery     int
+	StallFor       time.Duration
+	StallThreshold time.Duration
+	// Logf, if non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *FaultSweepConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PointDur <= 0 {
+		c.PointDur = time.Second
+	}
+	if c.TaskIters <= 0 {
+		c.TaskIters = 100_000
+	}
+	if c.Rate <= 0 {
+		c.Rate = calibrateRate(c.Workers, c.TaskIters)
+	}
+	if c.StallEvery <= 0 {
+		c.StallEvery = 300
+	}
+	if c.StallFor <= 0 {
+		c.StallFor = 20 * time.Millisecond
+	}
+	if c.StallThreshold <= 0 {
+		c.StallThreshold = time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// calibrateRate times the spin task serially and offers ~60% of the
+// host's ideal throughput: enough utilisation that an injected stall
+// backs work up behind it (which is what makes it seizable), with
+// headroom so the clean baseline does not saturate. Capacity scales
+// with the smaller of the worker count and the cores actually
+// available — extra workers on an oversubscribed host add no
+// throughput, only queueing.
+func calibrateRate(workers, iters int) float64 {
+	const reps = 16
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		sink.Store(spin(iters) ^ spin(iters) ^ spin(iters))
+	}
+	per := time.Since(t0) / reps
+	if per <= 0 {
+		per = time.Microsecond
+	}
+	effective := workers
+	if p := runtime.GOMAXPROCS(0); p < effective {
+		effective = p
+	}
+	rate := 0.6 * float64(effective) / per.Seconds()
+	if rate < 500 {
+		rate = 500
+	}
+	if rate > 20_000 {
+		rate = 20_000
+	}
+	return rate
+}
+
+// FaultPoint is one scenario of the fault sweep.
+type FaultPoint struct {
+	Scenario string `json:"scenario"`
+	Stalls   bool   `json:"stalls_injected"`
+	Recovery bool   `json:"stall_recovery"`
+	Hedged   bool   `json:"hedged_client"`
+
+	Result Result `json:"result"`
+
+	// Ratios against the clean baseline scenario (1.0 = no damage).
+	GoodputRatio float64 `json:"goodput_ratio"`
+	P99Ratio     float64 `json:"p99_ratio"`
+
+	// Server-side stall-recovery tallies.
+	WorkersSeized       int64 `json:"workers_seized"`
+	WorkersSupplemented int64 `json:"workers_supplemented"`
+	SupplementsRetired  int64 `json:"supplements_retired"`
+
+	// Leak accounting after Close; all must be zero.
+	VesselsLeaked int64 `json:"vessels_leaked"`
+	StacksLeaked  int64 `json:"stacks_leaked"`
+	ScopesLeaked  int64 `json:"scopes_leaked"`
+}
+
+// FaultReport is the fault-sweep section of BENCH_serve.json.
+type FaultReport struct {
+	Workers          int          `json:"workers"`
+	RateRPS          float64      `json:"rate_rps"`
+	StallEvery       int          `json:"stall_every"`
+	StallForUS       int64        `json:"stall_for_us"`
+	StallThresholdUS int64        `json:"stall_threshold_us"`
+	Points           []FaultPoint `json:"points"`
+}
+
+// FaultSweep runs the four scenarios and returns the report. Every
+// scenario uses the flagship configuration (CL deque, wait-free join);
+// the sweep isolates the fault knobs, not the variant space.
+func FaultSweep(cfg FaultSweepConfig) FaultReport {
+	cfg.fill()
+	rep := FaultReport{
+		Workers:          cfg.Workers,
+		RateRPS:          cfg.Rate,
+		StallEvery:       cfg.StallEvery,
+		StallForUS:       cfg.StallFor.Microseconds(),
+		StallThresholdUS: cfg.StallThreshold.Microseconds(),
+	}
+
+	retry := &resilience.Policy{MaxAttempts: 2}
+	hedge := &resilience.Policy{
+		MaxAttempts: 2,
+		Hedge: &resilience.HedgePolicy{
+			// The hedge exists to cut the stall-tail: fire well under
+			// the injected stall length but above healthy completion.
+			MinDelay: cfg.StallFor / 4,
+			MaxDelay: cfg.StallFor,
+		},
+	}
+	scenarios := []struct {
+		name     string
+		stalls   bool
+		recovery bool
+		policy   *resilience.Policy
+	}{
+		{"baseline", false, false, retry},
+		{"stall", true, false, retry},
+		{"stall+supplement", true, true, retry},
+		{"stall+supplement+hedge", true, true, hedge},
+	}
+
+	var base Result
+	for i, sc := range scenarios {
+		rcfg := sched.Config{
+			Name:    "nowa-fault",
+			Workers: cfg.Workers,
+			Deque:   deque.CL,
+			Join:    sched.WaitFree,
+		}
+		if sc.stalls {
+			rcfg.Chaos = &sched.Chaos{StallWorker: cfg.StallEvery, StallFor: cfg.StallFor}
+		}
+		if sc.recovery {
+			rcfg.StallThreshold = cfg.StallThreshold
+		}
+		rt := sched.MustNew(rcfg)
+		if err := rt.StartService(sched.ServiceConfig{
+			QueueDepth: cfg.QueueDepth,
+			Policy:     sched.OverloadFailFast,
+		}); err != nil {
+			panic(fmt.Sprintf("loadgen: FaultSweep StartService: %v", err))
+		}
+		res := Run(Config{
+			Runtime:    rt,
+			Rate:       cfg.Rate,
+			Duration:   cfg.PointDur,
+			Submitters: cfg.Submitters,
+			Policy:     sc.policy,
+			Task:       SpinTask(cfg.TaskIters),
+		})
+		pt := FaultPoint{
+			Scenario: sc.name,
+			Stalls:   sc.stalls,
+			Recovery: sc.recovery,
+			Hedged:   sc.policy.Hedge != nil,
+			Result:   res,
+		}
+		rt.Close()
+		// All accounting reads after Close: mid-run snapshots would show
+		// supplements still live and mis-report the retirement identity.
+		final := rt.Stats()
+		pt.WorkersSeized = final.WorkersSeized
+		pt.WorkersSupplemented = final.WorkersSupplemented
+		pt.SupplementsRetired = final.SupplementsRetired
+		pt.VesselsLeaked = final.VesselsLeaked
+		pt.StacksLeaked = final.StacksLeaked
+		pt.ScopesLeaked = final.ScopesLeaked
+		if i == 0 {
+			base = res
+			pt.GoodputRatio = 1
+			pt.P99Ratio = 1
+		} else {
+			if base.GoodputRPS > 0 {
+				pt.GoodputRatio = res.GoodputRPS / base.GoodputRPS
+			}
+			if base.P99us > 0 {
+				pt.P99Ratio = res.P99us / base.P99us
+			}
+		}
+		cfg.Logf("  fault %-24s goodput=%8.0f/s (%.2fx) p99=%.0fµs (%.2fx) seized=%d supplemented=%d hedged=%d",
+			sc.name, res.GoodputRPS, pt.GoodputRatio, res.P99us, pt.P99Ratio,
+			pt.WorkersSeized, pt.WorkersSupplemented, res.Hedged)
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep
+}
+
+// CheckFaultReport enforces the fault-campaign bars. leaks (always
+// fatal): no scenario may leak vessels, stacks, or scopes, every
+// supplement must retire, and the recovery scenarios must actually
+// seize (a sweep that never exercised the machinery proves nothing).
+// degraded (host-noise sensitive; callers decide severity): the
+// supplemented scenario must keep goodput within 80% of the clean
+// baseline, and hedging must not make the stall p99 worse than the
+// unhedged recovery scenario.
+func CheckFaultReport(rep FaultReport) (leaks, degraded []string) {
+	var supplemented, hedged *FaultPoint
+	for i := range rep.Points {
+		pt := &rep.Points[i]
+		if pt.VesselsLeaked != 0 || pt.StacksLeaked != 0 || pt.ScopesLeaked != 0 {
+			leaks = append(leaks, fmt.Sprintf("fault/%s: leaks vessels=%d stacks=%d scopes=%d",
+				pt.Scenario, pt.VesselsLeaked, pt.StacksLeaked, pt.ScopesLeaked))
+		}
+		if pt.WorkersSupplemented != pt.SupplementsRetired {
+			leaks = append(leaks, fmt.Sprintf("fault/%s: %d supplements dispatched, %d retired",
+				pt.Scenario, pt.WorkersSupplemented, pt.SupplementsRetired))
+		}
+		if pt.Recovery && pt.WorkersSeized == 0 {
+			leaks = append(leaks, fmt.Sprintf("fault/%s: recovery armed but no worker was ever seized",
+				pt.Scenario))
+		}
+		switch pt.Scenario {
+		case "stall+supplement":
+			supplemented = pt
+		case "stall+supplement+hedge":
+			hedged = pt
+		}
+	}
+	if supplemented != nil && supplemented.GoodputRatio < 0.8 {
+		degraded = append(degraded, fmt.Sprintf(
+			"fault/stall+supplement: goodput ratio %.2f < 0.80 of clean baseline", supplemented.GoodputRatio))
+	}
+	if supplemented != nil && hedged != nil && supplemented.Result.P99us > 0 &&
+		hedged.Result.P99us > 1.5*supplemented.Result.P99us {
+		degraded = append(degraded, fmt.Sprintf(
+			"fault/hedge: hedged p99 %.0fµs > 1.5× unhedged %.0fµs — hedging made the tail worse",
+			hedged.Result.P99us, supplemented.Result.P99us))
+	}
+	return leaks, degraded
+}

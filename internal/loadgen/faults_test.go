@@ -1,0 +1,45 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFaultSweepSmoke runs a miniature fault campaign and checks the
+// structural guarantees: four scenarios, clean leak accounting, armed
+// recovery actually seizing, and sane ratio bookkeeping. Throughput
+// ratios themselves are host-dependent and only checked for presence.
+func TestFaultSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep generates hundreds of milliseconds of load per scenario")
+	}
+	rep := FaultSweep(FaultSweepConfig{
+		Workers:        4,
+		PointDur:       500 * time.Millisecond,
+		TaskIters:      50_000,
+		StallEvery:     30,
+		StallFor:       20 * time.Millisecond,
+		StallThreshold: time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if len(rep.Points) != 4 {
+		t.Fatalf("got %d fault points, want 4", len(rep.Points))
+	}
+	leaks, _ := CheckFaultReport(rep)
+	for _, msg := range leaks {
+		t.Errorf("leak check: %s", msg)
+	}
+	if rep.Points[0].GoodputRatio != 1 {
+		t.Fatalf("baseline goodput ratio = %v, want 1", rep.Points[0].GoodputRatio)
+	}
+	for _, pt := range rep.Points[1:] {
+		if pt.GoodputRatio <= 0 {
+			t.Fatalf("fault/%s: goodput ratio %v not computed", pt.Scenario, pt.GoodputRatio)
+		}
+	}
+	for _, pt := range rep.Points {
+		if !pt.Recovery && (pt.WorkersSeized != 0 || pt.WorkersSupplemented != 0) {
+			t.Fatalf("fault/%s: stall stats nonzero without recovery: %+v", pt.Scenario, pt)
+		}
+	}
+}

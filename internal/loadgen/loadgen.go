@@ -5,9 +5,15 @@
 // service does — so queueing delay and overload behaviour are measured
 // honestly (no coordinated omission: latency is taken from the
 // *scheduled* arrival time, not the submit call).
+//
+// Client behaviour at overload is delegated to internal/resilience: a
+// retrying client is a resilience.Policy with MaxAttempts > 1, and the
+// fault sweeps layer hedging on the same policy — loadgen itself no
+// longer hand-rolls hint-honouring retry loops.
 package loadgen
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"nowa/internal/api"
+	"nowa/internal/resilience"
 	"nowa/internal/sched"
 )
 
@@ -32,10 +39,13 @@ type Config struct {
 	// arrival schedule (default 4); arrivals are interleaved round-robin
 	// so no single goroutine's sleep precision bounds the rate.
 	Submitters int
-	// Retry, if true, retries a refused submission once after the
-	// retry-after hint, and a shed submission once immediately —
-	// modelling a well-behaved client honouring backpressure.
+	// Retry, if true, gives each arrival the default retry policy (one
+	// hint-honouring retry) — modelling a well-behaved client honouring
+	// backpressure. Ignored when Policy is set.
 	Retry bool
+	// Policy, if non-nil, is the full client resilience policy each
+	// arrival is driven through — retry schedule, breaker, hedging.
+	Policy *resilience.Policy
 	// Task is the work each submission performs.
 	Task func(api.Ctx)
 }
@@ -45,13 +55,15 @@ type Result struct {
 	RateRPS float64 `json:"rate_rps"` // offered arrival rate
 	Offered int64   `json:"offered"`  // arrivals generated
 	// Admission outcomes, client-side view.
-	Admitted     int64 `json:"admitted"`      // Submit accepted (incl. retries)
-	Rejected     int64 `json:"rejected"`      // refused with ErrOverloaded
-	Shed         int64 `json:"shed"`          // admitted then evicted (ErrShed)
-	ShedsRetried int64 `json:"sheds_retried"` // refusals/sheds retried once
-	RetryOK      int64 `json:"retries_ok"`    // retries that were admitted
+	Admitted     int64 `json:"admitted"`      // arrivals some attempt of which was admitted
+	Rejected     int64 `json:"rejected"`      // refusal events (ErrOverloaded / breaker)
+	Shed         int64 `json:"shed"`          // admissions evicted while queued
+	ShedsRetried int64 `json:"sheds_retried"` // retry attempts after a refusal or shed
+	RetryOK      int64 `json:"retries_ok"`    // retried arrivals that were admitted
 	Completed    int64 `json:"completed"`     // futures resolved nil
 	Failed       int64 `json:"failed"`        // futures resolved with other errors
+	Hedged       int64 `json:"hedged"`        // arrivals that launched a hedge copy
+	HedgeWins    int64 `json:"hedge_wins"`    // hedges that beat the primary
 	// Latency of completed work from scheduled arrival, microseconds.
 	P50us  float64 `json:"p50_us"`
 	P99us  float64 `json:"p99_us"`
@@ -61,14 +73,23 @@ type Result struct {
 	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
-// shedBackoff is how long a retrying client waits after its queued
-// submission was shed before resubmitting once.
-const shedBackoff = time.Millisecond
-
 // submitterState collects one producer's latency samples without locks.
 type submitterState struct {
 	samples []float64 // microseconds
 	mu      sync.Mutex
+}
+
+// clientPolicy resolves the effective resilience policy for a run.
+func clientPolicy(cfg *Config) resilience.Policy {
+	if cfg.Policy != nil {
+		return *cfg.Policy
+	}
+	if cfg.Retry {
+		// The historical well-behaved client: one retry, honouring the
+		// service's retry-after hint via the resilience backoff.
+		return resilience.Policy{MaxAttempts: 2}
+	}
+	return resilience.Policy{MaxAttempts: 1}
 }
 
 // Run generates cfg.Duration of open-loop arrivals at cfg.Rate and
@@ -88,64 +109,61 @@ func Run(cfg Config) Result {
 
 	var res Result
 	res.RateRPS = cfg.Rate
-	var admitted, rejected, shed, retried, retryOK, completed, failed atomic.Int64
+	var admitted, rejected, shed, retried, retryOK, completed, failed, hedges, hedgeWins atomic.Int64
+
+	r := resilience.New(cfg.Runtime, clientPolicy(&cfg))
 
 	states := make([]submitterState, cfg.Submitters)
 	var waiters sync.WaitGroup
 
-	// async runs f on a tracked goroutine; the Add happens on the
-	// caller's goroutine so waiters.Wait below cannot miss it.
-	async := func(f func()) {
+	// Each arrival runs its whole resilient call — submit, backoff,
+	// hedge, wait — on a tracked goroutine. Nothing ever sleeps on a
+	// submitter goroutine: a sleeping submitter would backlog the
+	// arrival schedule and bill generator lag as service latency. The
+	// Add happens on the caller's goroutine so waiters.Wait cannot miss
+	// a straggler.
+	arrive := func(st *submitterState, at time.Time) {
 		waiters.Add(1)
 		go func() {
 			defer waiters.Done()
-			f()
+			out, err := r.Do(context.Background(), cfg.Task, sched.SubmitOpts{})
+			resolved := time.Now()
+			if out.Admitted {
+				admitted.Add(1)
+			}
+			rejected.Add(int64(out.Rejected))
+			shed.Add(int64(out.Sheds))
+			retried.Add(int64(out.Retries))
+			if out.Retries > 0 && out.Admitted {
+				retryOK.Add(1)
+			}
+			if out.Hedged {
+				hedges.Add(1)
+			}
+			if out.HedgeWon {
+				hedgeWins.Add(1)
+			}
+			switch {
+			case err == nil:
+				completed.Add(1)
+				// A first-attempt completion is billed from the scheduled
+				// arrival (coordinated-omission honesty); a retried one
+				// from its winning attempt's submit — client backoff is
+				// the client's time, not the service's.
+				from := at
+				if out.Retries > 0 {
+					from = out.FinalAt
+				}
+				lat := float64(resolved.Sub(from).Microseconds())
+				st.mu.Lock()
+				st.samples = append(st.samples, lat)
+				st.mu.Unlock()
+			case errors.Is(err, sched.ErrShed), errors.Is(err, sched.ErrOverloaded):
+				// Terminal congestion outcome; already tallied above.
+			default:
+				failed.Add(1)
+			}
 		}()
-	}
-
-	// retryOnce resubmits a refused or shed arrival exactly once. The
-	// retry is a fresh admission: its latency clock starts at its own
-	// submit time, so client backoff is not billed to the service.
-	retryOnce := func(st *submitterState) {
-		retried.Add(1)
-		at := time.Now()
-		sub, err := cfg.Runtime.Submit(cfg.Task, sched.SubmitOpts{})
-		if err != nil {
-			return
-		}
-		admitted.Add(1)
-		retryOK.Add(1)
-		async(func() { watchSub(st, sub, at, &completed, &shed, &failed, nil) })
-	}
-
-	// submitOnce performs one arrival. Retries never run inline on the
-	// submitter goroutine — a sleeping submitter would backlog the
-	// arrival schedule and bill generator lag as service latency.
-	submitOnce := func(st *submitterState, at time.Time) {
-		sub, err := cfg.Runtime.Submit(cfg.Task, sched.SubmitOpts{})
-		if err != nil {
-			rejected.Add(1)
-			var oe *sched.OverloadedError
-			if cfg.Retry && errors.As(err, &oe) {
-				hint := oe.RetryAfter
-				async(func() {
-					time.Sleep(hint)
-					retryOnce(st)
-				})
-			}
-			return
-		}
-		admitted.Add(1)
-		var onShed func()
-		if cfg.Retry {
-			// A shed is server backpressure too: back off before the
-			// single retry rather than amplifying the arrival storm.
-			onShed = func() {
-				time.Sleep(shedBackoff)
-				retryOnce(st)
-			}
-		}
-		async(func() { watchSub(st, sub, at, &completed, &shed, &failed, onShed) })
 	}
 
 	start := time.Now()
@@ -160,7 +178,7 @@ func Run(cfg Config) Result {
 				if d := time.Until(at); d > 0 {
 					time.Sleep(d)
 				}
-				submitOnce(st, at)
+				arrive(st, at)
 			}
 		}(s)
 	}
@@ -176,6 +194,8 @@ func Run(cfg Config) Result {
 	res.RetryOK = retryOK.Load()
 	res.Completed = completed.Load()
 	res.Failed = failed.Load()
+	res.Hedged = hedges.Load()
+	res.HedgeWins = hedgeWins.Load()
 	res.ElapsedMS = float64(genElapsed.Milliseconds())
 	if sec := genElapsed.Seconds(); sec > 0 {
 		res.GoodputRPS = float64(res.Completed) / sec
@@ -190,29 +210,6 @@ func Run(cfg Config) Result {
 	res.P99us = percentile(all, 0.99)
 	res.P999us = percentile(all, 0.999)
 	return res
-}
-
-// watchSub blocks on one admitted submission's future and records its
-// latency against the scheduled arrival; a shed outcome invokes onShed
-// (at most one level of retry — retries pass onShed nil).
-func watchSub(st *submitterState, sub *sched.Submission, sched0 time.Time,
-	completed, shed, failed *atomic.Int64, onShed func()) {
-	err := sub.Wait()
-	switch {
-	case err == nil:
-		completed.Add(1)
-		lat := float64(time.Since(sched0).Microseconds())
-		st.mu.Lock()
-		st.samples = append(st.samples, lat)
-		st.mu.Unlock()
-	case errors.Is(err, sched.ErrShed):
-		shed.Add(1)
-		if onShed != nil {
-			onShed()
-		}
-	default:
-		failed.Add(1)
-	}
 }
 
 // percentile reads the q-quantile from an ascending sample slice.

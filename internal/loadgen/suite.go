@@ -76,6 +76,10 @@ type Report struct {
 	PointDur   string  `json:"point_dur"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Curves     []Curve `json:"curves"`
+	// Faults is the fault-campaign section (stall injection with and
+	// without recovery/hedging); present when the sweep ran with
+	// faults enabled.
+	Faults *FaultReport `json:"faults,omitempty"`
 }
 
 // CheckCurve enforces the harness-level acceptance bars. leaks (always

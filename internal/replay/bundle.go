@@ -40,6 +40,13 @@ type ChaosSpec struct {
 	StealInterest  int   `json:"steal_interest,omitempty"`
 	DelaySpins     int   `json:"delay_spins,omitempty"`
 	SyncStall      bool  `json:"sync_stall,omitempty"`
+
+	// Worker-stall and admission-latency fault injections. Durations are
+	// serialised as microseconds so the JSON meta stays unit-explicit.
+	StallWorker        int   `json:"stall_worker,omitempty"`
+	StallForUS         int64 `json:"stall_for_us,omitempty"`
+	SubmitLatency      int   `json:"submit_latency,omitempty"`
+	SubmitLatencyForUS int64 `json:"submit_latency_for_us,omitempty"`
 }
 
 // Meta is the bundle's self-describing header: everything needed to
@@ -60,6 +67,11 @@ type Meta struct {
 	ParkAfter      int        `json:"park_after,omitempty"`
 	TimeoutMS      int64      `json:"timeout_ms,omitempty"`
 	Chaos          *ChaosSpec `json:"chaos,omitempty"`
+
+	// Stall-recovery arming (Config.StallThreshold / MaxSupplements);
+	// zero threshold means recovery is off and MaxSupplements is inert.
+	StallThresholdUS int64 `json:"stall_threshold_us,omitempty"`
+	MaxSupplements   int   `json:"max_supplements,omitempty"`
 
 	// Failure describes the invariant violation this bundle captured.
 	Failure string `json:"failure,omitempty"`

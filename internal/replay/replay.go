@@ -129,6 +129,17 @@ const (
 	// KInlineRun.
 	//nowa:replay-diagnostic promotion trigger trace, fully determined by the recorded decisions
 	KPromote
+	// KSeized is the stall supervisor marking a base worker's token
+	// seized (external stream); Arg is the seized worker. Seizures are
+	// wall-clock heartbeat judgements, not scheduling decisions, so they
+	// are recorded for forensics and never consumed on replay.
+	//nowa:replay-diagnostic stall-recovery trace; seizures are wall-clock heartbeat judgements, never replayed
+	KSeized
+	// KSupplement is the lifecycle of a supplemental worker (external
+	// stream); Site is a Sup* constant (arm/retire) and Arg the extended
+	// slot index. Diagnostic for the same reason as KSeized.
+	//nowa:replay-diagnostic stall-recovery trace; supplementation follows wall-clock seizures, never replayed
+	KSupplement
 )
 
 // String names the kind.
@@ -180,6 +191,10 @@ func (k Kind) String() string {
 		return "inline-run"
 	case KPromote:
 		return "promote"
+	case KSeized:
+		return "seized"
+	case KSupplement:
+		return "supplement"
 	}
 	return "unknown"
 }
@@ -211,6 +226,12 @@ const (
 	// spawn behaves as if a thief had signalled steal interest and takes
 	// the full eager handoff instead.
 	SiteStealInterest
+	// SiteStallWorker guards the injected worker stall: the strand pins
+	// its token for Chaos.StallFor at the strand-finish window.
+	SiteStallWorker
+	// SiteSubmitLatency guards the injected admission delay in service
+	// mode. External-stream only, like SiteSubmitFail.
+	SiteSubmitLatency
 )
 
 // siteName names a chaos site for dumps.
@@ -234,6 +255,10 @@ func siteName(s uint8) string {
 		return "submit-fail"
 	case SiteStealInterest:
 		return "steal-interest"
+	case SiteStallWorker:
+		return "stall-worker"
+	case SiteSubmitLatency:
+		return "submit-latency"
 	}
 	return fmt.Sprintf("site%d", s)
 }
@@ -261,6 +286,15 @@ const (
 	// PromoteSuspend: a strand on the vessel suspended at a sync point,
 	// signalling a blocking-prone workload; subsequent spawns go eager.
 	PromoteSuspend
+)
+
+// Supplement lifecycle stages, carried in the Site byte of KSupplement.
+const (
+	// SupArm: a supplemental worker was dispatched on an extended slot.
+	SupArm uint8 = iota + 1
+	// SupRetire: the supplement retired its token (seized worker
+	// returned, or the run wound down).
+	SupRetire
 )
 
 // Admission refusal reasons, carried in the Site byte of KSubReject.
@@ -324,6 +358,14 @@ func (e Event) String() string {
 			why = "chaos"
 		}
 		return fmt.Sprintf("submit-reject[%s](#%d)", why, e.Arg)
+	case KSeized:
+		return fmt.Sprintf("seized(w%d)", e.Arg)
+	case KSupplement:
+		stage := "arm"
+		if e.Site == SupRetire {
+			stage = "retire"
+		}
+		return fmt.Sprintf("supplement[%s](slot%d)", stage, e.Arg)
 	}
 	return e.Kind.String()
 }
@@ -403,10 +445,16 @@ func (r *Recorder) Workers() int { return r.workers }
 // Record appends one event to worker w's ring. Owner-only: the caller
 // must hold worker w's token, exactly as for the scheduler's victim RNG.
 // It never allocates and never blocks — one packed store, one position
-// store.
+// store. Slots outside the recorder's worker range — the scheduler's
+// supplemental workers, which exist only while a base worker is seized —
+// are dropped silently: a capture carries base-worker streams only, and
+// supplement decisions are never replayed (see KSupplement).
 //
 //nowa:hotpath
 func (r *Recorder) Record(w int, k Kind, site uint8, arg uint16) {
+	if w < 0 || w >= r.workers {
+		return
+	}
 	rg := &r.rings[w]
 	p := rg.pos.Load()
 	rg.ev[p&r.mask].Store(pack(k, site, arg))

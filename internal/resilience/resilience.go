@@ -1,0 +1,343 @@
+// Package resilience layers client-side fault tolerance over a serving
+// runtime's Submit: bounded retries with capped exponential backoff and
+// jitter, a three-state circuit breaker that sheds locally while the
+// service is judged unhealthy, and hedged submissions that race a
+// second attempt against a slow first one.
+//
+// The layer is deliberately client-side. The scheduler already defends
+// itself (admission windows, shedding, FailFast hints); resilience is
+// about what a *caller* should do with those signals instead of
+// hand-rolling retry loops at every call site. The division of labour:
+//
+//   - The service says "not now" (ErrOverloaded with a RetryAfter
+//     hint, or ErrShed for a queued eviction). Resilience turns that
+//     into a bounded, jittered, hint-honouring retry.
+//   - The service keeps saying "not now". The breaker notices the
+//     failure rate over a rolling window, opens, and refuses locally —
+//     no queue pressure, no network of goroutines hammering a sick
+//     admission queue, and a half-open probe to notice recovery.
+//   - The service says nothing for too long. Hedging submits a second
+//     copy after a latency-percentile delay; the first result wins and
+//     the loser is cancelled through its submission context, which
+//     unlinks it from the queue (or cooperatively cancels it
+//     mid-flight) without leaking a vessel.
+//
+// Panics, deadline expiries, and caller cancellations are never
+// retried: they are answers, not congestion. Only errors matching
+// sched.ErrOverloaded (which ErrShed wraps) count as transient.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/sched"
+)
+
+// Submitter is the slice of the serving runtime resilience needs. Both
+// *sched.Runtime and the top-level nowa runtime satisfy it.
+type Submitter interface {
+	SubmitCtxOpts(ctx context.Context, task func(api.Ctx), opts sched.SubmitOpts) (*sched.Submission, error)
+}
+
+// ErrBreakerOpen is returned by Do when the circuit breaker refuses the
+// submission locally. It wraps sched.ErrOverloaded, so callers that
+// already classify overloads with errors.Is keep working unchanged.
+var ErrBreakerOpen = fmt.Errorf("resilience: circuit breaker open: %w", sched.ErrOverloaded)
+
+// Policy parameterises a Resilient wrapper. The zero value retries
+// transient overloads up to three attempts with 500µs base backoff; set
+// Breaker and Hedge to enable those layers.
+type Policy struct {
+	// MaxAttempts bounds admissions attempts per Do (first try
+	// included). Zero means the default of 3; 1 disables retry.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule: attempt k waits
+	// BaseBackoff·2^(k-1), raised to the service's RetryAfter hint when
+	// the refusal carries a larger one. Zero means 500µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one wait. Zero means 100ms.
+	MaxBackoff time.Duration
+	// JitterFrac spreads each wait by ±frac·wait to decorrelate
+	// retrying callers. Zero means 0.2; negative disables jitter.
+	JitterFrac float64
+	// Budget, if nonzero, bounds the total time Do may spend across
+	// attempts and backoffs. A retry that cannot fit its wait inside
+	// the remaining budget is abandoned and the last error returned.
+	Budget time.Duration
+	// Seed seeds the jitter RNG; zero picks a fixed default, so two
+	// wrappers that want decorrelated jitter should pass distinct
+	// seeds.
+	Seed uint64
+	// Breaker enables the circuit breaker when non-nil.
+	Breaker *BreakerPolicy
+	// Hedge enables hedged submissions when non-nil.
+	Hedge *HedgePolicy
+}
+
+func (p *Policy) fill() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 500 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x9e3779b97f4a7c15
+	}
+}
+
+// Outcome reports what one Do spent to reach its result. Counters, not
+// a state machine: every field is a tally over the attempts made.
+type Outcome struct {
+	// Attempts is the number of admission attempts made (≥1), hedge
+	// attempts included.
+	Attempts int
+	// Admitted is true when some attempt was admitted and ran to a
+	// resolution (even a panic or cancellation — those are outcomes).
+	Admitted bool
+	// Rejected counts FailFast/breaker refusals at admission time.
+	Rejected int
+	// Sheds counts admissions that were later evicted from the queue.
+	Sheds int
+	// Retries counts re-submissions after a transient failure.
+	Retries int
+	// Hedged is true when a hedge attempt was launched.
+	Hedged bool
+	// HedgeWon is true when the hedge resolved before the primary.
+	HedgeWon bool
+	// BreakerOpen counts attempts refused locally by the breaker.
+	BreakerOpen int
+	// FinalAt is when the winning (or final failing) attempt was
+	// submitted — the point from which a caller that billed its own
+	// backoff should start measuring service latency.
+	FinalAt time.Time
+}
+
+// Resilient wraps a Submitter with a Policy. Safe for concurrent use;
+// the breaker and the hedge latency window are shared across all Do
+// calls, which is what makes the breaker a circuit and the hedge delay
+// a live percentile rather than a per-call guess.
+type Resilient struct {
+	sub Submitter
+	pol Policy
+	brk *breaker
+	hdg *hedgeWindow
+	rng xorshift
+}
+
+// New builds a Resilient wrapper over sub. The Policy is copied and
+// normalised; a nil-Breaker, nil-Hedge policy yields a pure
+// retry/backoff wrapper.
+func New(sub Submitter, pol Policy) *Resilient {
+	pol.fill()
+	r := &Resilient{sub: sub, pol: pol}
+	r.rng.seed(pol.Seed)
+	if pol.Breaker != nil {
+		r.brk = newBreaker(*pol.Breaker)
+	}
+	if pol.Hedge != nil {
+		r.hdg = newHedgeWindow(*pol.Hedge)
+	}
+	return r
+}
+
+// Breaker reports the breaker's current state name ("closed", "open",
+// "half-open") or "none" when the policy has no breaker.
+func (r *Resilient) Breaker() string {
+	if r.brk == nil {
+		return "none"
+	}
+	return r.brk.stateName()
+}
+
+// Do submits task through the policy and blocks until a winning
+// attempt resolves or the attempts are exhausted. The returned error is
+// the task outcome (nil, panic, cancellation) or the final transient
+// error when every attempt was refused; the Outcome reports what was
+// spent getting there.
+//
+// ctx bounds the whole call: cancellation aborts backoff waits and
+// cancels in-flight attempts. opts pass through to every attempt.
+func (r *Resilient) Do(ctx context.Context, task func(api.Ctx), opts sched.SubmitOpts) (Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var deadline time.Time
+	if r.pol.Budget > 0 {
+		deadline = time.Now().Add(r.pol.Budget)
+	}
+	var out Outcome
+	var lastErr error
+	for attempt := 1; attempt <= r.pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			out.Retries++
+		}
+		if r.brk != nil && !r.brk.allow() {
+			out.Attempts++
+			out.Rejected++
+			out.BreakerOpen++
+			lastErr = ErrBreakerOpen
+			// An open breaker is a local judgement; backing off and
+			// re-asking is how the half-open probe eventually gets
+			// through.
+			if !r.backoff(ctx, attempt, 0, deadline) {
+				break
+			}
+			continue
+		}
+		out.FinalAt = time.Now()
+		err, admitted, shed := r.attempt(ctx, task, opts, &out)
+		if admitted {
+			out.Admitted = true
+		}
+		if shed {
+			out.Sheds++
+		}
+		if !admitted {
+			out.Rejected++
+		}
+		if err == nil || !transient(err) {
+			// A real outcome: success, panic, cancellation, expiry — or
+			// a non-overload admission error (service closed). Done.
+			if r.brk != nil && err == nil {
+				r.brk.observe(true)
+			}
+			return out, err
+		}
+		// Transient: overloaded refusal or queued-then-shed.
+		if r.brk != nil {
+			r.brk.observe(false)
+		}
+		lastErr = err
+		if !r.backoff(ctx, attempt, retryAfterHint(err), deadline) {
+			break
+		}
+	}
+	return out, lastErr
+}
+
+// attempt makes one (possibly hedged) submission and waits it out.
+// With hedging enabled the primary gets a private child context so a
+// lost primary can be cancelled without touching the caller's ctx.
+func (r *Resilient) attempt(ctx context.Context, task func(api.Ctx), opts sched.SubmitOpts, out *Outcome) (err error, admitted, shed bool) {
+	out.Attempts++
+	start := time.Now()
+	if r.hdg != nil {
+		pctx, pcancel := context.WithCancel(ctx)
+		primary, serr := r.sub.SubmitCtxOpts(pctx, task, opts)
+		if serr != nil {
+			pcancel()
+			return serr, false, false
+		}
+		err = r.hedge(ctx, task, opts, hedgeAttempt{sub: primary, cancel: pcancel}, start, out)
+		return err, true, errors.Is(err, sched.ErrShed)
+	}
+	primary, serr := r.sub.SubmitCtxOpts(ctx, task, opts)
+	if serr != nil {
+		return serr, false, false
+	}
+	err = primary.Wait()
+	return err, true, errors.Is(err, sched.ErrShed)
+}
+
+// transient reports whether err is a congestion signal worth retrying:
+// anything matching sched.ErrOverloaded, which covers FailFast
+// refusals (*OverloadedError), queue evictions (ErrShed), and the local
+// breaker refusal (ErrBreakerOpen).
+func transient(err error) bool {
+	return errors.Is(err, sched.ErrOverloaded)
+}
+
+// retryAfterHint extracts the service's FailFast retry-after estimate,
+// zero when the error carries none.
+func retryAfterHint(err error) time.Duration {
+	var oe *sched.OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
+
+// backoff sleeps the attempt's wait — the exponential schedule raised
+// to the service hint, jittered, capped — and reports whether another
+// attempt may proceed. False when ctx is done, the budget cannot cover
+// the wait, or this was the last attempt.
+func (r *Resilient) backoff(ctx context.Context, attempt int, hint time.Duration, deadline time.Time) bool {
+	if attempt >= r.pol.MaxAttempts {
+		return false
+	}
+	wait := r.pol.BaseBackoff << uint(attempt-1)
+	if wait > r.pol.MaxBackoff || wait <= 0 {
+		wait = r.pol.MaxBackoff
+	}
+	if hint > wait {
+		wait = hint
+		if wait > r.pol.MaxBackoff {
+			wait = r.pol.MaxBackoff
+		}
+	}
+	if r.pol.JitterFrac > 0 {
+		span := float64(wait) * r.pol.JitterFrac
+		wait += time.Duration((r.rng.float64()*2 - 1) * span)
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	if !deadline.IsZero() && time.Now().Add(wait).After(deadline) {
+		return false
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// xorshift is a tiny splitmix-seeded xorshift64* generator for jitter:
+// no locking (each Resilient method call mutates it under the caller's
+// natural serialisation — see note), no global rand state.
+//
+// Note on sharing: Do is safe for concurrent use, and two goroutines
+// racing rng updates can at worst produce correlated jitter, never
+// corruption beyond a duplicated draw — the state is a single word and
+// jitter is advisory. We accept that instead of a mutex on the backoff
+// path.
+type xorshift struct{ s uint64 }
+
+func (x *xorshift) seed(s uint64) {
+	// splitmix64 scramble so adjacent seeds diverge immediately.
+	s += 0x9e3779b97f4a7c15
+	s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9
+	s = (s ^ (s >> 27)) * 0x94d049bb133111eb
+	x.s = s ^ (s >> 31)
+}
+
+func (x *xorshift) next() uint64 {
+	s := x.s
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	x.s = s
+	return s
+}
+
+// float64 draws from [0, 1).
+func (x *xorshift) float64() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}

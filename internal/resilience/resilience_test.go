@@ -1,0 +1,232 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/sched"
+)
+
+// flaky wraps a real serving runtime but refuses the first N admissions
+// with an OverloadedError carrying a retry-after hint — deterministic
+// congestion without having to saturate a real queue.
+type flaky struct {
+	rt *sched.Runtime
+
+	mu       sync.Mutex
+	refusals int
+	hint     time.Duration
+	attempts int
+}
+
+func (f *flaky) SubmitCtxOpts(ctx context.Context, task func(api.Ctx), opts sched.SubmitOpts) (*sched.Submission, error) {
+	f.mu.Lock()
+	f.attempts++
+	if f.refusals > 0 {
+		f.refusals--
+		hint := f.hint
+		f.mu.Unlock()
+		return nil, &sched.OverloadedError{RetryAfter: hint}
+	}
+	f.mu.Unlock()
+	return f.rt.SubmitCtxOpts(ctx, task, opts)
+}
+
+// serveRT builds a serving runtime for the tests.
+func serveRT(t *testing.T, workers int) *sched.Runtime {
+	t.Helper()
+	rt := sched.NewNowa(workers)
+	if err := rt.StartService(sched.ServiceConfig{QueueDepth: 64}); err != nil {
+		rt.Close()
+		t.Fatalf("StartService: %v", err)
+	}
+	return rt
+}
+
+func TestResilienceRetryAdmits(t *testing.T) {
+	rt := serveRT(t, 2)
+	defer rt.Close()
+	f := &flaky{rt: rt, refusals: 2, hint: 10 * time.Millisecond}
+	r := New(f, Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+
+	var ran atomic.Int32
+	begin := time.Now()
+	out, err := r.Do(context.Background(), func(api.Ctx) { ran.Add(1) }, sched.SubmitOpts{})
+	if err != nil {
+		t.Fatalf("Do: %v (outcome %+v)", err, out)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("task ran %d times, want 1", ran.Load())
+	}
+	if out.Attempts != 3 || out.Retries != 2 || out.Rejected != 2 || !out.Admitted {
+		t.Fatalf("outcome %+v, want 3 attempts / 2 retries / 2 rejections / admitted", out)
+	}
+	// Two refusals each carried a 10ms hint that dominates the 1–2ms
+	// exponential schedule; even with -20% jitter the waits sum past
+	// 14ms. A faster finish means the hint was ignored.
+	if elapsed := time.Since(begin); elapsed < 14*time.Millisecond {
+		t.Fatalf("Do finished in %v: the RetryAfter hints were not honoured", elapsed)
+	}
+}
+
+func TestResilienceExhausted(t *testing.T) {
+	rt := serveRT(t, 2)
+	defer rt.Close()
+	f := &flaky{rt: rt, refusals: 99, hint: time.Millisecond}
+	r := New(f, Policy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond})
+
+	out, err := r.Do(context.Background(), func(api.Ctx) {}, sched.SubmitOpts{})
+	if !errors.Is(err, sched.ErrOverloaded) {
+		t.Fatalf("Do error = %v, want an overload", err)
+	}
+	if out.Attempts != 3 || out.Admitted {
+		t.Fatalf("outcome %+v, want exactly 3 refused attempts", out)
+	}
+}
+
+func TestResilienceNoRetryOnPanic(t *testing.T) {
+	rt := serveRT(t, 2)
+	defer rt.Close()
+	r := New(rt, Policy{MaxAttempts: 5, BaseBackoff: 100 * time.Microsecond})
+
+	out, err := r.Do(context.Background(), func(api.Ctx) { panic("boom") }, sched.SubmitOpts{})
+	var sp *api.StrandPanic
+	if !errors.As(err, &sp) {
+		t.Fatalf("Do error = %v, want the strand panic", err)
+	}
+	if out.Attempts != 1 || out.Retries != 0 {
+		t.Fatalf("outcome %+v: a panic is an answer, not congestion — it must not be retried", out)
+	}
+}
+
+func TestResilienceBudget(t *testing.T) {
+	rt := serveRT(t, 2)
+	defer rt.Close()
+	f := &flaky{rt: rt, refusals: 99}
+	r := New(f, Policy{MaxAttempts: 10, BaseBackoff: 20 * time.Millisecond, Budget: 5 * time.Millisecond})
+
+	begin := time.Now()
+	out, err := r.Do(context.Background(), func(api.Ctx) {}, sched.SubmitOpts{})
+	if !errors.Is(err, sched.ErrOverloaded) {
+		t.Fatalf("Do error = %v, want an overload", err)
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("outcome %+v: a 20ms backoff cannot fit a 5ms budget, so only the first attempt runs", out)
+	}
+	if elapsed := time.Since(begin); elapsed > time.Second {
+		t.Fatalf("Do took %v: the budget did not bound the call", elapsed)
+	}
+}
+
+func TestResilienceCtxCancelAbortsBackoff(t *testing.T) {
+	rt := serveRT(t, 2)
+	defer rt.Close()
+	f := &flaky{rt: rt, refusals: 99}
+	r := New(f, Policy{MaxAttempts: 3, BaseBackoff: 10 * time.Second})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	begin := time.Now()
+	_, err := r.Do(ctx, func(api.Ctx) {}, sched.SubmitOpts{})
+	if !errors.Is(err, sched.ErrOverloaded) {
+		t.Fatalf("Do error = %v, want the last overload refusal", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("Do took %v: cancellation did not abort the backoff wait", elapsed)
+	}
+}
+
+// TestBreakerLifecycle drives the state machine directly through a full
+// closed → open → half-open → open → half-open → closed cycle.
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBreaker(BreakerPolicy{
+		Window:      time.Second,
+		MinSamples:  4,
+		FailureRate: 0.5,
+		Cooldown:    10 * time.Millisecond,
+	})
+	if !b.allow() || b.stateName() != "closed" {
+		t.Fatalf("fresh breaker not closed/allowing (state %s)", b.stateName())
+	}
+	for i := 0; i < 4; i++ {
+		b.observe(false)
+	}
+	if b.stateName() != "open" {
+		t.Fatalf("state %s after 4/4 failures, want open", b.stateName())
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed an attempt inside the cooldown")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but the probe was refused")
+	}
+	if b.stateName() != "half-open" {
+		t.Fatalf("state %s after cooldown probe, want half-open", b.stateName())
+	}
+	b.observe(false)
+	if b.stateName() != "open" {
+		t.Fatalf("state %s after failed probe, want open", b.stateName())
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but the probe was refused")
+	}
+	b.observe(true)
+	if b.stateName() != "closed" {
+		t.Fatalf("state %s after successful probe, want closed", b.stateName())
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker refused an attempt")
+	}
+}
+
+// TestBreakerColdWindowNeverOpens pins the MinSamples floor.
+func TestBreakerColdWindowNeverOpens(t *testing.T) {
+	b := newBreaker(BreakerPolicy{MinSamples: 10})
+	for i := 0; i < 9; i++ {
+		b.observe(false)
+	}
+	if b.stateName() != "closed" {
+		t.Fatalf("state %s with 9 < MinSamples observations, want closed", b.stateName())
+	}
+}
+
+func TestResilienceBreakerSheds(t *testing.T) {
+	rt := serveRT(t, 2)
+	defer rt.Close()
+	f := &flaky{rt: rt, refusals: 1000}
+	r := New(f, Policy{
+		MaxAttempts: 12,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  200 * time.Microsecond,
+		Breaker:     &BreakerPolicy{MinSamples: 4, FailureRate: 0.5, Cooldown: 10 * time.Second},
+	})
+	out, err := r.Do(context.Background(), func(api.Ctx) {}, sched.SubmitOpts{})
+	if !errors.Is(err, sched.ErrOverloaded) {
+		t.Fatalf("Do error = %v, want an overload classification", err)
+	}
+	if out.BreakerOpen == 0 {
+		t.Fatalf("outcome %+v: the breaker never opened across 12 all-failing attempts", out)
+	}
+	if r.Breaker() != "open" {
+		t.Fatalf("breaker state %s after the storm, want open", r.Breaker())
+	}
+	f.mu.Lock()
+	reached := f.attempts
+	f.mu.Unlock()
+	if reached >= 12 {
+		t.Fatalf("all %d attempts reached the service: the open breaker did not shed locally", reached)
+	}
+	if !errors.Is(ErrBreakerOpen, sched.ErrOverloaded) {
+		t.Fatal("ErrBreakerOpen must classify as an overload for existing callers")
+	}
+}

@@ -73,6 +73,28 @@ type Chaos struct {
 	// mutex-guarded stream (admission runs off any worker token) and are
 	// logged on the external stream, never replayed.
 	SubmitFail int
+	// StallWorker pins the strand holding a worker token for StallFor at
+	// the strand-finish window, modelling a blocking syscall or a
+	// pathological user function seizing its OS thread mid-run — the
+	// fault Config.StallThreshold recovery exists to survive. Sound: the
+	// strand merely runs long, which the protocol must tolerate; with
+	// recovery armed the stalled token is seized and supplemented, and
+	// the injection lets the fault campaign measure throughput with and
+	// without supplementation under identical schedules.
+	StallWorker int
+	// StallFor is the injected stall duration (default 10ms when
+	// StallWorker is set).
+	StallFor time.Duration
+	// SubmitLatency delays an admission attempt by SubmitLatencyFor
+	// before it reaches the queue, modelling a slow client-to-service
+	// edge — the latency tail hedged submissions exist to cut. Sound:
+	// admission latency carries no protocol obligations. Like
+	// SubmitFail, the draws come from the mutex-guarded external stream
+	// and are logged external, never replayed.
+	SubmitLatency int
+	// SubmitLatencyFor is the injected admission delay (default 1ms when
+	// SubmitLatency is set).
+	SubmitLatencyFor time.Duration
 	// DelaySpins is the number of scheduler yields per injected delay
 	// (default 16).
 	DelaySpins int
@@ -106,7 +128,10 @@ func (rt *Runtime) chaosRoll(w, rate int, site uint8) bool {
 	if rate <= 0 {
 		return false
 	}
-	if rt.replayOn {
+	// Supplemental slots (w >= len(repCur)) have no replay cursor: a
+	// capture only carries base-worker streams, so supplements always
+	// draw live.
+	if rt.replayOn && w < len(rt.repCur) {
 		if fired, ok := rt.repCur[w].NextChaos(site); ok {
 			if rt.recordOn {
 				rt.recordRoll(w, site, fired)
@@ -157,7 +182,13 @@ func (rt *Runtime) chaosPreSteal(w int) bool {
 //
 //nowa:hotpath
 func (rt *Runtime) chaosPrePopBottom(w int) {
-	if rt.chaosRoll(w, rt.cfg.Chaos.PopBottomDelay, replay.SitePopBottom) {
+	ch := rt.cfg.Chaos
+	if ch.StallWorker > 0 && rt.chaosRoll(w, ch.StallWorker, replay.SiteStallWorker) {
+		// The injected stall: this strand holds token w across the sleep,
+		// which is exactly the fault StallThreshold recovery supplements.
+		time.Sleep(ch.StallFor)
+	}
+	if rt.chaosRoll(w, ch.PopBottomDelay, replay.SitePopBottom) {
 		rt.chaosDelay()
 	}
 }

@@ -44,6 +44,7 @@ package sched
 
 import (
 	"fmt"
+	"time"
 
 	"nowa/internal/cactus"
 	"nowa/internal/deque"
@@ -192,6 +193,22 @@ type Config struct {
 	// single-worker captures, best-effort otherwise — see
 	// Runtime.ReplayDivergences). The log's worker count must match.
 	Replay *replay.Log
+	// StallThreshold, if positive, arms stall recovery: a supervisor
+	// samples per-worker heartbeats (bumped on every steal-loop pass,
+	// park/wake and strand finish) and, when a worker's heartbeat stays
+	// stale for StallThreshold while runnable work exists, marks the
+	// worker seized and dispatches a supplemental worker on an extended
+	// slot so the run keeps its effective parallelism. The supplement
+	// retires as soon as the seized worker's strand returns to the
+	// scheduler (a re-entry CAS on the per-worker health word). Zero
+	// disables recovery entirely — the default, and the zero-cost path:
+	// no heartbeats are written and no supervisor runs.
+	StallThreshold time.Duration
+	// MaxSupplements bounds how many supplemental workers may be live at
+	// once when StallThreshold is set. Defaults to Workers (every base
+	// worker may be supplemented simultaneously); ignored when stall
+	// recovery is disabled.
+	MaxSupplements int
 	// DisableCounters turns off the per-worker trace counters, removing
 	// the last few atomic adds from the spawn/sync fast path. Intended
 	// for microbenchmarks that measure the substrate floor; Counters()
@@ -217,7 +234,18 @@ func (c *Config) fill() error {
 	if c.Spawn < SpawnAdaptive || c.Spawn > SpawnLazy {
 		return fmt.Errorf("sched: unknown spawn mode %v", c.Spawn)
 	}
-	c.Stacks.Workers = c.Workers
+	if c.StallThreshold < 0 {
+		c.StallThreshold = 0
+	}
+	if c.StallThreshold == 0 {
+		c.MaxSupplements = 0
+	} else if c.MaxSupplements <= 0 {
+		c.MaxSupplements = c.Workers
+	}
+	// Per-slot structures (deques, stack caches, vessel free lists, RNG
+	// streams) are sized for base workers plus supplemental slots, so a
+	// supplement's owner-only accesses index real storage.
+	c.Stacks.Workers = c.totalSlots()
 	if c.Stacks.StackBytes <= 0 {
 		c.Stacks.StackBytes = 16 << 10
 	}
@@ -245,18 +273,39 @@ func (c *Config) fill() error {
 		if cc.DelaySpins <= 0 {
 			cc.DelaySpins = 16
 		}
+		if cc.StallWorker > 0 && cc.StallFor <= 0 {
+			cc.StallFor = 10 * time.Millisecond
+		}
+		if cc.SubmitLatency > 0 && cc.SubmitLatencyFor <= 0 {
+			cc.SubmitLatencyFor = time.Millisecond
+		}
 		c.Chaos = &cc
 	}
-	if c.Record != nil && c.Record.Workers() != c.Workers {
-		return fmt.Errorf("sched: Record built for %d workers, Config has %d", c.Record.Workers(), c.Workers)
+	// A recorder (or a log) may be sized to the base worker count or to
+	// the full slot count: stall-recovery supplements record scheduling
+	// decisions on extended slots, so a stall-armed capture carries
+	// totalSlots streams. A base-width recorder is still legal — Record
+	// bounds-checks and drops supplement events.
+	if c.Record != nil && c.Record.Workers() != c.Workers && c.Record.Workers() != c.totalSlots() {
+		return fmt.Errorf("sched: Record built for %d workers, Config has %d (+%d supplement slots)",
+			c.Record.Workers(), c.Workers, c.MaxSupplements)
 	}
-	if c.Replay != nil && c.Replay.Workers() != c.Workers {
-		return fmt.Errorf("sched: Replay log captured from %d workers, Config has %d", c.Replay.Workers(), c.Workers)
+	if c.Replay != nil && c.Replay.Workers() != c.Workers && c.Replay.Workers() != c.totalSlots() {
+		return fmt.Errorf("sched: Replay log captured from %d workers, Config has %d (+%d supplement slots)",
+			c.Replay.Workers(), c.Workers, c.MaxSupplements)
 	}
 	if c.Name == "" {
 		c.Name = fmt.Sprintf("%s+%s", c.Join, c.Deque)
 	}
 	return nil
+}
+
+// totalSlots is the number of scheduling slots the runtime sizes its
+// per-slot arrays for: the base worker tokens plus, when stall recovery
+// is armed, one extended slot per possible supplemental worker. Slots
+// Workers..totalSlots-1 are only ever occupied by supplements.
+func (c *Config) totalSlots() int {
+	return c.Workers + c.MaxSupplements
 }
 
 // NewNowa returns the flagship configuration: wait-free join protocol with

@@ -86,6 +86,11 @@ func (l *EventLog) reset() {
 //
 //nowa:coldpath event logging is a debugging facility, gated behind eventsOn on every hot call site; its appends are accepted
 func (l *EventLog) record(worker int, kind EventKind, aux int32) {
+	if worker >= len(l.perWork) {
+		// A supplemental worker on an extended slot (stall recovery): the
+		// log was sized for base workers, so supplement events are dropped.
+		return
+	}
 	l.perWork[worker] = append(l.perWork[worker], Event{
 		T:      time.Since(l.start),
 		Worker: int32(worker),

@@ -42,6 +42,17 @@ type Stats struct {
 	// StacksLeaked is the idle-time reconciliation of the stack pool:
 	// live stacks not sitting in a pool buffer. Only computed when idle.
 	StacksLeaked int64
+	// Stall-recovery accounting (all zero unless Config.StallThreshold
+	// is set; see stall.go). WorkersSeized counts stall judgements,
+	// WorkersSupplemented the supplemental workers actually dispatched
+	// (a seizure with no free slot or a completing run stands down
+	// without one), SupplementsRetired the completed supplement
+	// lifecycles. When the runtime is idle every dispatched supplement
+	// has retired: WorkersSupplemented == SupplementsRetired, part of
+	// the same reconciliation that proves VesselsLeaked == 0.
+	WorkersSeized       int64
+	WorkersSupplemented int64
+	SupplementsRetired  int64
 	// Stacks is the cactus pool's own snapshot.
 	Stacks cactus.Stats
 }
@@ -52,13 +63,16 @@ type Stats struct {
 func (rt *Runtime) Stats() Stats {
 	agg := rt.rec.Aggregate()
 	st := Stats{
-		VesselHighWater: rt.vHighWater.Load(),
-		VesselsPooled:   -1,
-		VesselsTrimmed:  rt.vTrimmed.Load(),
-		ScopesLeaked:    rt.scopesLeaked.Load(),
-		DegradedSpawns:  agg.DegradedSpawns,
-		TokenKeepSyncs:  agg.TokenKeepSyncs,
-		Stacks:          rt.pool.Stats(),
+		VesselHighWater:     rt.vHighWater.Load(),
+		VesselsPooled:       -1,
+		VesselsTrimmed:      rt.vTrimmed.Load(),
+		ScopesLeaked:        rt.scopesLeaked.Load(),
+		DegradedSpawns:      agg.DegradedSpawns,
+		TokenKeepSyncs:      agg.TokenKeepSyncs,
+		WorkersSeized:       rt.seized.Load(),
+		WorkersSupplemented: rt.supplemented.Load(),
+		SupplementsRetired:  rt.supRetired.Load(),
+		Stacks:              rt.pool.Stats(),
 	}
 	rt.govMu.Lock()
 	st.VesselsLive = rt.vLive.Load()
@@ -87,6 +101,10 @@ func (rt *Runtime) ResourceStats() api.ResourceStats {
 		DegradedSpawns:  st.DegradedSpawns,
 		TokenKeepSyncs:  st.TokenKeepSyncs,
 		ScopesLeaked:    st.ScopesLeaked,
+
+		WorkersSeized:       st.WorkersSeized,
+		WorkersSupplemented: st.WorkersSupplemented,
+		SupplementsRetired:  st.SupplementsRetired,
 	}
 }
 

@@ -40,6 +40,7 @@ type Runtime struct {
 	blockRecOn bool // recordOn && Workers > 1: KBlocked diagnostics (see note)
 	lazyOn     bool // cfg.Spawn != SpawnEager: Spawn publishes promotable records
 	adaptOn    bool // cfg.Spawn == SpawnAdaptive: promotions arm eager bursts
+	stallOn    bool // cfg.StallThreshold > 0: heartbeats + stall supervisor armed
 
 	// Cached vessel budgets (0 = unbounded): spawnLimit gates vessel
 	// creation on the Spawn path (SoftMaxVessels), syncLimit gates thief
@@ -92,6 +93,22 @@ type Runtime struct {
 
 	chaosRngs    []rngState
 	chaosStalled atomic.Bool
+
+	// Stall recovery (all nil/zero unless stallOn; see stall.go). The
+	// per-slot arrays are indexed by scheduling slot: base workers
+	// 0..Workers-1, supplements Workers..totalSlots-1. tokensRetired is
+	// the cumulative retirement count — the monotonic progress signal
+	// progressSum folds in (tokensLeft alone dips when a supplement
+	// joins mid-run). victimHi is the number of victim-eligible slots,
+	// raised when a supplement arms, reset to Workers each Run.
+	hb            []hbSlot
+	wstate        []healthSlot
+	sup           []supSlot
+	victimHi      atomic.Int32
+	tokensRetired atomic.Int64
+	seized        atomic.Int64
+	supplemented  atomic.Int64
+	supRetired    atomic.Int64
 
 	// rep is the schedule recorder (cfg.Record), repCur the per-worker
 	// replay cursors rebuilt at each Run start from cfg.Replay. Both are
@@ -147,6 +164,10 @@ func New(cfg Config) (*Runtime, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	// slots counts the scheduling slots every per-slot array is sized
+	// for: base workers plus (when stall recovery is armed) the
+	// supplemental slots. See stall.go.
+	slots := cfg.totalSlots()
 	rt := &Runtime{
 		cfg:        cfg,
 		countersOn: !cfg.DisableCounters,
@@ -160,14 +181,15 @@ func New(cfg Config) (*Runtime, error) {
 		blockRecOn: cfg.Record != nil && cfg.Workers > 1,
 		lazyOn:     cfg.Spawn != SpawnEager,
 		adaptOn:    cfg.Spawn == SpawnAdaptive,
+		stallOn:    cfg.StallThreshold > 0,
 		rep:        cfg.Record,
 		spawnLimit: int64(cfg.SoftMaxVessels),
 		syncLimit:  int64(cfg.MaxVessels),
-		deques:     make([]deque.Deque[cont], cfg.Workers),
+		deques:     make([]deque.Deque[cont], slots),
 		pool:       cactus.NewPool(cfg.Stacks),
-		rec:        trace.NewRecorder(cfg.Workers),
-		rngs:       make([]rngState, cfg.Workers),
-		vlocal:     make([]vesselFreeList, cfg.Workers),
+		rec:        trace.NewRecorder(slots),
+		rngs:       make([]rngState, slots),
+		vlocal:     make([]vesselFreeList, slots),
 	}
 	rt.scopePool.New = func() any {
 		// Pooled scopes rest armed, like ring slots (see Proc.Scope). The
@@ -181,12 +203,12 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	rt.idle.cond = sync.NewCond(&rt.idle.mu)
 	if cfg.Deque == deque.THE {
-		rt.theDeques = make([]*deque.THEDeque[cont], cfg.Workers)
+		rt.theDeques = make([]*deque.THEDeque[cont], slots)
 	}
 	if cfg.Deque == deque.CL {
-		rt.clDeques = make([]*deque.CLDeque[cont], cfg.Workers)
+		rt.clDeques = make([]*deque.CLDeque[cont], slots)
 	}
-	for w := 0; w < cfg.Workers; w++ {
+	for w := 0; w < slots; w++ {
 		d := deque.New[cont](cfg.Deque, cfg.DequeCap)
 		rt.deques[w] = d
 		if rt.theDeques != nil {
@@ -201,10 +223,16 @@ func New(cfg Config) (*Runtime, error) {
 		rt.vlocal[w].free = make([]*vessel, 0, perWorkerVesselCap)
 	}
 	if cfg.Chaos != nil {
-		rt.chaosRngs = make([]rngState, cfg.Workers)
-		for w := 0; w < cfg.Workers; w++ {
+		rt.chaosRngs = make([]rngState, slots)
+		for w := 0; w < slots; w++ {
 			rt.chaosRngs[w].s = uint64(cfg.Chaos.Seed)*0xbf58476d1ce4e5b9 + uint64(w) + 1
 		}
+	}
+	if rt.stallOn {
+		rt.hb = make([]hbSlot, slots)
+		rt.wstate = make([]healthSlot, slots)
+		rt.sup = make([]supSlot, cfg.MaxSupplements)
+		rt.victimHi.Store(int32(cfg.Workers))
 	}
 	return rt, nil
 }
@@ -290,8 +318,14 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	}
 	if rt.replayOn {
 		// Fresh cursors per Run: the captured decision streams are
-		// consumed from their start each time.
+		// consumed from their start each time. A base-width log driving
+		// a stall-armed run pads empty cursors for the supplement slots;
+		// an exhausted cursor falls back to the live RNG, so supplements
+		// simply run unreplayed (their dispatch is wall-clock anyway).
 		rt.repCur = rt.cfg.Replay.Cursors()
+		for len(rt.repCur) < len(rt.deques) {
+			rt.repCur = append(rt.repCur, replay.Cursor{})
+		}
 	}
 	if rt.recordOn {
 		// No token holder exists yet, so writing worker 0's ring here is
@@ -301,6 +335,16 @@ func (rt *Runtime) runInternal(ctx context.Context, root func(api.Ctx)) error {
 	}
 	stop := rt.cancel.Begin(ctx, rt.wakeThieves)
 	defer stop()
+
+	if rt.stallOn {
+		// Health words, supplement slots and the victim high-water reset
+		// before any token exists; the supervisor runs for exactly this
+		// run (its stop blocks until exit, so a late seizure can never
+		// race the post-run idle reconciliation).
+		rt.resetStallState()
+		stopSup := rt.startSupervisor()
+		defer stopSup()
+	}
 
 	// Token 0 carries the root strand; each stack the root's frame chain
 	// pins is accounted against the pool like any stolen frame's stack.
@@ -372,6 +416,7 @@ func (rt *Runtime) recordPanic(sub *Submission, v any) {
 //
 //nowa:coldpath runs once per worker token per Run, at drain time; the close is the Run-completion broadcast
 func (rt *Runtime) retireToken() {
+	rt.tokensRetired.Add(1)
 	if rt.tokensLeft.Add(-1) == 0 {
 		close(rt.finished)
 	}
@@ -411,9 +456,20 @@ func (rt *Runtime) parkThief(w int) bool {
 		// Owner-only: the parking strand still holds token w.
 		rt.rep.Record(w, replay.KPark, 0, 0)
 	}
+	if rt.stallOn {
+		// Heartbeat at park and again at wake: a parked thief is idle,
+		// not stalled, and the supervisor must see it moving through the
+		// rendezvous (a thief can only park while every deque is empty,
+		// so a stale-parked heartbeat never coincides with runnable work
+		// for long — the wake bump closes the remaining window).
+		rt.beat(w)
+	}
 	ip.cond.Wait()
 	ip.waiters.Add(-1)
 	ip.mu.Unlock()
+	if rt.stallOn {
+		rt.beat(w)
+	}
 	if rt.countersOn {
 		rt.rec.Worker(w).ThiefWakeups.Add(1)
 	}
@@ -472,12 +528,18 @@ func (rt *Runtime) DebugTokensLeft() int64 { return rt.tokensLeft.Load() }
 // DebugDequeSize exposes a deque's size for diagnostics.
 func (rt *Runtime) DebugDequeSize(w int) int { return rt.deques[w].Size() }
 
+// DebugSlots exposes the total scheduling-slot count (base workers plus
+// supplemental slots) so harnesses can sweep every deque.
+func (rt *Runtime) DebugSlots() int { return len(rt.deques) }
+
 // progressSum folds every forward-progress signal into one monotonic
 // scalar for stall detection: the trace counters (minus failed steals)
-// plus the number of retired worker tokens.
+// plus the cumulative number of retired worker tokens (the cumulative
+// count, not Workers-tokensLeft: a supplement joining mid-run raises
+// tokensLeft, and the progress signal must never move backwards).
 func (rt *Runtime) progressSum() uint64 {
 	s := rt.rec.Aggregate().ProgressSum()
-	s += int64(rt.cfg.Workers) - rt.tokensLeft.Load()
+	s += rt.tokensRetired.Load()
 	return uint64(s)
 }
 
@@ -491,7 +553,20 @@ func (rt *Runtime) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "sched runtime %q: workers=%d tokensLeft=%d running=%v cancelled=%v\n",
 		rt.cfg.Name, rt.cfg.Workers, rt.DebugTokensLeft(), rt.running.Load(), rt.cancel.Cancelled())
 	for i := range rt.deques {
-		fmt.Fprintf(w, "  worker %d: deque size %d\n", i, rt.DebugDequeSize(i))
+		if i < rt.cfg.Workers {
+			fmt.Fprintf(w, "  worker %d: deque size %d\n", i, rt.DebugDequeSize(i))
+		} else {
+			fmt.Fprintf(w, "  supplement slot %d (worker %d): deque size %d\n", i-rt.cfg.Workers, i, rt.DebugDequeSize(i))
+		}
+	}
+	if rt.stallOn {
+		fmt.Fprintf(w, "  stall recovery: seized=%d supplemented=%d retired=%d victimSlots=%d\n",
+			rt.seized.Load(), rt.supplemented.Load(), rt.supRetired.Load(), rt.victimHi.Load())
+		for i := range rt.wstate {
+			if st := rt.wstate[i].state.Load(); st != wsHealthy && i < rt.cfg.Workers {
+				fmt.Fprintf(w, "  worker %d health: %d (1=seized 2=supplemented) heartbeat=%d\n", i, st, rt.hb[i].n.Load())
+			}
+		}
 	}
 	rt.allMu.Lock()
 	total := len(rt.allVessels)

@@ -441,6 +441,9 @@ func (rt *Runtime) submit(ctx context.Context, task func(api.Ctx), opts SubmitOp
 func (svc *service) admit(sub *Submission, waitCtx context.Context) error {
 	rt := svc.rt
 	q := &svc.adm
+	if rt.chaosOn {
+		svc.chaosSubmitLatency()
+	}
 	if rt.chaosOn && svc.chaosSubmitFail() {
 		// Admission-time fault injection: behave exactly like a FailFast
 		// overload refusal. Sound — callers must tolerate ErrOverloaded
@@ -520,6 +523,37 @@ func (svc *service) chaosSubmitFail() bool {
 		svc.rt.rep.RecordExternal(replay.KChaos, replay.SiteSubmitFail, arg)
 	}
 	return fired
+}
+
+// chaosSubmitLatency rolls the admission-delay injection and, when it
+// fires, sleeps the submitting goroutine for Chaos.SubmitLatencyFor —
+// a slow client-to-service edge, the latency tail hedging exists to
+// cut. Same stream and recording discipline as chaosSubmitFail.
+func (svc *service) chaosSubmitLatency() {
+	ch := svc.rt.cfg.Chaos
+	if ch.SubmitLatency <= 0 {
+		return
+	}
+	svc.chaosMu.Lock()
+	fired := int(svc.chaosRng.next()&1023) < ch.SubmitLatency
+	svc.chaosMu.Unlock()
+	if svc.rt.recordOn {
+		var arg uint16
+		if fired {
+			arg = 1
+		}
+		svc.rt.rep.RecordExternal(replay.KChaos, replay.SiteSubmitLatency, arg)
+	}
+	if fired {
+		time.Sleep(ch.SubmitLatencyFor)
+	}
+}
+
+// queuedLen reports the current admission-queue depth — the stall
+// supervisor's "runnable work" probe for service mode, where work can
+// be queued for the dispatcher without any deque being non-empty.
+func (svc *service) queuedLen() int {
+	return svc.adm.queued()
 }
 
 // retryHint estimates how long until a queue slot frees: the smoothed
@@ -704,6 +738,12 @@ type ServiceStats struct {
 
 	PressureGrade int           // current admission pressure (0/1/2)
 	RetryHint     time.Duration // current FailFast retry-after estimate
+
+	// CompletionEWMA is the smoothed inter-completion interval — the
+	// signal RetryHint clamps into its band. Exported raw so breakers
+	// and dashboards can read service velocity without triggering a
+	// rejection to obtain a hint. Zero before the first completion.
+	CompletionEWMA time.Duration
 }
 
 // ServiceStats reports the service accounting; false when the runtime
@@ -715,18 +755,19 @@ func (rt *Runtime) ServiceStats() (ServiceStats, bool) {
 	}
 	q := &svc.adm
 	return ServiceStats{
-		Submitted:     q.submitted.Load(),
-		Admitted:      q.admitted.Load(),
-		Rejected:      q.rejected.Load(),
-		Shed:          q.shed.Load(),
-		Expired:       q.expired.Load(),
-		Completed:     svc.completed.Load(),
-		Panicked:      svc.panicked.Load(),
-		Cancelled:     svc.cancelled.Load(),
-		Queued:        q.queued(),
-		InFlight:      int(svc.inflight.Load()),
-		PressureGrade: int(q.pressure.Load()),
-		RetryHint:     svc.retryHint(),
+		Submitted:      q.submitted.Load(),
+		Admitted:       q.admitted.Load(),
+		Rejected:       q.rejected.Load(),
+		Shed:           q.shed.Load(),
+		Expired:        q.expired.Load(),
+		Completed:      svc.completed.Load(),
+		Panicked:       svc.panicked.Load(),
+		Cancelled:      svc.cancelled.Load(),
+		Queued:         q.queued(),
+		InFlight:       int(svc.inflight.Load()),
+		PressureGrade:  int(q.pressure.Load()),
+		RetryHint:      svc.retryHint(),
+		CompletionEWMA: time.Duration(svc.ewmaNs.Load()),
 	}, true
 }
 

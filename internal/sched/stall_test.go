@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"nowa/internal/api"
+	"nowa/internal/deque"
+)
+
+// stallCfg is the baseline stall-recovery configuration the tests use:
+// short threshold so seizures land well inside the planted stalls.
+func stallCfg(workers int) Config {
+	return Config{
+		Name:           "nowa-stall",
+		Workers:        workers,
+		Deque:          deque.CL,
+		Join:           WaitFree,
+		Seed:           7,
+		StallThreshold: 2 * time.Millisecond,
+	}
+}
+
+// TestStallSlotSizing pins the array-sizing contract: recovery off means
+// exactly Workers slots (and zeroed stall stats), recovery on adds one
+// extended slot per possible supplement.
+func TestStallSlotSizing(t *testing.T) {
+	plain := NewNowa(4)
+	defer plain.Close()
+	if got := plain.DebugSlots(); got != 4 {
+		t.Fatalf("DebugSlots = %d without stall recovery, want 4", got)
+	}
+	st := plain.Stats()
+	if st.WorkersSeized != 0 || st.WorkersSupplemented != 0 || st.SupplementsRetired != 0 {
+		t.Fatalf("stall stats nonzero without recovery: %+v", st)
+	}
+
+	armed := MustNew(stallCfg(4))
+	defer armed.Close()
+	if got := armed.DebugSlots(); got != 8 {
+		t.Fatalf("DebugSlots = %d with recovery armed, want 8 (Workers + MaxSupplements default)", got)
+	}
+
+	capped := MustNew(func() Config { c := stallCfg(4); c.MaxSupplements = 1; return c }())
+	defer capped.Close()
+	if got := capped.DebugSlots(); got != 5 {
+		t.Fatalf("DebugSlots = %d with MaxSupplements=1, want 5", got)
+	}
+}
+
+// TestStallSupplementBatch plants a mid-strand stall in a batch Run —
+// one spawned child sleeps far past the threshold while the rest of the
+// computation keeps publishing work — and asserts the full seize →
+// supplement → retire cycle: the stalled token was seized, at least one
+// supplement dispatched and every supplement retired, with the token
+// and vessel conservation invariants intact afterwards.
+func TestStallSupplementBatch(t *testing.T) {
+	cfg := stallCfg(2)
+	// Eager spawning gives the sleeper its own token immediately (a lazy
+	// first spawn would sleep inline before any continuation is
+	// published, leaving nothing runnable to justify a seizure).
+	cfg.Spawn = SpawnEager
+	rt := MustNew(cfg)
+	defer rt.Close()
+
+	var got int
+	rt.Run(func(c api.Ctx) {
+		s := c.Scope()
+		s.Spawn(func(api.Ctx) { time.Sleep(100 * time.Millisecond) })
+		deadline := time.Now().Add(80 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			got = fib(c, 16)
+		}
+		s.Sync()
+	})
+	if want := fibSerial(16); got != want {
+		t.Fatalf("fib(16) = %d under stall recovery, want %d", got, want)
+	}
+
+	st := rt.Stats()
+	if st.WorkersSeized < 1 {
+		t.Fatalf("WorkersSeized = %d, want >= 1 (planted a 100ms stall against a 2ms threshold)", st.WorkersSeized)
+	}
+	if st.WorkersSupplemented < 1 {
+		t.Fatalf("WorkersSupplemented = %d, want >= 1", st.WorkersSupplemented)
+	}
+	if st.SupplementsRetired != st.WorkersSupplemented {
+		t.Fatalf("SupplementsRetired = %d, WorkersSupplemented = %d: every supplement must retire by idle time",
+			st.SupplementsRetired, st.WorkersSupplemented)
+	}
+	if st.VesselsLeaked != 0 {
+		t.Fatalf("VesselsLeaked = %d after seize/supplement/retire cycles", st.VesselsLeaked)
+	}
+	if left := rt.DebugTokensLeft(); left != 0 {
+		t.Fatalf("tokensLeft = %d, want 0", left)
+	}
+	cnt := rt.Counters()
+	if cnt.LocalResumes+cnt.Steals != cnt.Spawns-cnt.InlineRuns {
+		t.Fatalf("counter conservation violated with supplements: %+v", cnt)
+	}
+	for w := 0; w < rt.DebugSlots(); w++ {
+		if n := rt.DebugDequeSize(w); n != 0 {
+			t.Fatalf("slot %d deque non-empty (%d) after Run", w, n)
+		}
+	}
+}
+
+// TestStallServiceRecovery is the head-of-line-blocking rescue on a
+// single-worker service: a submission stalls the only base token, so
+// without supplementation the dispatcher continuation — published but
+// unstealable with zero idle thieves — would pin every queued
+// submission behind the stall. With recovery armed, the supplement
+// steals the dispatcher continuation and the quick submissions all
+// complete while the stalled one is still asleep.
+func TestStallServiceRecovery(t *testing.T) {
+	cfg := stallCfg(1)
+	cfg.Spawn = SpawnEager
+	rt := MustNew(cfg)
+	defer rt.Close()
+	if err := rt.StartService(ServiceConfig{QueueDepth: 64}); err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+
+	stalled, err := rt.Submit(func(api.Ctx) { time.Sleep(150 * time.Millisecond) }, SubmitOpts{})
+	if err != nil {
+		t.Fatalf("Submit stall task: %v", err)
+	}
+	const quick = 10
+	subs := make([]*Submission, quick)
+	for i := range subs {
+		s, err := rt.Submit(func(api.Ctx) {}, SubmitOpts{})
+		if err != nil {
+			t.Fatalf("Submit quick task %d: %v", i, err)
+		}
+		subs[i] = s
+	}
+	for i, s := range subs {
+		select {
+		case <-s.Done():
+			if err := s.Err(); err != nil {
+				t.Fatalf("quick task %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("quick task %d still blocked: supplementation did not rescue the dispatcher", i)
+		}
+	}
+	select {
+	case <-stalled.Done():
+		t.Fatal("stall task finished before the quick tasks were checked; the test lost its stall window")
+	default:
+	}
+	if err := stalled.Wait(); err != nil {
+		t.Fatalf("stall task: %v", err)
+	}
+
+	st := rt.Stats()
+	if st.WorkersSeized < 1 || st.WorkersSupplemented < 1 {
+		t.Fatalf("seized=%d supplemented=%d, want both >= 1", st.WorkersSeized, st.WorkersSupplemented)
+	}
+	rt.Close()
+	st = rt.Stats()
+	if st.SupplementsRetired != st.WorkersSupplemented {
+		t.Fatalf("SupplementsRetired = %d, WorkersSupplemented = %d after Close",
+			st.SupplementsRetired, st.WorkersSupplemented)
+	}
+	if st.VesselsLeaked != 0 {
+		t.Fatalf("VesselsLeaked = %d", st.VesselsLeaked)
+	}
+	ss, ok := rt.ServiceStats()
+	if !ok {
+		t.Fatal("ServiceStats unavailable after Close")
+	}
+	if ss.Admitted != ss.Completed+ss.Panicked+ss.Cancelled+ss.Shed {
+		t.Fatalf("service conservation violated: %+v", ss)
+	}
+}
+
+// TestStallChaosConservation soaks the seize/supplement/retire machinery
+// under the StallWorker injection: random strands pin their tokens at
+// the finish window while recovery keeps supplementing, and every
+// conservation invariant must hold at the end of each run.
+func TestStallChaosConservation(t *testing.T) {
+	cfg := stallCfg(4)
+	cfg.Chaos = &Chaos{StallWorker: 48, StallFor: 4 * time.Millisecond}
+	rt := MustNew(cfg)
+	defer rt.Close()
+
+	for round := 0; round < 3; round++ {
+		var got int
+		rt.Run(func(c api.Ctx) { got = fib(c, 18) })
+		if want := fibSerial(18); got != want {
+			t.Fatalf("round %d: fib(18) = %d, want %d", round, got, want)
+		}
+		if left := rt.DebugTokensLeft(); left != 0 {
+			t.Fatalf("round %d: tokensLeft = %d", round, left)
+		}
+		st := rt.Stats()
+		if st.SupplementsRetired != st.WorkersSupplemented {
+			t.Fatalf("round %d: SupplementsRetired = %d, WorkersSupplemented = %d",
+				round, st.SupplementsRetired, st.WorkersSupplemented)
+		}
+		if st.VesselsLeaked != 0 {
+			t.Fatalf("round %d: VesselsLeaked = %d", round, st.VesselsLeaked)
+		}
+		cnt := rt.Counters()
+		if cnt.LocalResumes+cnt.Steals != cnt.Spawns-cnt.InlineRuns {
+			t.Fatalf("round %d: counter conservation violated: %+v", round, cnt)
+		}
+	}
+}
+
+// TestStallCompletedEWMAExported pins the ServiceStats export: after a
+// few completions the smoothed inter-completion interval is readable
+// without triggering a rejection.
+func TestStallCompletedEWMAExported(t *testing.T) {
+	rt := NewNowa(2)
+	defer rt.Close()
+	if err := rt.StartService(ServiceConfig{}); err != nil {
+		t.Fatalf("StartService: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		sub, err := rt.Submit(func(api.Ctx) { time.Sleep(time.Millisecond) }, SubmitOpts{})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if err := sub.Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	ss, ok := rt.ServiceStats()
+	if !ok {
+		t.Fatal("ServiceStats unavailable")
+	}
+	if ss.CompletionEWMA <= 0 {
+		t.Fatalf("CompletionEWMA = %v after sequential millisecond tasks, want > 0", ss.CompletionEWMA)
+	}
+}

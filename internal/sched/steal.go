@@ -26,9 +26,18 @@ func (rt *Runtime) stealLoop(p *Proc) {
 	for {
 		if rt.done.Load() || rt.cancel.Cancelled() {
 			// Free the vessel before retiring: the token is still ours
-			// here, which keeps the local free list owner-only.
+			// here, which keeps the local free list owner-only. Supplement
+			// tokens route through their slot bookkeeping (stall.go).
 			rt.freeVessel(p.v, w)
-			rt.retireToken()
+			rt.retireTokenFrom(w)
+			return
+		}
+
+		if rt.stallOn && rt.stallStealCheck(w) {
+			// This supplement's duty ended: the worker it stood in for
+			// re-entered the scheduler, and this slot's deque is empty.
+			rt.freeVessel(p.v, w)
+			rt.retireSupplement(w)
 			return
 		}
 
@@ -111,16 +120,22 @@ func (rt *Runtime) stealLoop(p *Proc) {
 // on cursor exhaustion or divergence), otherwise from the configured
 // policy — the per-worker RNG or the round-robin cursor.
 func (rt *Runtime) stealVictim(w int, rng *rngState, rr *int) int {
-	if rt.replayOn {
+	if rt.replayOn && w < len(rt.repCur) {
 		if v, ok := rt.repCur[w].NextVictim(); ok && v >= 0 && v < rt.cfg.Workers {
 			return v
 		}
 	}
+	// With stall recovery armed the draw covers every victim-eligible
+	// slot — armed supplements publish stealable continuations too.
+	n := rt.cfg.Workers
+	if rt.stallOn {
+		n = int(rt.victimHi.Load())
+	}
 	if rt.cfg.Victim == VictimRoundRobin {
 		*rr++
-		return *rr % rt.cfg.Workers
+		return *rr % n
 	}
-	return int(rng.next() % uint64(rt.cfg.Workers))
+	return int(rng.next() % uint64(n))
 }
 
 // stealOutcomeKind maps a deque steal outcome onto its event kind.

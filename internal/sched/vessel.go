@@ -450,6 +450,13 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 	p := &v.proc
 	w := p.worker
 	rt.releaseStacks(v, w)
+	if rt.stallOn {
+		// Strand finish is a heartbeat site: a token pinned by a long
+		// user function goes stale between two of these, which is what
+		// the supervisor measures; a seized token returning lands its
+		// re-entry CAS here.
+		rt.stallFinishCheck(w)
+	}
 	if rt.chaosOn {
 		rt.chaosPrePopBottom(w)
 	}
@@ -495,7 +502,7 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 		rt.freeVessel(v, w)
 		rt.done.Store(true)
 		rt.wakeThieves()
-		rt.retireToken()
+		rt.retireTokenFrom(w)
 		return
 	}
 	if parent.onChildJoin() {

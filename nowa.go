@@ -41,6 +41,7 @@ import (
 	"nowa/internal/deque"
 	"nowa/internal/omp"
 	"nowa/internal/replay"
+	"nowa/internal/resilience"
 	"nowa/internal/sched"
 )
 
@@ -196,6 +197,14 @@ type Limits struct {
 	// pre-promotion accounting in which every spawn requests a vessel
 	// and a tight budget forces inline degradation.
 	Spawn SpawnPolicy
+	// StallThreshold arms stall recovery: a worker whose heartbeat goes
+	// stale this long while runnable work exists is seized and a
+	// supplemental worker dispatched in its stead (see internal/sched
+	// stall.go). Zero (the default) disables recovery at zero cost.
+	StallThreshold time.Duration
+	// MaxSupplements bounds the supplemental workers live at once;
+	// zero with a StallThreshold set defaults to the worker count.
+	MaxSupplements int
 }
 
 // ResourceStats is a snapshot of a runtime's resource accounting; see
@@ -222,6 +231,8 @@ func NewLimited(v Variant, workers int, lim Limits) Runtime {
 	cfg.MaxVessels = lim.MaxVessels
 	cfg.SoftMaxVessels = lim.SoftMaxVessels
 	cfg.Spawn = lim.Spawn
+	cfg.StallThreshold = lim.StallThreshold
+	cfg.MaxSupplements = lim.MaxSupplements
 	if lim.MaxStacks > 0 {
 		cfg.Stacks.GlobalCap = lim.MaxStacks
 		cfg.Stacks.CapMode = cactus.CapSoft
@@ -299,6 +310,38 @@ func ScheduleDivergences(rt Runtime) (int64, bool) {
 		return r.ReplayDivergences()
 	}
 	return 0, false
+}
+
+// Resilience re-exports: client-side fault tolerance over a serving
+// runtime's Submit. See internal/resilience for the full semantics.
+type (
+	// ResiliencePolicy parameterises a Resilient wrapper: bounded
+	// retries with capped exponential backoff honouring the service's
+	// retry-after hints, plus optional breaker and hedging layers.
+	ResiliencePolicy = resilience.Policy
+	// BreakerPolicy configures the circuit breaker layer.
+	BreakerPolicy = resilience.BreakerPolicy
+	// HedgePolicy configures hedged submissions.
+	HedgePolicy = resilience.HedgePolicy
+	// Resilient is the wrapper; call Do instead of Submit.
+	Resilient = resilience.Resilient
+	// ResilienceOutcome reports what one resilient call spent.
+	ResilienceOutcome = resilience.Outcome
+)
+
+// ErrBreakerOpen is returned by Resilient.Do when the circuit breaker
+// refuses locally; it classifies as an overload via errors.Is.
+var ErrBreakerOpen = resilience.ErrBreakerOpen
+
+// NewResilient wraps a serving-capable runtime with a resilience
+// policy. Only the vessel-model variants serve, so only their runtimes
+// are accepted; NewResilient panics for the comparators.
+func NewResilient(rt Runtime, pol ResiliencePolicy) *Resilient {
+	s, ok := rt.(resilience.Submitter)
+	if !ok {
+		panic("nowa: NewResilient requires a serving-capable (vessel model) runtime")
+	}
+	return resilience.New(s, pol)
 }
 
 // Serial returns the serial elision: Spawn calls inline, Sync is a no-op.
