@@ -10,9 +10,9 @@ GO ?= go
 
 # The race-enabled stress subset, shared by `race` and `verify` so the
 # two gates cannot drift apart.
-RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestPromote|TestReplay|TestService|TestSubmit|TestStall|TestHedge|TestResilience' ./...
+RACE_TEST = $(GO) test -race -run 'TestChaos|TestCancel|TestPanic|TestGovern|TestOverload|TestPromote|TestReplay|TestService|TestSubmit|TestStall|TestHedge|TestResilience|TestCQS|TestFuture|TestChannel|TestBarrier|TestBlock|TestWait|TestAbort|TestPipeline|TestBFS|TestKernel' ./...
 
-.PHONY: verify fmt build vet lint test race bench bench-all torture serve-smoke fault-smoke
+.PHONY: verify fmt build vet lint test race bench bench-all torture serve-smoke fault-smoke block-smoke
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -100,3 +100,15 @@ fault-smoke:
 	$(GO) run ./cmd/nowa-torture -duration 15s -chaos stall -out torture-out
 	$(GO) run ./cmd/nowa-torture -service -duration 15s -chaos stall -out torture-out
 	$(GO) run ./cmd/nowa-serve -faults-only -workers 4 -dur 1s -json BENCH_serve_faults.json
+
+# block-smoke exercises the external blocking layer (DESIGN.md §16): the
+# race-enabled blocking primitive and kernel tests (CQS queue, futures,
+# channels, barriers, pipeline/BFS kernels, abort storms), one bench
+# pass over both blocking kernels, and an abort-classed torture soak —
+# blocking kernels under forced wait-aborts and delayed wakeups, with
+# the BlockedWaits == ResumedWaits + AbortedWaits conservation bar and
+# the leak bars checked every trial.
+block-smoke:
+	$(GO) test -race -run 'TestCQS|TestFuture|TestChannel|TestBarrier|TestBlock|TestWait|TestAbort|TestPipeline|TestBFS|TestKernel' . ./internal/cqs/ ./internal/blockapps/
+	$(GO) run ./cmd/nowa-bench -block -scale test -runs 3 -variants nowa,nowa-the,fibril,cilkplus
+	$(GO) run ./cmd/nowa-torture -duration 15s -chaos abort -out torture-out

@@ -1,0 +1,73 @@
+package nowa
+
+// Blocking without leaking (DESIGN.md §16). The primitives in future.go,
+// channel.go and barrier.go let a strand wait on something outside the
+// fork/join tree — a value another strand will produce, a buffer slot, a
+// rendezvous — without holding its worker token hostage and without any
+// way to leak the wait: a blocked strand hands its token to a thief
+// vessel (sched.Proc.PrepareWait/CommitWait), and a cancelled one aborts
+// its waiter cell through the cqs arbitration, restores a token through
+// the wake queue, and returns its context's error. Exactly one of
+// resume/abort wins each cell, so no vessel, stack or wakeup is ever
+// lost — the abort-storm tests assert the conservation invariant
+// BlockedWaits == ResumedWaits + AbortedWaits at quiescence.
+
+import (
+	"context"
+	"errors"
+
+	"nowa/internal/sched"
+)
+
+// ErrClosed is returned by Channel operations on a closed channel: Send
+// fails fast, Recv reports it once the buffered items are drained.
+var ErrClosed = errors.New("nowa: channel closed")
+
+// ErrPoisoned marks a Future whose producer panicked instead of
+// resolving: every Await unblocks with an error wrapping ErrPoisoned
+// (and the panic cause) rather than hanging forever.
+var ErrPoisoned = errors.New("nowa: future poisoned")
+
+// procOf extracts the scheduler strand behind a Ctx. The blocking
+// primitives need the vessel machinery — a parked strand hands its
+// worker token away — so they run only on the continuation-stealing
+// variants (the same set NewLimited accepts).
+func procOf(c Ctx) *sched.Proc {
+	p, ok := c.(*sched.Proc)
+	if !ok {
+		panic("nowa: blocking primitives require a continuation-stealing (vessel model) runtime")
+	}
+	return p
+}
+
+// wakeHandle adapts sched.Waiter.Wake to the cqs drain/release handle
+// callbacks.
+func wakeHandle(h any) { h.(*sched.Waiter).Wake() }
+
+// parkWait commits a prepared wait and, when the strand runs under a
+// cancellable context (RunCtx, or a submission's effective context in
+// service mode), arms the abort: a context.AfterFunc racing abort
+// against the wakeup. abort must be the primitive's cell-arbitration
+// attempt — it returns true only when it won the waiter's cell, in which
+// case the waiter will never be woken through it and the abort arm
+// delivers the cancellation wakeup itself. Returns the context's error
+// when the wait ended aborted, nil when it was resumed.
+func parkWait(p *sched.Proc, bw *sched.Waiter, abort func() bool) error {
+	ctx := p.WaitContext()
+	if ctx == nil {
+		// Plain Run: nothing can cancel the wait; only the primitive's
+		// own resume (or close/poison sweep) ends it.
+		p.CommitWait(bw)
+		return nil
+	}
+	stop := context.AfterFunc(ctx, func() {
+		if abort() {
+			bw.WakeAborted()
+		}
+	})
+	defer stop()
+	if p.CommitWait(bw) {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 
 	"nowa"
 	"nowa/internal/apps"
+	"nowa/internal/blockapps"
 	"nowa/internal/loadgen"
 	"nowa/internal/sched"
 	"nowa/internal/stats"
@@ -35,6 +36,7 @@ func main() {
 	runs := flag.Int("runs", 5, "measured runs per configuration (one extra warm-up run)")
 	scaleFlag := flag.String("scale", "bench", "input scale: test, bench or large")
 	micro := flag.Bool("micro", false, "measure scheduler micro-overheads (spawn/sync ns and allocs per op) plus the fib/nqueens/quicksort kernels instead of the speedup tables")
+	block := flag.Bool("block", false, "measure the blocking kernels (bounded-channel pipeline, channel-frontier BFS) with wait-protocol stats instead of the speedup tables; vessel-model variants only")
 	serve := flag.Bool("serve", false, "run the service-mode arrival-rate sweep (admission/backpressure curves) instead of the speedup tables; writes BENCH_serve.json unless -json overrides")
 	serveDur := flag.Duration("serve-dur", time.Second, "with -serve: generation time per rate point")
 	jsonFlag := flag.String("json", "", "with -micro or -serve: also write the results as JSON to this path")
@@ -65,8 +67,16 @@ func main() {
 		runMicro(variants, *runs, scale, *jsonFlag, *gateFlag)
 		return
 	}
+	if *block {
+		variants, err := parseVariants(*variantsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runBlock(variants, *runs, scale, *jsonFlag)
+		return
+	}
 	if *jsonFlag != "" {
-		fatal(fmt.Errorf("-json requires -micro"))
+		fatal(fmt.Errorf("-json requires -micro, -serve or -block"))
 	}
 	if *gateFlag != "" {
 		fatal(fmt.Errorf("-gate requires -micro"))
@@ -643,6 +653,104 @@ func runMicro(variants []nowa.Variant, runs int, scale apps.Scale, jsonPath, gat
 			fmt.Fprintf(os.Stderr, "GATE FAIL %s\n", msg)
 		}
 		fatal(fmt.Errorf("%d spawn-median regression(s) beyond the %.0f%% gate", len(regressions), (gateTolerance-1)*100))
+	}
+}
+
+// --- Blocking mode (-block) ----------------------------------------------
+//
+// Blocking mode measures the external-wait layer end to end: the
+// bounded-channel pipeline (steady blocking churn) and the
+// channel-frontier BFS (bursty work-queue blocking) per vessel-model
+// variant, with the wait-protocol counters sampled after the runs. The
+// kernels require eager spawns (a parked stage's unblocker is a
+// later-spawned sibling) and the sched blocking layer, so serial elision
+// and the goroutine comparators are out of scope here by construction.
+
+// blockResult is one blocking kernel's wall time and cumulative wait
+// accounting on one variant.
+type blockResult struct {
+	Benchmark        string  `json:"benchmark"`
+	Variant          string  `json:"variant"`
+	Workers          int     `json:"workers"`
+	MeanSec          float64 `json:"mean_s"`
+	StdSec           float64 `json:"std_s"`
+	BlockedWaits     int64   `json:"blocked_waits"`
+	ResumedWaits     int64   `json:"resumed_waits"`
+	AbortedWaits     int64   `json:"aborted_waits"`
+	WakeupsLost      int64   `json:"wakeups_lost"`
+	BlockedHighWater int64   `json:"blocked_high_water"`
+}
+
+// blockReport is the -block -json document.
+type blockReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
+	Scale       string        `json:"kernel_scale"`
+	Runs        int           `json:"kernel_runs"`
+	Kernels     []blockResult `json:"kernels"`
+}
+
+func runBlock(variants []nowa.Variant, runs int, scale apps.Scale, jsonPath string) {
+	workers := runtime.GOMAXPROCS(0)
+	rep := blockReport{
+		GeneratedBy: "cmd/nowa-bench -block",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  workers,
+		NumCPU:      runtime.NumCPU(),
+		Scale:       scale.String(),
+		Runs:        runs,
+	}
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d %s\n", rep.GOMAXPROCS, rep.NumCPU, rep.GoVersion)
+	fmt.Printf("blocking kernels (%s scale, %d workers, eager spawns, mean of %d runs):\n", rep.Scale, workers, runs)
+	for _, name := range blockapps.BlockingNames() {
+		b, err := blockapps.ByName(name, scale)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range variants {
+			if !nowa.HasVesselModel(v) {
+				continue
+			}
+			rt := nowa.NewLimited(v, workers, nowa.Limits{Spawn: nowa.SpawnEager})
+			times := stats.DurationsToSeconds(measure(b, rt, runs))
+			rs, ok := nowa.Resources(rt)
+			nowa.Close(rt)
+			if !ok {
+				fatal(fmt.Errorf("%s runtime reports no resources", v))
+			}
+			if rs.BlockedWaits != rs.ResumedWaits+rs.AbortedWaits {
+				fatal(fmt.Errorf("%s on %s: wait conservation violated: blocked=%d resumed=%d aborted=%d",
+					name, v, rs.BlockedWaits, rs.ResumedWaits, rs.AbortedWaits))
+			}
+			r := blockResult{
+				Benchmark:        name,
+				Variant:          v.String(),
+				Workers:          workers,
+				MeanSec:          stats.Mean(times),
+				StdSec:           stats.StdDev(times),
+				BlockedWaits:     rs.BlockedWaits,
+				ResumedWaits:     rs.ResumedWaits,
+				AbortedWaits:     rs.AbortedWaits,
+				WakeupsLost:      rs.WakeupsLost,
+				BlockedHighWater: rs.BlockedHighWater,
+			}
+			rep.Kernels = append(rep.Kernels, r)
+			fmt.Printf("  %-10s %-14s %10.4f ± %.4f s  blocked=%d resumed=%d aborted=%d lost-parks=%d hw=%d\n",
+				name, r.Variant, r.MeanSec, r.StdSec,
+				r.BlockedWaits, r.ResumedWaits, r.AbortedWaits, r.WakeupsLost, r.BlockedHighWater)
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

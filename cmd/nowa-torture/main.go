@@ -33,6 +33,7 @@ import (
 
 	"nowa/internal/api"
 	"nowa/internal/apps"
+	"nowa/internal/blockapps"
 	"nowa/internal/cactus"
 	"nowa/internal/deque"
 	"nowa/internal/replay"
@@ -47,7 +48,7 @@ func main() {
 		kernels  = flag.String("kernels", "fib,integrate,quicksort,nqueens", "comma-separated kernel list (test scale)")
 		variants = flag.String("variants", "nowa,nowa-the,fibril,cilkplus", "comma-separated variant list")
 		chaos    = flag.String("chaos", strings.Join(chaosClasses, ","),
-			"comma-separated chaos classes the matrix may draw (off, light, heavy, promote, stall)")
+			"comma-separated chaos classes the matrix may draw (off, light, heavy, promote, stall, abort)")
 		maxWorkers = flag.Int("workers", runtime.NumCPU(), "cap on trial worker counts")
 		ringCap    = flag.Int("ring", 1<<15, "per-worker recorder capacity (events)")
 		replayPath = flag.String("replay", "", "replay a bundle instead of soaking")
@@ -122,6 +123,7 @@ func chaosFromSpec(s *replay.ChaosSpec) *sched.Chaos {
 		StallWorker: s.StallWorker, StallFor: time.Duration(s.StallForUS) * time.Microsecond,
 		SubmitLatency:    s.SubmitLatency,
 		SubmitLatencyFor: time.Duration(s.SubmitLatencyForUS) * time.Microsecond,
+		AbortWait:        s.AbortWait, WakeupDelay: s.WakeupDelay,
 	}
 }
 
@@ -138,6 +140,7 @@ func specFromChaos(c *sched.Chaos) *replay.ChaosSpec {
 		StallWorker: c.StallWorker, StallForUS: c.StallFor.Microseconds(),
 		SubmitLatency:      c.SubmitLatency,
 		SubmitLatencyForUS: c.SubmitLatencyFor.Microseconds(),
+		AbortWait:          c.AbortWait, WakeupDelay: c.WakeupDelay,
 	}
 }
 
@@ -157,6 +160,9 @@ func buildConfig(m replay.Meta) (sched.Config, error) {
 		cfg.Stacks.CapMode = cactus.CapSoft
 	}
 	cfg.ParkAfter = m.ParkAfter
+	if m.SpawnEager {
+		cfg.Spawn = sched.SpawnEager
+	}
 	cfg.Chaos = chaosFromSpec(m.Chaos)
 	cfg.StallThreshold = time.Duration(m.StallThresholdUS) * time.Microsecond
 	cfg.MaxSupplements = m.MaxSupplements
@@ -191,7 +197,7 @@ func runTrial(m replay.Meta, rec *replay.Recorder, log *replay.Log) (failure str
 		return "config: " + err.Error()
 	}
 	defer rt.Close()
-	app, err := apps.ByName(m.Kernel, apps.Test)
+	app, err := blockapps.ByName(m.Kernel, apps.Test)
 	if err != nil {
 		return "config: " + err.Error()
 	}
@@ -251,6 +257,17 @@ func runTrial(m replay.Meta, rec *replay.Recorder, log *replay.Log) (failure str
 	}
 	if st.ScopesLeaked != 0 {
 		return fmt.Sprintf("scope-leak: %d scopes abandoned", st.ScopesLeaked)
+	}
+	// Wait conservation: every external blocking wait ended exactly once,
+	// by resume or by abort, and nothing is still parked. Checked under a
+	// deadline too — cancellation must abort waiters, never strand them —
+	// which is the torture invariant behind the abort chaos class.
+	if st.BlockedWaits != st.ResumedWaits+st.AbortedWaits {
+		return fmt.Sprintf("wait-leak: BlockedWaits(%d) != ResumedWaits(%d)+AbortedWaits(%d)",
+			st.BlockedWaits, st.ResumedWaits, st.AbortedWaits)
+	}
+	if st.BlockedLive != 0 {
+		return fmt.Sprintf("wait-leak: %d waiters still parked after Run", st.BlockedLive)
 	}
 	// Counter conservation: every eagerly published continuation was
 	// either popped back or stolen; inline commits (lazy promotion,
@@ -586,10 +603,12 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 				&m.Chaos.SyncDelay, &m.Chaos.AllocFail, &m.Chaos.SyncVesselFail,
 				&m.Chaos.LeakVessel, &m.Chaos.SubmitFail, &m.Chaos.StealInterest,
 				&m.Chaos.StallWorker, &m.Chaos.SubmitLatency,
+				&m.Chaos.AbortWait, &m.Chaos.WakeupDelay,
 			}
 			names := []string{"steal-delay", "steal-fail", "popbottom-delay",
 				"sync-delay", "alloc-fail", "sync-vessel-fail", "leak-vessel",
-				"submit-fail", "steal-interest", "stall-worker", "submit-latency"}
+				"submit-fail", "steal-interest", "stall-worker", "submit-latency",
+				"abort-wait", "wakeup-delay"}
 			for i, r := range rates {
 				if *r == 0 {
 					continue
@@ -602,6 +621,7 @@ func shrink(m replay.Meta, class string, ringCap int, verbose bool) replay.Meta 
 					&cc.SyncDelay, &cc.AllocFail, &cc.SyncVesselFail,
 					&cc.LeakVessel, &cc.SubmitFail, &cc.StealInterest,
 					&cc.StallWorker, &cc.SubmitLatency,
+					&cc.AbortWait, &cc.WakeupDelay,
 				}
 				*ccRates[i] = 0
 				if try(cand, "chaos "+names[i]+" dropped") {
@@ -637,7 +657,8 @@ func allZero(c *replay.ChaosSpec) bool {
 	return c.StealDelay == 0 && c.StealFail == 0 && c.PopBottomDelay == 0 &&
 		c.SyncDelay == 0 && c.AllocFail == 0 && c.SyncVesselFail == 0 &&
 		c.LeakVessel == 0 && c.SubmitFail == 0 && c.StealInterest == 0 &&
-		c.StallWorker == 0 && c.SubmitLatency == 0
+		c.StallWorker == 0 && c.SubmitLatency == 0 &&
+		c.AbortWait == 0 && c.WakeupDelay == 0
 }
 
 // captureFailure re-runs a failing trial with a fresh recorder, writes
@@ -701,7 +722,7 @@ func splitmix64(x *uint64) uint64 {
 
 // chaosClasses is the trial-matrix chaos vocabulary, selectable with
 // the -chaos flag.
-var chaosClasses = []string{"off", "light", "heavy", "promote", "stall"}
+var chaosClasses = []string{"off", "light", "heavy", "promote", "stall", "abort"}
 
 // drawChaos builds one chaos class's injection spec. Chaos.LeakVessel
 // stays zero in every class by design: it is the planted bug, exercised
@@ -746,6 +767,17 @@ func drawChaos(class string, rng *uint64) *replay.ChaosSpec {
 			StallWorker: 48, StallForUS: 2000,
 			StealFail: 16, DelaySpins: 2,
 		}
+	case "abort":
+		// Abort chaos: external waits are force-aborted at chaos sites and
+		// wakeups are delayed, racing WakeAborted against Wake in the cqs
+		// cell CAS. Trials in this class run the blocking kernels
+		// (drawTrial) so there are waiters to abort, and runTrial's wait
+		// conservation bar catches any stranded or double-ended waiter.
+		return &replay.ChaosSpec{
+			Seed:      seed(),
+			AbortWait: 96, WakeupDelay: 64,
+			StealFail: 16, DelaySpins: 2,
+		}
 	}
 	panic("unknown chaos class " + class)
 }
@@ -771,6 +803,14 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 	}
 	class := c.chaos[pick(len(c.chaos))]
 	m.Chaos = drawChaos(class, rng)
+	if class == "abort" {
+		// Abort trials need waiters to abort: swap in a blocking kernel
+		// and force eager spawns (the blocking kernels deadlock under lazy
+		// spawns — a parked stage's unblocker is a later-spawned sibling).
+		names := blockapps.BlockingNames()
+		m.Kernel = names[pick(len(names))]
+		m.SpawnEager = true
+	}
 	if class == "stall" {
 		// Arm recovery well under the injected 2ms stall so every stall
 		// that backs work up is seizable; sometimes cap the supplement
@@ -815,6 +855,17 @@ func drawTrial(c soakConfig, rng *uint64, n int) replay.Meta {
 	if pick(4) == 1 {
 		m.ParkAfter = 64
 	}
+	if class == "abort" {
+		// Resource budgets can lawfully deadlock a blocking kernel: a hard
+		// vessel budget makes PrepareWait keep the worker token (keepToken),
+		// and a stack budget can park every strand that could free a stack.
+		// Blocking trials drop them and lean on short deadlines instead, so
+		// most trials cancel mid-churn with waiters in flight.
+		m.MaxVessels, m.SoftMaxVessels, m.MaxStacks = 0, 0, 0
+		if m.TimeoutMS == 0 && pick(2) == 1 {
+			m.TimeoutMS = 1
+		}
+	}
 	return m
 }
 
@@ -823,6 +874,8 @@ func chaosLabel(c *replay.ChaosSpec) string {
 	switch {
 	case c == nil:
 		return "chaos=off"
+	case c.AbortWait > 0 || c.WakeupDelay > 0:
+		return "chaos=abort"
 	case c.StallWorker > 0:
 		return "chaos=stall"
 	case c.StealInterest >= 512:
@@ -847,7 +900,7 @@ func trialLabel(m replay.Meta) string {
 func soak(c soakConfig) int {
 	sort.Strings(c.kernels)
 	for _, k := range c.kernels {
-		if _, err := apps.ByName(k, apps.Test); err != nil {
+		if _, err := blockapps.ByName(k, apps.Test); err != nil {
 			fmt.Fprintln(os.Stderr, "nowa-torture:", err)
 			return 2
 		}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"testing"
+
+	"nowa/internal/replay"
+)
+
+// TestChaosClassValidation pins the -chaos vocabulary checks: soak must
+// refuse an unknown class loudly (exit 2) instead of silently drawing
+// from a truncated list, and every advertised class — including the
+// abort class added with the blocking layer — must be accepted and
+// resolvable by drawChaos.
+func TestChaosClassValidation(t *testing.T) {
+	base := soakConfig{
+		duration: 0, // validation runs before the trial loop; zero trials
+		seed:     1,
+		out:      t.TempDir(),
+		kernels:  []string{"fib"},
+		variants: []string{"nowa"},
+		chaos:    []string{"definitely-not-a-class"},
+		ringCap:  1 << 10, maxWorkers: 2,
+	}
+	if got := soak(base); got != 2 {
+		t.Fatalf("soak with unknown chaos class: exit %d, want 2", got)
+	}
+	base.chaos = []string{}
+	if got := soak(base); got != 2 {
+		t.Fatalf("soak with empty chaos list: exit %d, want 2", got)
+	}
+	base.chaos = chaosClasses
+	if got := soak(base); got != 0 {
+		t.Fatalf("soak with the full class list: exit %d, want 0", got)
+	}
+	rng := uint64(7)
+	for _, cl := range chaosClasses {
+		spec := drawChaos(cl, &rng)
+		if cl == "off" {
+			if spec != nil {
+				t.Fatalf("drawChaos(off) = %+v, want nil", spec)
+			}
+			continue
+		}
+		if spec == nil {
+			t.Fatalf("drawChaos(%q) = nil", cl)
+		}
+		if got := chaosLabel(spec); got != "chaos="+cl {
+			t.Fatalf("chaosLabel(drawChaos(%q)) = %q", cl, got)
+		}
+		if spec.LeakVessel != 0 {
+			t.Fatalf("drawChaos(%q) armed the planted LeakVessel bug", cl)
+		}
+	}
+	if drawChaos("abort", &rng).AbortWait == 0 {
+		t.Fatal("abort class draws no AbortWait injection")
+	}
+}
+
+// TestAbortTrialDraw pins the abort-class trial shape: a blocking
+// kernel, eager spawns, and no resource budgets (a vessel or stack
+// budget can lawfully deadlock a blocking kernel via keepToken).
+func TestAbortTrialDraw(t *testing.T) {
+	c := soakConfig{
+		kernels:    []string{"fib"},
+		variants:   []string{"nowa"},
+		chaos:      []string{"abort"},
+		maxWorkers: 4,
+	}
+	rng := uint64(42)
+	for n := 0; n < 32; n++ {
+		m := drawTrial(c, &rng, n)
+		if m.Chaos == nil || m.Chaos.AbortWait == 0 {
+			t.Fatalf("trial %d: no abort chaos drawn: %+v", n, m.Chaos)
+		}
+		if m.Kernel != "pipeline" && m.Kernel != "bfs" {
+			t.Fatalf("trial %d: abort class drew non-blocking kernel %q", n, m.Kernel)
+		}
+		if !m.SpawnEager {
+			t.Fatalf("trial %d: abort class without eager spawns", n)
+		}
+		if m.MaxVessels != 0 || m.SoftMaxVessels != 0 || m.MaxStacks != 0 {
+			t.Fatalf("trial %d: abort class kept budgets v=%d sv=%d st=%d",
+				n, m.MaxVessels, m.SoftMaxVessels, m.MaxStacks)
+		}
+	}
+}
+
+// TestAbortTrialRuns runs short abort-class trials end to end through
+// runTrial — the same invariant battery the soak applies, including the
+// wait-conservation bar — on both blocking kernels, with and without a
+// deadline.
+func TestAbortTrialRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full trials")
+	}
+	rng := uint64(3)
+	for _, kernel := range []string{"pipeline", "bfs"} {
+		for _, timeoutMS := range []int64{0, 1} {
+			m := replay.Meta{
+				Tool: "nowa-torture", Scale: "test",
+				Kernel: kernel, Variant: "nowa",
+				Workers: 2, Seed: 11,
+				SpawnEager: true,
+				TimeoutMS:  timeoutMS,
+				Chaos:      drawChaos("abort", &rng),
+			}
+			if f := runTrial(m, nil, nil); f != "" {
+				t.Fatalf("%s timeout=%dms: %s", kernel, timeoutMS, f)
+			}
+		}
+	}
+}

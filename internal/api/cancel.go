@@ -75,6 +75,17 @@ func (cs *CancelState) Cancelled() bool {
 	}
 }
 
+// Context returns the current run's context, or nil when the run is not
+// cancellable. Blocking primitives use it to arm their abort path: a
+// strand suspending mid-run inherits the RunCtx context as its wait
+// context.
+func (cs *CancelState) Context() context.Context {
+	if p := cs.ctx.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Done returns the current run context's Done channel, or nil when the
 // run is not cancellable.
 func (cs *CancelState) Done() <-chan struct{} {

@@ -1,0 +1,212 @@
+package blockapps
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nowa"
+	"nowa/internal/api"
+	"nowa/internal/apps"
+)
+
+// BFS is the channel-frontier breadth-first-search kernel: a fixed pool
+// of worker strands shares one Channel as the frontier queue. Workers
+// block on Recv whenever the frontier runs dry — the irregular, bursty
+// blocking pattern a work queue produces, as opposed to the pipeline's
+// steady churn — and a pending-node counter detects termination: the
+// worker that retires the last node closes the channel, which is what
+// unblocks (ErrClosed) every idle worker. The channel's capacity is the
+// node count, so Send never blocks: workers both produce and consume
+// the same queue, and a bounded buffer there can deadlock with every
+// worker stuck on a full Send.
+type BFS struct {
+	n       int
+	deg     int
+	workers int
+
+	adj  [][]int32
+	dist []int32
+
+	err error
+	mu  sync.Mutex
+}
+
+// NewBFS returns the kernel at the given scale.
+func NewBFS(s apps.Scale) *BFS {
+	b := &BFS{deg: 4, workers: 8}
+	switch s {
+	case apps.Test:
+		b.n = 512
+	case apps.Large:
+		b.n = 1 << 16
+	default:
+		b.n = 1 << 13
+	}
+	return b
+}
+
+// Name implements apps.Benchmark.
+func (b *BFS) Name() string { return "bfs" }
+
+// Description implements apps.Benchmark.
+func (b *BFS) Description() string { return "Channel-frontier BFS" }
+
+// PaperInput implements apps.Benchmark. Not a Table I kernel; it
+// stresses the blocking layer this repo adds on top of the paper.
+func (b *BFS) PaperInput() string { return "n/a (blocking extension)" }
+
+// NeedsEagerSpawn reports that the kernel deadlocks under lazy spawns
+// (an idle worker is released by a sibling spawned after it).
+func (b *BFS) NeedsEagerSpawn() bool { return true }
+
+// Prepare implements apps.Benchmark: build the deterministic random
+// graph (a ring for connectivity plus seeded random chords) and reset
+// the distances.
+func (b *BFS) Prepare() {
+	b.err = nil
+	if b.adj == nil {
+		rng := uint64(0x9e3779b97f4a7c15)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		b.adj = make([][]int32, b.n)
+		add := func(u, v int32) {
+			b.adj[u] = append(b.adj[u], v)
+			b.adj[v] = append(b.adj[v], u)
+		}
+		for u := 0; u < b.n; u++ {
+			add(int32(u), int32((u+1)%b.n))
+		}
+		for u := 0; u < b.n; u++ {
+			for d := 0; d < b.deg-2; d++ {
+				add(int32(u), int32(next()%uint64(b.n)))
+			}
+		}
+	}
+	if b.dist == nil {
+		b.dist = make([]int32, b.n)
+	}
+	for i := range b.dist {
+		b.dist[i] = -1
+	}
+}
+
+// fail records the first unexpected error any worker hit.
+func (b *BFS) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+// Run implements apps.Benchmark.
+func (b *BFS) Run(c api.Ctx) {
+	frontier := nowa.NewChannel[int32](b.n + 1)
+	var pending atomic.Int64
+
+	// Seed: node 0 at distance 0. The set-once discipline below uses the
+	// same CAS the workers do, so the seed participates in Verify's
+	// every-node-claimed-once arithmetic.
+	atomic.StoreInt32(&b.dist[0], 0)
+	pending.Store(1)
+	if err := frontier.Send(c, 0); err != nil {
+		b.fail(err)
+		return
+	}
+
+	s := c.Scope()
+	for w := 0; w < b.workers; w++ {
+		s.Spawn(func(c api.Ctx) {
+			for {
+				u, err := frontier.Recv(c)
+				if err != nil {
+					if err != nowa.ErrClosed {
+						b.fail(err)
+					}
+					return
+				}
+				d := atomic.LoadInt32(&b.dist[u])
+				for _, v := range b.adj[u] {
+					if atomic.CompareAndSwapInt32(&b.dist[v], -1, d+1) {
+						pending.Add(1)
+						if err := frontier.Send(c, v); err != nil {
+							b.fail(err)
+							pending.Add(-1)
+						}
+					}
+				}
+				if pending.Add(-1) == 0 {
+					// Last node retired: nothing further can be enqueued
+					// (every reachable node is claimed), so release the
+					// idle workers.
+					frontier.Close()
+					return
+				}
+			}
+		})
+	}
+	s.Sync()
+}
+
+// Verify implements apps.Benchmark. Claim-once BFS over an unordered
+// shared frontier does not compute exact BFS levels — a wakeup-delayed
+// worker can claim a node through a longer path before the short-path
+// worker reaches it — so the check is the strongest invariant the
+// algorithm does guarantee: the claimed distances form a spanning tree
+// of the (connected) graph. Every node is claimed, no claimed distance
+// beats the true shortest path (serial BFS lower bound), and every
+// claimed node has a neighbor exactly one level above it. A lost wakeup
+// or leaked waiter surfaces here as an unclaimed node: the strand that
+// would have claimed it parked forever instead.
+func (b *BFS) Verify() error {
+	if b.err != nil {
+		return fmt.Errorf("bfs: strand error: %w", b.err)
+	}
+	want := make([]int32, b.n)
+	for i := range want {
+		want[i] = -1
+	}
+	want[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range b.adj[u] {
+			if want[v] == -1 {
+				want[v] = want[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	if b.dist[0] != 0 {
+		return fmt.Errorf("bfs: dist[0] = %d, want 0", b.dist[0])
+	}
+	for i := range b.dist {
+		d := b.dist[i]
+		if d == -1 {
+			return fmt.Errorf("bfs: node %d never claimed", i)
+		}
+		if d < want[i] {
+			return fmt.Errorf("bfs: dist[%d] = %d beats shortest path %d", i, d, want[i])
+		}
+		if i == 0 {
+			continue
+		}
+		parent := false
+		for _, v := range b.adj[i] {
+			if b.dist[v] == d-1 {
+				parent = true
+				break
+			}
+		}
+		if !parent {
+			return fmt.Errorf("bfs: dist[%d] = %d has no neighbor at %d", i, d, d-1)
+		}
+	}
+	return nil
+}

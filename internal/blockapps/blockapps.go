@@ -1,0 +1,57 @@
+// Package blockapps contains the blocking-kernel benchmarks: Table I
+// style kernels whose parallel structure is a worker pool over the
+// runtime's abortable Channel rather than a fork/join tree. They
+// implement the apps.Benchmark interface but live in their own package
+// because they import the root nowa package for its blocking primitives
+// (internal/apps must stay importable from internal/sched's tests, which
+// sit below nowa in the import graph).
+//
+// Every kernel here REQUIRES eager spawns (api.SpawnEager /
+// Limits{Spawn: SpawnEager}): a strand blocked on a channel is released
+// by a sibling strand spawned after it, so a lazy runtime that runs
+// spawns inline deadlocks before the sibling exists. Harnesses must pin
+// the spawn mode; NeedsEagerSpawn advertises it.
+package blockapps
+
+import (
+	"fmt"
+
+	"nowa/internal/apps"
+)
+
+// Blocking returns fresh instances of the blocking-kernel suite at the
+// given scale. Kept out of apps.All: these kernels run only on vessel
+// (continuation-stealing) runtimes with eager spawns.
+func Blocking(s apps.Scale) []apps.Benchmark {
+	return []apps.Benchmark{
+		NewPipeline(s),
+		NewBFS(s),
+	}
+}
+
+// BlockingNames lists the blocking suite in Blocking order.
+func BlockingNames() []string { return []string{"pipeline", "bfs"} }
+
+// IsBlocking reports whether name is one of the blocking kernels.
+func IsBlocking(name string) bool {
+	for _, n := range BlockingNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ByName returns the named benchmark, searching the blocking suite first
+// and falling back to the fork/join suite in internal/apps.
+func ByName(name string, s apps.Scale) (apps.Benchmark, error) {
+	for _, b := range Blocking(s) {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	if b, err := apps.ByName(name, s); err == nil {
+		return b, nil
+	}
+	return nil, fmt.Errorf("blockapps: unknown benchmark %q", name)
+}

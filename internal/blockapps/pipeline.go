@@ -1,0 +1,149 @@
+package blockapps
+
+import (
+	"fmt"
+	"sync"
+
+	"nowa"
+	"nowa/internal/api"
+	"nowa/internal/apps"
+)
+
+// Pipeline is the channel-pipeline kernel: a producer, a chain of
+// transform stages and a consumer, connected by small bounded channels.
+// The buffers are deliberately tiny relative to the item count, so every
+// strand spends most of its life blocked — the producer on full buffers,
+// the stages and consumer on empty ones — exercising the external-wait
+// protocol (token handoff on suspend, wake-queue resume) as steady churn
+// rather than as an edge case. Close propagates down the chain, which is
+// also the drain-then-closed semantics check: every item sent before the
+// close must reach the consumer.
+type Pipeline struct {
+	items  int
+	stages int
+	cap    int
+
+	sum  uint64
+	want uint64
+	err  error
+	mu   sync.Mutex
+}
+
+// NewPipeline returns the kernel at the given scale.
+func NewPipeline(s apps.Scale) *Pipeline {
+	p := &Pipeline{stages: 3, cap: 8}
+	switch s {
+	case apps.Test:
+		p.items = 512
+	case apps.Large:
+		p.items = 1 << 17
+	default:
+		p.items = 1 << 13
+	}
+	return p
+}
+
+// Name implements apps.Benchmark.
+func (p *Pipeline) Name() string { return "pipeline" }
+
+// Description implements apps.Benchmark.
+func (p *Pipeline) Description() string { return "Bounded-channel pipeline" }
+
+// PaperInput implements apps.Benchmark. The kernel is not from Table I;
+// it stresses the blocking layer this repo adds on top of the paper.
+func (p *Pipeline) PaperInput() string { return "n/a (blocking extension)" }
+
+// NeedsEagerSpawn reports that the kernel deadlocks under lazy spawns
+// (a blocked stage is released only by a later-spawned sibling).
+func (p *Pipeline) NeedsEagerSpawn() bool { return true }
+
+// Prepare implements apps.Benchmark.
+func (p *Pipeline) Prepare() {
+	p.sum = 0
+	p.err = nil
+	p.want = 0
+	for i := 0; i < p.items; i++ {
+		v := uint64(i)
+		for k := 0; k < p.stages; k++ {
+			v = stageFn(k, v)
+		}
+		p.want += v
+	}
+}
+
+// stageFn is stage k's transform: cheap, stage-distinct, overflow-happy
+// on purpose (the checksum is modular).
+func stageFn(k int, v uint64) uint64 {
+	return v*2862933555777941757 + uint64(k) + 3037000493
+}
+
+// fail records the first error any strand hit.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Run implements apps.Benchmark.
+func (p *Pipeline) Run(c api.Ctx) {
+	chs := make([]*nowa.Channel[uint64], p.stages+1)
+	for i := range chs {
+		chs[i] = nowa.NewChannel[uint64](p.cap)
+	}
+	s := c.Scope()
+	s.Spawn(func(c api.Ctx) {
+		for i := 0; i < p.items; i++ {
+			if err := chs[0].Send(c, uint64(i)); err != nil {
+				p.fail(err)
+				break
+			}
+		}
+		chs[0].Close()
+	})
+	for k := 0; k < p.stages; k++ {
+		k := k
+		s.Spawn(func(c api.Ctx) {
+			for {
+				v, err := chs[k].Recv(c)
+				if err != nil {
+					if err != nowa.ErrClosed {
+						p.fail(err)
+					}
+					chs[k+1].Close()
+					return
+				}
+				if err := chs[k+1].Send(c, stageFn(k, v)); err != nil {
+					p.fail(err)
+					chs[k+1].Close()
+					return
+				}
+			}
+		})
+	}
+	var sum uint64
+	for {
+		v, err := chs[p.stages].Recv(c)
+		if err != nil {
+			if err != nowa.ErrClosed {
+				p.fail(err)
+			}
+			break
+		}
+		sum += v
+	}
+	s.Sync()
+	p.sum = sum
+}
+
+// Verify implements apps.Benchmark.
+func (p *Pipeline) Verify() error {
+	if p.err != nil {
+		return fmt.Errorf("pipeline: strand error: %w", p.err)
+	}
+	if p.sum != p.want {
+		return fmt.Errorf("pipeline: checksum %#x, want %#x", p.sum, p.want)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWakeQueueFIFO(t *testing.T) {
+	var q WakeQueue[int]
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if got := q.Pending(); got != 10 {
+		t.Fatalf("pending = %d, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		h, ok := q.Pop()
+		if !ok || h != i {
+			t.Fatalf("pop %d: got (%d, %v)", i, h, ok)
+		}
+	}
+	if got := q.Pending(); got != 0 {
+		t.Fatalf("pending after drain = %d, want 0", got)
+	}
+}
+
+// TestWakeQueueConcurrent checks that concurrent pushers and poppers
+// neither lose nor duplicate a handle.
+func TestWakeQueueConcurrent(t *testing.T) {
+	const (
+		pushers = 4
+		perPush = 1000
+	)
+	var q WakeQueue[int]
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perPush; i++ {
+				q.Push(base + i)
+			}
+		}(p * perPush)
+	}
+	seen := make([]bool, pushers*perPush)
+	var popped int
+	var mu sync.Mutex
+	var pw sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		pw.Add(1)
+		go func() {
+			defer pw.Done()
+			for {
+				h, ok := q.Pop()
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				if seen[h] {
+					t.Errorf("handle %d popped twice", h)
+				}
+				seen[h] = true
+				popped++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	pw.Wait()
+	// The poppers may have exited between the last push and their done
+	// check; drain the remainder inline.
+	for {
+		h, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if seen[h] {
+			t.Fatalf("handle %d popped twice", h)
+		}
+		seen[h] = true
+		popped++
+	}
+	if popped != pushers*perPush {
+		t.Fatalf("popped %d of %d handles", popped, pushers*perPush)
+	}
+}

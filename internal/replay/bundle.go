@@ -47,6 +47,11 @@ type ChaosSpec struct {
 	StallForUS         int64 `json:"stall_for_us,omitempty"`
 	SubmitLatency      int   `json:"submit_latency,omitempty"`
 	SubmitLatencyForUS int64 `json:"submit_latency_for_us,omitempty"`
+
+	// Blocking-wait fault injections: planted mid-wait self-aborts and
+	// resumer-side wakeup delays.
+	AbortWait   int `json:"abort_wait,omitempty"`
+	WakeupDelay int `json:"wakeup_delay,omitempty"`
 }
 
 // Meta is the bundle's self-describing header: everything needed to
@@ -66,6 +71,7 @@ type Meta struct {
 	MaxStacks      int        `json:"max_stacks,omitempty"`
 	ParkAfter      int        `json:"park_after,omitempty"`
 	TimeoutMS      int64      `json:"timeout_ms,omitempty"`
+	SpawnEager     bool       `json:"spawn_eager,omitempty"`
 	Chaos          *ChaosSpec `json:"chaos,omitempty"`
 
 	// Stall-recovery arming (Config.StallThreshold / MaxSupplements);

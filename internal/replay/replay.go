@@ -140,6 +140,18 @@ const (
 	// slot index. Diagnostic for the same reason as KSeized.
 	//nowa:replay-diagnostic stall-recovery trace; supplementation follows wall-clock seizures, never replayed
 	KSupplement
+	// KWaitBlock is a strand suspending on an external wait (future,
+	// channel, barrier); Arg is unused. The wait outcome is arbitrated
+	// by the waiter cell's CAS, whose winner is fully determined by the
+	// replayed thief interleaving and chaos rolls, so these are traces.
+	//nowa:replay-diagnostic wait-boundary trace; block/wake/abort arbitration is determined by the replayed decisions and chaos rolls
+	KWaitBlock
+	// KWaitWake is that wait ending in a resume.
+	//nowa:replay-diagnostic wait-boundary trace; block/wake/abort arbitration is determined by the replayed decisions and chaos rolls
+	KWaitWake
+	// KWaitAbort is that wait ending in a cancellation.
+	//nowa:replay-diagnostic wait-boundary trace; block/wake/abort arbitration is determined by the replayed decisions and chaos rolls
+	KWaitAbort
 )
 
 // String names the kind.
@@ -195,6 +207,12 @@ func (k Kind) String() string {
 		return "seized"
 	case KSupplement:
 		return "supplement"
+	case KWaitBlock:
+		return "wait-block"
+	case KWaitWake:
+		return "wait-wake"
+	case KWaitAbort:
+		return "wait-abort"
 	}
 	return "unknown"
 }
@@ -232,6 +250,14 @@ const (
 	// SiteSubmitLatency guards the injected admission delay in service
 	// mode. External-stream only, like SiteSubmitFail.
 	SiteSubmitLatency
+	// SiteAbortWait guards the planted mid-wait self-cancellation: a
+	// registering waiter aborts its own cell and transparently retries,
+	// exercising the abort-vs-resume arbitration.
+	SiteAbortWait
+	// SiteWakeDelay guards the injected delay between winning a waiter
+	// cell and delivering the wakeup, widening the window in which the
+	// waiter's aborter must lose the cell.
+	SiteWakeDelay
 )
 
 // siteName names a chaos site for dumps.
@@ -259,6 +285,10 @@ func siteName(s uint8) string {
 		return "stall-worker"
 	case SiteSubmitLatency:
 		return "submit-latency"
+	case SiteAbortWait:
+		return "abort-wait"
+	case SiteWakeDelay:
+		return "wake-delay"
 	}
 	return fmt.Sprintf("site%d", s)
 }

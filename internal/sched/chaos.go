@@ -95,6 +95,25 @@ type Chaos struct {
 	// SubmitLatencyFor is the injected admission delay (default 1ms when
 	// SubmitLatency is set).
 	SubmitLatencyFor time.Duration
+	// AbortWait makes a strand registering for an external blocking wait
+	// (future await, channel send/receive, barrier arrival) attempt to
+	// cancel its own waiter cell mid-registration and transparently
+	// retry the operation — the planted mid-wait abort that exercises
+	// the abort-vs-resume cell arbitration. Sound: a self-abort that
+	// wins the cell is indistinguishable from a caller-context
+	// cancellation followed by an immediate retry, which the primitives
+	// must tolerate; one that loses proves a wakeup was in flight and
+	// the strand simply takes it. No counter or semantic state changes
+	// hang off the injection itself.
+	AbortWait int
+	// WakeupDelay delays a resumer between winning a waiter's cell and
+	// delivering the wakeup, widening the window in which the waiter's
+	// abort arm must lose the cell CAS and wait for the in-flight
+	// resume. Sound: the delivery edge carries no deadline, only the
+	// exactly-once obligation, which the delay does not touch. Strand
+	// resumers only — AfterFunc abort arms hold no worker token and
+	// draw no chaos.
+	WakeupDelay int
 	// DelaySpins is the number of scheduler yields per injected delay
 	// (default 16).
 	DelaySpins int
@@ -222,6 +241,30 @@ func (rt *Runtime) chaosSyncVesselFail(w int) bool {
 //nowa:hotpath
 func (rt *Runtime) chaosLeakVessel(w int) bool {
 	return rt.chaosRoll(w, rt.cfg.Chaos.LeakVessel, replay.SiteLeakVessel)
+}
+
+// ChaosAbortWait reports whether a registering external waiter must
+// attempt the planted self-abort (Chaos.AbortWait). Exposed on Proc for
+// the blocking primitives, which live outside this package.
+func (p *Proc) ChaosAbortWait() bool {
+	rt := p.rt
+	if !rt.chaosOn {
+		return false
+	}
+	return rt.chaosRoll(p.worker, rt.cfg.Chaos.AbortWait, replay.SiteAbortWait)
+}
+
+// ChaosWakeDelay injects the resumer-side wakeup delay
+// (Chaos.WakeupDelay) between a won waiter cell and its delivery.
+// Callers are strand resumers holding a worker token.
+func (p *Proc) ChaosWakeDelay() {
+	rt := p.rt
+	if !rt.chaosOn {
+		return
+	}
+	if rt.chaosRoll(p.worker, rt.cfg.Chaos.WakeupDelay, replay.SiteWakeDelay) {
+		rt.chaosDelay()
+	}
 }
 
 // chaosPreSync runs the explicit-sync injections: the one-shot stall

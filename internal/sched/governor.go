@@ -53,6 +53,19 @@ type Stats struct {
 	WorkersSeized       int64
 	WorkersSupplemented int64
 	SupplementsRetired  int64
+	// External blocking-wait accounting (block.go). The conservation
+	// invariant at quiescence is BlockedWaits == ResumedWaits +
+	// AbortedWaits and BlockedLive == 0: every strand that ever parked
+	// on a future, channel or barrier was woken exactly once, by a
+	// resume or by its abort, and none is still asleep. WakeupsLost
+	// counts thief parks declined because a wakeup was pending — a
+	// near-miss tally, not a leak.
+	BlockedWaits     int64
+	BlockedLive      int64
+	BlockedHighWater int64
+	ResumedWaits     int64
+	AbortedWaits     int64
+	WakeupsLost      int64
 	// Stacks is the cactus pool's own snapshot.
 	Stacks cactus.Stats
 }
@@ -72,6 +85,12 @@ func (rt *Runtime) Stats() Stats {
 		WorkersSeized:       rt.seized.Load(),
 		WorkersSupplemented: rt.supplemented.Load(),
 		SupplementsRetired:  rt.supRetired.Load(),
+		BlockedWaits:        agg.BlockedWaits,
+		BlockedLive:         rt.blockedLive.Load(),
+		BlockedHighWater:    rt.blockedHW.Load(),
+		ResumedWaits:        agg.ResumedWaits,
+		AbortedWaits:        agg.AbortedWaits,
+		WakeupsLost:         agg.WakeupsLost,
 		Stacks:              rt.pool.Stats(),
 	}
 	rt.govMu.Lock()
@@ -105,6 +124,12 @@ func (rt *Runtime) ResourceStats() api.ResourceStats {
 		WorkersSeized:       st.WorkersSeized,
 		WorkersSupplemented: st.WorkersSupplemented,
 		SupplementsRetired:  st.SupplementsRetired,
+
+		BlockedWaits:     st.BlockedWaits,
+		BlockedHighWater: st.BlockedHighWater,
+		ResumedWaits:     st.ResumedWaits,
+		AbortedWaits:     st.AbortedWaits,
+		WakeupsLost:      st.WakeupsLost,
 	}
 }
 

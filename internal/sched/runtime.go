@@ -12,6 +12,7 @@ import (
 
 	"nowa/internal/api"
 	"nowa/internal/cactus"
+	"nowa/internal/core"
 	"nowa/internal/deque"
 	"nowa/internal/replay"
 	"nowa/internal/trace"
@@ -90,6 +91,13 @@ type Runtime struct {
 
 	cancel api.CancelState
 	idle   idleParker
+
+	// External-wait state (block.go): wakeq routes wakeups fired off any
+	// worker token to idle thieves, blockedLive gauges strands parked on
+	// an external wait (gating token retirement), blockedHW its maximum.
+	wakeq       core.WakeQueue[*Waiter]
+	blockedLive atomic.Int64
+	blockedHW   atomic.Int64
 
 	chaosRngs    []rngState
 	chaosStalled atomic.Bool
@@ -449,6 +457,18 @@ func (rt *Runtime) parkThief(w int) bool {
 		ip.mu.Unlock()
 		return false
 	}
+	if rt.wakeq.Pending() > 0 {
+		// An external wakeup is queued: the thief must go pick it up,
+		// not sleep on it. Checked under idle.mu, pairing with the
+		// waker's push-then-broadcast order, so the wakeup cannot be
+		// lost; the decline is tallied as the near-miss it is.
+		if rt.countersOn {
+			rt.rec.Worker(w).WakeupsLost.Add(1)
+		}
+		ip.waiters.Add(-1)
+		ip.mu.Unlock()
+		return false
+	}
 	if rt.countersOn {
 		rt.rec.Worker(w).ThiefParks.Add(1)
 	}
@@ -578,8 +598,12 @@ func (rt *Runtime) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "  budget: live=%d highWater=%d trimmed=%d spawnLimit=%d syncLimit=%d scopesLeaked=%d\n",
 		rt.vLive.Load(), rt.vHighWater.Load(), rt.vTrimmed.Load(),
 		rt.spawnLimit, rt.syncLimit, rt.scopesLeaked.Load())
+	agg := rt.rec.Aggregate()
+	fmt.Fprintf(w, "  waits: blocked=%d resumed=%d aborted=%d live=%d highWater=%d pendingWakes=%d wakeupsLost=%d\n",
+		agg.BlockedWaits, agg.ResumedWaits, agg.AbortedWaits,
+		rt.blockedLive.Load(), rt.blockedHW.Load(), rt.wakeq.Pending(), agg.WakeupsLost)
 	fmt.Fprintf(w, "  parked thieves: %d\n", rt.idle.waiters.Load())
-	fmt.Fprintf(w, "  counters: %+v\n", rt.rec.Aggregate())
+	fmt.Fprintf(w, "  counters: %+v\n", agg)
 	fmt.Fprintf(w, "  stacks: %+v\n", rt.pool.Stats())
 	if rt.recordOn {
 		// The newest schedule events per worker: a stall report shows how

@@ -35,10 +35,11 @@ import (
 // re-entry CAS on the per-worker health word (wsSeized|wsSupplemented →
 // wsHealthy) at the strand-finish and steal-loop heartbeat sites. The
 // supervisor then flags the supplement's slot supRetiring; the
-// supplement honours the flag at its next steal-loop pass — by which
-// point its own deque is provably empty (a token only re-enters the
-// steal loop after its popBottom missed, and popBottom miss ⟺ deque
-// empty) — and retires its token. Transient oversubscription between
+// supplement honours the flag at its next steal-loop pass — and only
+// once its slot's deque is observed empty (external waits can push a
+// foreign continuation back at a finish-miss, so miss no longer implies
+// empty; see stallStealCheck) — and retires its token. Transient
+// oversubscription between
 // return and retirement is the accepted cost; a false seizure (a
 // legitimately long-running strand) degrades to exactly that, never to
 // incorrectness.
@@ -137,9 +138,10 @@ func (rt *Runtime) stallFinishCheck(w int) {
 // stallStealCheck is the steal-loop stall-recovery hook, run once per
 // pass: heartbeat, re-entry, and — for supplements — the retire flag.
 // It reports whether the calling supplement must retire its token now.
-// The deque-size check is belt and braces: a token entering the steal
-// loop just missed its popBottom, and popBottom miss ⟺ deque empty, so
-// a retiring supplement abandons no published work.
+// The deque-size check is load-bearing: a finish-miss usually means the
+// deque is empty, but an external-wait migration can leave a foreign
+// continuation pushed back behind the miss (vessel.go finishStrand), and
+// a retiring supplement must abandon no published work.
 //
 //nowa:hotpath
 func (rt *Runtime) stallStealCheck(w int) bool {

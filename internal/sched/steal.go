@@ -24,7 +24,30 @@ func (rt *Runtime) stealLoop(p *Proc) {
 	fails := 0
 	rr := w // round-robin cursor
 	for {
+		if rt.wakeq.Pending() > 0 {
+			if bw, ok := rt.wakeq.Pop(); ok {
+				// An externally blocked strand was woken: hand it this
+				// token exactly like a stolen continuation's resume. The
+				// vessel is freed first, while the token is still ours.
+				rt.freeVessel(p.v, w)
+				bw.v.resumeTok = token{worker: w}
+				bw.v.pk.deliver()
+				return
+			}
+		}
+
 		if rt.done.Load() || rt.cancel.Cancelled() {
+			if rt.blockedLive.Load() > 0 || rt.wakeq.Pending() > 0 {
+				// Strands are still parked on external waits (or their
+				// wakeups are queued): retiring now could strand a woken
+				// waiter with no token to resume on. Keep this token in
+				// the loop until the waits drain — a cancelled run's
+				// waiters are being aborted through their contexts, so
+				// this window is bounded.
+				fails++
+				rt.stealBackoff(w, &fails)
+				continue
+			}
 			// Free the vessel before retiring: the token is still ours
 			// here, which keeps the local free list owner-only. Supplement
 			// tokens route through their slot bookkeeping (stall.go).

@@ -116,6 +116,10 @@ type vessel struct {
 	// chain (one per steal of its continuations); released when the
 	// strand finishes.
 	stacks []*cactus.Stack
+	// wait is the strand's external blocking-wait handle (block.go). A
+	// strand has at most one external wait in flight — it is parked for
+	// the wait's duration — so the handle is embedded, not allocated.
+	wait Waiter
 	// pend batches this strand's trace-counter increments as plain adds;
 	// flushCounters folds the nonzero fields into the worker block with
 	// one atomic add each. Only the vessel's own goroutine touches pend —
@@ -160,6 +164,15 @@ func (v *vessel) flushCounters(w int) {
 	}
 	if v.pend.VesselDispatch != 0 {
 		wc.VesselDispatch.Add(v.pend.VesselDispatch)
+	}
+	if v.pend.BlockedWaits != 0 {
+		wc.BlockedWaits.Add(v.pend.BlockedWaits)
+	}
+	if v.pend.ResumedWaits != 0 {
+		wc.ResumedWaits.Add(v.pend.ResumedWaits)
+	}
+	if v.pend.AbortedWaits != 0 {
+		wc.AbortedWaits.Add(v.pend.AbortedWaits)
 	}
 	v.pend = trace.Counters{}
 }
@@ -469,6 +482,19 @@ func (rt *Runtime) finishStrand(v *vessel, parent *scope) {
 		// steal-interest CAS, never deque membership, is what transfers a
 		// round — so discard and keep draining toward the continuation.
 		c, ok = rt.popBottom(w)
+	}
+	if ok && c.scope != parent {
+		// Not our push: this token's deque still carries another chain's
+		// continuation (external waits migrate strands across tokens;
+		// CommitWait's own-push claim keeps this from happening, so this
+		// is defense in depth — chaos interleavings included). Resuming it
+		// as a local hit would skip the join accounting its real child
+		// owes, so push it back for the steal path — which does the
+		// accounting — and treat the pop as a miss. The thief wake mirrors
+		// Spawn's publish-then-wake order.
+		rt.pushBottom(w, c)
+		rt.wakeThieves()
+		ok = false
 	}
 	if ok {
 		if rt.countersOn {

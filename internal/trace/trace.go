@@ -33,6 +33,10 @@ type Counters struct {
 	ThiefParks      int64 // idle thieves parked after the fail threshold
 	ThiefWakeups    int64 // parked thieves woken by a spawn, finish or cancel
 	InterestSignals int64 // thief-side steal-interest CASes landed on promotable records
+	BlockedWaits    int64 // strand suspensions on an external wait (future/channel/barrier)
+	ResumedWaits    int64 // external waits that ended in a resume
+	AbortedWaits    int64 // external waits that ended in a cancellation
+	WakeupsLost     int64 // thief parks declined because an external wakeup was pending
 }
 
 // WorkerCounters is one worker's live tally block. Each field is mutated
@@ -57,6 +61,10 @@ type WorkerCounters struct {
 	ThiefParks      atomic.Int64
 	ThiefWakeups    atomic.Int64
 	InterestSignals atomic.Int64
+	BlockedWaits    atomic.Int64
+	ResumedWaits    atomic.Int64
+	AbortedWaits    atomic.Int64
+	WakeupsLost     atomic.Int64
 }
 
 // Snapshot reads the block atomically field by field. The result is a
@@ -82,11 +90,15 @@ func (w *WorkerCounters) Snapshot() Counters {
 		ThiefParks:      w.ThiefParks.Load(),
 		ThiefWakeups:    w.ThiefWakeups.Load(),
 		InterestSignals: w.InterestSignals.Load(),
+		BlockedWaits:    w.BlockedWaits.Load(),
+		ResumedWaits:    w.ResumedWaits.Load(),
+		AbortedWaits:    w.AbortedWaits.Load(),
+		WakeupsLost:     w.WakeupsLost.Load(),
 	}
 }
 
 // pad separates counter blocks by two cache lines to avoid false sharing,
-// including through the adjacent-line prefetcher (18 × 8 = 144 B of
+// including through the adjacent-line prefetcher (22 × 8 = 176 B of
 // counters, padded to 256 B — two 128-byte units). The compile-time guard
 // below keeps the pad honest when counters are added or removed.
 type paddedCounters struct {
@@ -140,6 +152,10 @@ func (r *Recorder) Aggregate() Counters {
 		c.ThiefParks += b.ThiefParks
 		c.ThiefWakeups += b.ThiefWakeups
 		c.InterestSignals += b.InterestSignals
+		c.BlockedWaits += b.BlockedWaits
+		c.ResumedWaits += b.ResumedWaits
+		c.AbortedWaits += b.AbortedWaits
+		c.WakeupsLost += b.WakeupsLost
 	}
 	return c
 }
@@ -150,10 +166,16 @@ func (r *Recorder) Aggregate() Counters {
 // computation advancing, and the watchdog must tell those apart.
 // InterestSignals is excluded for the same reason — a thief repeatedly
 // signalling interest on records is still a thief without work.
+// WakeupsLost is excluded likewise: it counts declined thief parks, an
+// idleness symptom rather than computation advancing. The wait tallies
+// (blocked/resumed/aborted) do count: a strand blocking on or returning
+// from an external wait is the computation moving through a protocol
+// step.
 func (c Counters) ProgressSum() int64 {
 	return c.Spawns + c.InlineSpawns + c.InlineRuns + c.PromotedSpawns +
 		c.DegradedSpawns + c.TokenKeepSyncs +
 		c.LocalResumes + c.Steals +
 		c.ImplicitSyncs + c.ExplicitSyncs + c.Suspensions +
-		c.VesselDispatch + c.ThiefParks + c.ThiefWakeups
+		c.VesselDispatch + c.ThiefParks + c.ThiefWakeups +
+		c.BlockedWaits + c.ResumedWaits + c.AbortedWaits
 }

@@ -40,8 +40,12 @@ func TestAggregateAllFields(t *testing.T) {
 	w.ThiefParks.Store(12)
 	w.ThiefWakeups.Store(13)
 	w.InterestSignals.Store(18)
+	w.BlockedWaits.Store(19)
+	w.ResumedWaits.Store(20)
+	w.AbortedWaits.Store(21)
+	w.WakeupsLost.Store(22)
 	c := r.Aggregate()
-	want := Counters{1, 2, 16, 17, 14, 15, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 18}
+	want := Counters{1, 2, 16, 17, 14, 15, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 18, 19, 20, 21, 22}
 	if c != want {
 		t.Errorf("aggregate = %+v, want %+v", c, want)
 	}
