@@ -137,8 +137,22 @@ type Ticket struct {
 // to park for has already happened, so the caller proceeds without
 // parking.
 func (q *Queue) Enqueue(h any) (Ticket, bool) {
+	// The cursor snapshot MUST precede the ticket FAA (see findSegment):
+	// loading it afterwards re-opens the stalled-claimant race, where
+	// tickets >= segSize ahead advance the cursor past this segment
+	// while we sit between the FAA and the load, and we would register
+	// in (or deposit-fail against) another ticket's cell.
+	start := q.enqSeg.Load()
 	id := q.enqIdx.Add(1) - 1
-	s := q.findSegment(&q.enqSeg, id/segSize)
+	s := q.findSegment(start, &q.enqSeg, id/segSize)
+	if s.id != id/segSize {
+		// Impossible by construction: a segment unlinks only after all
+		// segSize of its cells were aborted, and this ticket's cell
+		// cannot reach aborted before the registration CAS below has
+		// ever run. Fail loud rather than silently indexing into a
+		// later segment — that would corrupt another ticket's cell.
+		panic("cqs: enqueue segment unlinked before registration")
+	}
 	c := &s.cells[id%segSize]
 	c.h = h
 	if c.state.CompareAndSwap(cellEmpty, cellWaiter) {
@@ -158,7 +172,11 @@ func (q *Queue) Enqueued() uint64 { return q.enqIdx.Load() }
 // Resume claims the next dequeue ticket and resolves it: Woke with the
 // waiter's handle, Deposited, or Aborted (never Drained).
 func (q *Queue) Resume() (any, Outcome) {
-	return q.resumeTicket(q.deqIdx.Add(1) - 1)
+	// Snapshot the cursor before the ticket FAA — the order is what
+	// makes resumeTicket's segment-id mismatch check sound (see
+	// findSegment).
+	start := q.deqSeg.Load()
+	return q.resumeTicket(start, q.deqIdx.Add(1)-1)
 }
 
 // ResumeBounded is Resume restricted to tickets below bound (an
@@ -168,12 +186,15 @@ func (q *Queue) Resume() (any, Outcome) {
 // both go through the same deqIdx counter.
 func (q *Queue) ResumeBounded(bound uint64) (any, Outcome) {
 	for {
+		// Same cursor-before-claim order as Resume: the snapshot must
+		// precede the CAS that claims the ticket.
+		start := q.deqSeg.Load()
 		id := q.deqIdx.Load()
 		if id >= bound {
 			return nil, Drained
 		}
 		if q.deqIdx.CompareAndSwap(id, id+1) {
-			return q.resumeTicket(id)
+			return q.resumeTicket(start, id)
 		}
 	}
 }
@@ -197,11 +218,15 @@ func (q *Queue) Drain(wake func(any)) {
 }
 
 // resumeTicket resolves one claimed dequeue ticket against its cell.
-func (q *Queue) resumeTicket(id uint64) (any, Outcome) {
-	s := q.findSegment(&q.deqSeg, id/segSize)
+// start is the caller's deqSeg snapshot taken before the ticket claim.
+func (q *Queue) resumeTicket(start *segment, id uint64) (any, Outcome) {
+	s := q.findSegment(start, &q.deqSeg, id/segSize)
 	if s.id != id/segSize {
-		// The ticket's whole segment was unlinked, which only happens
-		// once every cell in it was aborted — ours included.
+		// The walk started below the ticket's segment (pre-claim
+		// snapshot) and follows next pointers that only ever bypass
+		// removed segments, so overshooting means the ticket's whole
+		// segment was unlinked — which only happens once every cell in
+		// it was aborted, ours included.
 		return nil, Aborted
 	}
 	c := &s.cells[id%segSize]
@@ -284,13 +309,28 @@ func advance(ptr *atomic.Pointer[segment], to *segment) {
 	}
 }
 
-// findSegment walks (and extends) the segment list from the cached
-// cursor to the segment with the given id, advancing the cursor as a
-// side effect. If that segment was unlinked, the first live segment
-// with a greater id is returned — the caller detects the mismatch and
-// treats the ticket as aborted.
-func (q *Queue) findSegment(ptr *atomic.Pointer[segment], id uint64) *segment {
-	s := ptr.Load()
+// findSegment walks (and extends) the segment list from start — the
+// caller's cursor snapshot — to the segment with the given id,
+// advancing the cursor as a side effect. If that segment was unlinked,
+// the first live segment with a greater id is returned; the caller
+// detects the mismatch and treats the ticket as fully aborted.
+//
+// The snapshot MUST be taken before the caller's ticket FAA/CAS, and
+// that order carries the whole mismatch argument. At snapshot time
+// every ticket yet claimed is below ours, so the cursor — advanced only
+// by those claimants' walks and by remove(), which skips nothing but
+// fully aborted segments — cannot have passed our segment while our
+// cell is live. Walking forward from the snapshot can then overshoot
+// only by following a next pointer restitched around a removed (fully
+// aborted) segment, so id mismatch genuinely implies "every cell in the
+// ticket's segment aborted". Loading the cursor after the claim instead
+// would let a claimant that stalls between its FAA and the load observe
+// a cursor pushed past its still-live segment by claimants >= segSize
+// ahead — misclassifying a registered waiter as aborted (a lost wakeup)
+// on the resume side, or registering into another ticket's cell on the
+// enqueue side.
+func (q *Queue) findSegment(start *segment, ptr *atomic.Pointer[segment], id uint64) *segment {
+	s := start
 	for s.id < id {
 		next := s.next.Load()
 		if next == nil {

@@ -109,6 +109,79 @@ func TestCQSSegmentUnlink(t *testing.T) {
 	}
 }
 
+// TestCQSStalledResumerFindsWaiter replays the stalled-resumer race
+// deterministically: a resumer claims its ticket and then stalls while
+// resumers >= segSize ahead advance the dequeue cursor past its
+// segment. Walking from the pre-claim cursor snapshot, it must still
+// find and wake its registered waiter — a post-claim cursor load would
+// misclassify the live waiter as Aborted (a lost wakeup).
+func TestCQSStalledResumerFindsWaiter(t *testing.T) {
+	q := NewQueue()
+	const n = segSize + 1
+	for i := 0; i < n; i++ {
+		if _, ok := q.Enqueue(i); !ok {
+			t.Fatalf("waiter %d eliminated", i)
+		}
+	}
+	// The stalled resumer: snapshot, claim ticket 0, then "stall"
+	// before walking (the body of Resume, paused mid-flight).
+	start := q.deqSeg.Load()
+	id := q.deqIdx.Add(1) - 1
+	// Resumers for tickets 1..segSize run to completion; the last one
+	// lives in the next segment and drags the cursor past segment 0.
+	for i := 1; i < n; i++ {
+		h, oc := q.Resume()
+		if oc != Woke || h.(int) != i {
+			t.Fatalf("concurrent resume %d: got (%v, %v)", i, h, oc)
+		}
+	}
+	if q.deqSeg.Load().id == 0 {
+		t.Fatal("test vehicle broken: cursor never advanced past segment 0")
+	}
+	h, oc := q.resumeTicket(start, id)
+	if oc != Woke || h.(int) != 0 {
+		t.Fatalf("stalled resumer resolved (%v, %v), want (0, Woke) — lost wakeup", h, oc)
+	}
+}
+
+// TestCQSStalledEnqueuerRightCell replays the enqueue-side twin: an
+// enqueuer claims its ticket and stalls while enqueuers >= segSize
+// ahead advance the enqueue cursor past its segment. Resuming from its
+// pre-claim snapshot, it must land in exactly its own segment and
+// register in its own cell — never another ticket's — and FIFO wakeup
+// must still start with it.
+func TestCQSStalledEnqueuerRightCell(t *testing.T) {
+	q := NewQueue()
+	// The stalled enqueuer: snapshot + claim ticket 0, then stall.
+	start := q.enqSeg.Load()
+	id := q.enqIdx.Add(1) - 1
+	// Enqueuers for tickets 1..segSize complete, advancing enqSeg to
+	// segment 1.
+	for i := 1; i <= segSize; i++ {
+		if _, ok := q.Enqueue(i); !ok {
+			t.Fatalf("waiter %d eliminated", i)
+		}
+	}
+	if q.enqSeg.Load().id == 0 {
+		t.Fatal("test vehicle broken: cursor never advanced past segment 0")
+	}
+	// The stalled enqueuer finishes registration (the body of Enqueue
+	// after the FAA).
+	s := q.findSegment(start, &q.enqSeg, id/segSize)
+	if s.id != id/segSize {
+		t.Fatalf("walk from pre-claim snapshot landed on segment %d, want %d", s.id, id/segSize)
+	}
+	c := &s.cells[id%segSize]
+	c.h = "stalled"
+	if !c.state.CompareAndSwap(cellEmpty, cellWaiter) {
+		t.Fatal("registration CAS failed with no resumer in flight")
+	}
+	h, oc := q.Resume()
+	if oc != Woke || h != any("stalled") {
+		t.Fatalf("first resume resolved (%v, %v), want (stalled, Woke)", h, oc)
+	}
+}
+
 // TestCQSDrainBound: Drain wakes exactly the waiters registered before
 // the snapshot and terminates.
 func TestCQSDrainBound(t *testing.T) {

@@ -157,6 +157,15 @@ func (p *Proc) CommitWait(bw *Waiter) bool {
 	// The gauge drops only after the strand holds a token again, so the
 	// retirement gate covers the whole parked window.
 	rt.blockedLive.Add(-1)
+	if rt.done.Load() || rt.cancel.Cancelled() {
+		// Thieves park through the wind-down while blocked waits hold
+		// the retirement gate (parkThief's ending carve-out); this drop
+		// may have opened it, so rouse them to re-check. The seq-cst
+		// decrement-then-waiters-load here pairs with their
+		// waiters-increment-then-gauge-load, so the broadcast cannot be
+		// lost.
+		rt.wakeThieves()
+	}
 	if rt.countersOn {
 		if bw.aborted {
 			p.v.pend.AbortedWaits++

@@ -452,7 +452,17 @@ func (rt *Runtime) parkThief(w int) bool {
 	ip := &rt.idle
 	ip.mu.Lock()
 	ip.waiters.Add(1)
-	if rt.done.Load() || rt.cancel.Cancelled() || rt.anyDequeNonEmpty() {
+	// A finished or cancelled run declines to park — the thief must go
+	// retire its token — unless blocked waits still hold the retirement
+	// gate: then sleeping is exactly right, because the only events that
+	// can end the wind-down are wakeups, and every one broadcasts here
+	// (deliver's push-then-wakeThieves, and CommitWait's blockedLive
+	// drop once the run is winding down). Without this carve-out a plain
+	// Run whose strand waits on a never-resolved future would spin every
+	// idle token forever instead of parking through the (possibly
+	// unbounded) wait.
+	ending := rt.done.Load() || rt.cancel.Cancelled()
+	if (ending && rt.blockedLive.Load() == 0) || rt.anyDequeNonEmpty() {
 		ip.waiters.Add(-1)
 		ip.mu.Unlock()
 		return false

@@ -41,11 +41,32 @@ func (rt *Runtime) stealLoop(p *Proc) {
 				// Strands are still parked on external waits (or their
 				// wakeups are queued): retiring now could strand a woken
 				// waiter with no token to resume on. Keep this token in
-				// the loop until the waits drain — a cancelled run's
-				// waiters are being aborted through their contexts, so
-				// this window is bounded.
+				// the loop until the waits drain — and since under a
+				// plain Run (nil WaitContext) a wait on a never-resolved
+				// future is not abortable, that window can be unbounded:
+				// the backoff ladder must end at the idle parker, not a
+				// poll. parkThief's ending carve-out parks this token
+				// while the gate holds (wakeq-guarded, so a queued
+				// wakeup is never slept through), and deliver's
+				// broadcast plus CommitWait's gauge-drop broadcast wake
+				// it to either claim the wakeup or retire. Parked
+				// directly rather than through stealBackoff: a wakeup
+				// here means "re-check the gate", not fresh work, so the
+				// ladder must not reset to its poll rungs on every
+				// broadcast.
 				fails++
-				rt.stealBackoff(w, &fails)
+				switch {
+				case fails < 64:
+					runtime.Gosched()
+				case rt.cfg.ParkAfter < 0:
+					// Parking disabled by config: the documented
+					// pre-parking poll behaviour.
+					time.Sleep(50 * time.Microsecond)
+				case rt.parkThief(w):
+					fails = 64
+				default:
+					time.Sleep(time.Microsecond)
+				}
 				continue
 			}
 			// Free the vessel before retiring: the token is still ours
